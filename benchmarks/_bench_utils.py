@@ -1,0 +1,18 @@
+"""Report helper shared by the benchmark modules.
+
+Rows are echoed to stdout (visible with ``pytest -s``) and appended to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(name: str, text: str) -> None:
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / f"{name}.txt", "a") as fh:
+        fh.write(text + "\n")

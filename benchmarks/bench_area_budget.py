@@ -1,0 +1,53 @@
+"""Extension bench — selection under an area constraint (Section 9).
+
+Sweeps the silicon budget and reports the achievable speedup per budget,
+comparing the exact knapsack against the merit-density greedy.  The curve
+is the classic area/performance Pareto front an SoC architect reads off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Constraints, select_area_constrained
+from repro.hwmodel import CostModel, cut_area
+
+from _bench_utils import report
+
+MODEL = CostModel()
+CONS = Constraints(nin=4, nout=2, ninstr=16)
+BUDGETS = [0.25, 0.5, 1.0, 2.0, 4.0]
+
+
+def bench_area_pareto_front(benchmark, paper_apps):
+    app = paper_apps["adpcm-decode"]
+
+    def run(budget, method):
+        return select_area_constrained(app.dfgs, CONS, budget, MODEL,
+                                       method=method)
+
+    rows = []
+    for budget in BUDGETS:
+        exact = run(budget, "knapsack")
+        greedy = run(budget, "greedy")
+        used = sum(cut_area(c.dfg, c.nodes, MODEL) for c in exact.cuts)
+        rows.append((budget, used, exact.speedup, greedy.speedup))
+
+    benchmark.pedantic(run, args=(2.0, "knapsack"), iterations=1,
+                       rounds=1)
+
+    report("area_budget", "adpcm-decode speedup vs AFU area budget "
+                          "(Nin=4, Nout=2):")
+    report("area_budget", f"  {'budget':>7s} {'used':>6s} "
+                          f"{'knapsack':>9s} {'greedy':>7s}")
+    monotone = []
+    for budget, used, exact_s, greedy_s in rows:
+        report("area_budget", f"  {budget:7.2f} {used:6.2f} "
+                              f"{exact_s:9.3f} {greedy_s:7.3f}")
+        assert used <= budget + 0.02
+        assert exact_s >= greedy_s - 1e-9
+        monotone.append(exact_s)
+    assert monotone == sorted(monotone)
+    # The knee: most of the unconstrained speedup for ~2 MACs (the
+    # paper's "couple of multiply-accumulators" observation).
+    assert monotone[-2] > 0.85 * monotone[-1]

@@ -1,0 +1,97 @@
+"""Figure 3 / Section 8 — the adpcm-decode motivational example.
+
+The paper walks through its Fig. 3 dataflow graph:
+
+* ``M1`` — a 2-input / 1-output cluster (the approximate 16x4-bit
+  multiplication) that even the most stringent constraints admit;
+* ``M2`` — with 3 inputs, the same cluster grown with the following
+  accumulate/saturate operations;
+* ``M2+M3`` — with 2+ outputs the identifier picks *disconnected*
+  subgraphs, exploiting the parallelism of independent clusters;
+* MaxMISO's failure: at ``Nin=2`` it cannot find M1 because M1 is buried
+  inside the 3-input MaxMISO M2.
+
+This bench regenerates those four facts from the compiled benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Constraints, SearchLimits, find_best_cut, \
+    select_maxmiso
+from repro.hwmodel import CostModel
+from repro.ir import Opcode
+
+from _bench_utils import report
+
+MODEL = CostModel()
+LIMITS = SearchLimits(max_considered=1_500_000)
+
+
+def bench_fig3_m1_m2_growth(benchmark, paper_apps):
+    dfg = paper_apps["adpcm-decode"].hot_dfg
+
+    m1_result = benchmark(find_best_cut, dfg, Constraints(nin=2, nout=1),
+                          MODEL, LIMITS)
+    m2_result = find_best_cut(dfg, Constraints(nin=3, nout=1), MODEL,
+                              LIMITS)
+
+    m1, m2 = m1_result.cut, m2_result.cut
+    assert m1 is not None and m2 is not None
+    report("fig3", "Fig. 3 walk-through on adpcm-decode hot block "
+                   f"({dfg.n} nodes):")
+    report("fig3", f"  M1 (Nin=2, Nout=1): {m1.describe()}")
+    report("fig3", f"  M2 (Nin=3, Nout=1): {m2.describe()}")
+
+    # M1 is a genuine multi-operation cluster, connected, 2-in/1-out.
+    assert m1.size >= 4
+    assert m1.is_connected()
+    assert m1.num_inputs <= 2 and m1.num_outputs == 1
+    # The extra input lets the cut grow (accumulation + saturation).
+    assert m2.size > m1.size
+    assert m2.merit > m1.merit
+    # The grown cut contains selects (the saturation network of Fig. 3).
+    m2_ops = {dfg.nodes[i].opcode for i in m2.nodes}
+    assert Opcode.SELECT in m2_ops
+
+
+def bench_fig3_disconnected_with_two_outputs(benchmark, paper_apps):
+    dfg = paper_apps["adpcm-decode"].hot_dfg
+
+    result = benchmark(find_best_cut, dfg, Constraints(nin=4, nout=2),
+                       MODEL, LIMITS)
+
+    cut = result.cut
+    assert cut is not None
+    report("fig3", f"  M2+M3 (Nin=4, Nout=2): {cut.describe()}")
+    # Paper: "it may choose at once disconnected subgraphs such as M2+M3".
+    assert not cut.is_connected()
+    assert cut.num_outputs == 2
+
+    single = find_best_cut(dfg, Constraints(nin=4, nout=1), MODEL, LIMITS)
+    assert cut.merit > single.cut.merit
+
+
+def bench_fig3_maxmiso_misses_m1(benchmark, paper_apps):
+    """Section 8(b): MaxMISO finds M2 with 3+ input ports but nothing at
+    Nin=2, while the exact identification still finds M1."""
+    app = paper_apps["adpcm-decode"]
+    dfg = app.hot_dfg
+
+    def run():
+        narrow = select_maxmiso([dfg], Constraints(nin=2, nout=1,
+                                                   ninstr=1), MODEL)
+        wide = select_maxmiso([dfg], Constraints(nin=3, nout=1,
+                                                 ninstr=1), MODEL)
+        return narrow, wide
+
+    narrow, wide = benchmark(run)
+    exact = find_best_cut(dfg, Constraints(nin=2, nout=1), MODEL, LIMITS)
+
+    report("fig3", f"  MaxMISO best merit at Nin=2: "
+                   f"{narrow.total_merit:g}; at Nin=3: "
+                   f"{wide.total_merit:g}; exact at Nin=2: "
+                   f"{exact.cut.merit:g}")
+    assert exact.cut.merit > narrow.total_merit
+    assert wide.total_merit >= narrow.total_merit

@@ -1,0 +1,102 @@
+"""Figure 8 — number of cuts considered vs. graph size.
+
+The paper plots, for basic blocks of 2..~100 nodes taken from several
+benchmarks, the number of cuts the algorithm examines with ``Nout = 2``
+and unbounded ``Nin``, against N^2/N^3/N^4 reference curves: polynomial in
+practice, with a visible exponential tendency.
+
+We regenerate the same scatter from the basic blocks of all six workloads
+plus unrolled variants of gsm/fir (which provide the large blocks), then
+fit the exponent of ``cuts ~ N^k`` and assert it lands in the paper's
+polynomial band (roughly between 1 and 4 for these sizes).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import Constraints, SearchLimits, find_best_cut
+from repro.hwmodel import CostModel
+from repro.pipeline import prepare_application
+
+from _bench_utils import report
+
+MODEL = CostModel()
+LIMITS = SearchLimits(max_considered=3_000_000)
+NOUT2_UNBOUNDED_NIN = Constraints(nin=10_000, nout=2)
+
+
+def _collect_blocks():
+    specs = [
+        ("adpcm-decode", None), ("adpcm-encode", None), ("gsm", None),
+        ("fir", None), ("crc32", None), ("mixer", None),
+        ("gsm", 2), ("gsm", 4), ("fir", 4), ("fir", 8), ("crc32", 8),
+        ("mixer", 2),
+    ]
+    blocks = []
+    for name, unroll in specs:
+        app = prepare_application(name, n=16, unroll=unroll)
+        for dfg in app.dfgs:
+            if dfg.n >= 2:
+                label = f"{name}{f'-u{unroll}' if unroll else ''}"
+                blocks.append((label, dfg))
+    return blocks
+
+
+@pytest.fixture(scope="module")
+def scatter():
+    """(label, N, cuts_considered, complete) for every block."""
+    points = []
+    for label, dfg in _collect_blocks():
+        result = find_best_cut(dfg, NOUT2_UNBOUNDED_NIN, MODEL, LIMITS)
+        points.append((label, dfg.n,
+                       result.stats.cuts_considered, result.complete))
+    return points
+
+
+def bench_fig8_scatter(benchmark, scatter):
+    # Benchmark the search on the paper's flagship block size (~40 nodes).
+    app = prepare_application("adpcm-decode", n=16)
+    dfg = app.hot_dfg
+
+    benchmark(find_best_cut, dfg, NOUT2_UNBOUNDED_NIN, MODEL, LIMITS)
+
+    report("fig8", "Fig. 8 — cuts considered vs. graph nodes "
+                   "(Nout=2, unbounded Nin):")
+    report("fig8", f"  {'block':24s} {'N':>4s} {'cuts':>10s}  note")
+    for label, n, cuts, complete in sorted(scatter, key=lambda p: p[1]):
+        note = "" if complete else "budget capped"
+        report("fig8", f"  {label:24s} {n:4d} {cuts:10d}  {note}")
+
+    # Fit cuts ~ c * N^k over completed points with N >= 4.
+    pts = [(n, cuts) for _, n, cuts, complete in scatter
+           if complete and n >= 4 and cuts > 0]
+    logs = [(math.log(n), math.log(c)) for n, c in pts]
+    mean_x = sum(x for x, _ in logs) / len(logs)
+    mean_y = sum(y for _, y in logs) / len(logs)
+    k = (sum((x - mean_x) * (y - mean_y) for x, y in logs)
+         / sum((x - mean_x) ** 2 for x, y in logs))
+    report("fig8", f"  fitted exponent k in cuts ~ N^k: {k:.2f} "
+                   f"(paper band: ~2..4)")
+    assert 1.0 <= k <= 5.0, f"scaling exponent {k} outside plausible band"
+
+
+def bench_fig8_tighter_constraints_prune_more(benchmark, scatter):
+    """Section 6.1: tighter constraints => faster search."""
+    app = prepare_application("adpcm-decode", n=16)
+    dfg = app.hot_dfg
+    counts = {}
+    for nout in (1, 2, 4):
+        cons = Constraints(nin=10_000, nout=nout)
+        res = find_best_cut(dfg, cons, MODEL, LIMITS)
+        counts[nout] = res.stats.cuts_considered
+
+    benchmark(find_best_cut, dfg, Constraints(nin=10_000, nout=1), MODEL,
+              LIMITS)
+
+    report("fig8", "  pruning strength on adpcm-decode hot block:")
+    for nout, cuts in counts.items():
+        report("fig8", f"    Nout={nout}: {cuts} cuts considered")
+    assert counts[1] <= counts[2] <= counts[4]

@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper.  Each module
+prints its rows through :func:`_bench_utils.report`, which both echoes to
+stdout (run with ``pytest benchmarks/ --benchmark-only -s`` to see them
+live) and appends to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md
+can quote them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.hwmodel import CostModel
+from repro.pipeline import prepare_application
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results():
+    """Truncate result files once per session."""
+    if RESULTS_DIR.exists():
+        for path in RESULTS_DIR.glob("*.txt"):
+            path.unlink()
+    yield
+
+
+@pytest.fixture(scope="session")
+def model():
+    return CostModel()
+
+
+@pytest.fixture(scope="session")
+def paper_apps():
+    """The paper's three Fig. 11 benchmarks, profiled."""
+    return {
+        name: prepare_application(name, n=96)
+        for name in ("adpcm-decode", "adpcm-encode", "gsm")
+    }
+
+
+@pytest.fixture(scope="session")
+def all_apps(paper_apps):
+    apps = dict(paper_apps)
+    for name in ("fir", "crc32", "mixer"):
+        apps[name] = prepare_application(name, n=64)
+    return apps

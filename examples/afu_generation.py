@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""AFU generation: from C-level kernel to Verilog custom instructions.
+
+Selects instruction-set extensions for the GSM lattice filter, builds the
+combinational datapath of each, validates it functionally against random
+stimulus, and writes synthesisable Verilog to ``examples/out/``.
+
+Run:  python examples/afu_generation.py
+"""
+
+import random
+from pathlib import Path
+
+from repro import Constraints, prepare_application, select_iterative
+from repro.afu import build_datapath, emit_verilog
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def main() -> None:
+    app = prepare_application("gsm", n=128)
+    constraints = Constraints(nin=4, nout=2, ninstr=4)
+    result = select_iterative(app.dfgs, constraints)
+    print(result.describe())
+    print()
+
+    OUT_DIR.mkdir(exist_ok=True)
+    rng = random.Random(0)
+    for k, cut in enumerate(result.cuts):
+        afu = build_datapath(cut, name=f"gsm_ise{k}")
+        print(afu.describe())
+
+        # Smoke-test the functional model on random port stimulus.
+        for _ in range(100):
+            inputs = {p: rng.randint(-(2 ** 31), 2 ** 31 - 1)
+                      for p in afu.input_ports}
+            outputs = afu.evaluate(inputs)
+            assert set(outputs) == set(afu.output_ports)
+
+        path = OUT_DIR / f"{afu.name}.v"
+        path.write_text(emit_verilog(afu))
+        print(f"  wrote {path}")
+    print()
+    print(f"total datapath area: "
+          f"{sum(build_datapath(c).area_mac for c in result.cuts):.2f} "
+          f"MAC-equivalents")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Area-constrained instruction selection (the paper's Section 9
+future-work item, implemented).
+
+Sweeps a silicon budget (in 32-bit-MAC-equivalent area units) and prints
+the speedup the exact knapsack selection achieves within it — the
+area/performance Pareto front of the custom-instruction design space.
+
+Run:  python examples/area_budget.py [workload]
+"""
+
+import sys
+
+from repro import Constraints, prepare_application, select_area_constrained
+from repro.hwmodel import CostModel, cut_area
+
+MODEL = CostModel()
+CONS = Constraints(nin=4, nout=2, ninstr=16)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "adpcm-decode"
+    app = prepare_application(name, n=128)
+    print(f"{name}: speedup vs AFU area budget (Nin=4, Nout=2)\n")
+    print(f"{'budget (MAC)':>12s} {'area used':>10s} {'#AFUs':>6s} "
+          f"{'speedup':>8s}")
+    for budget in (0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0):
+        result = select_area_constrained(app.dfgs, CONS, budget, MODEL)
+        used = sum(cut_area(c.dfg, c.nodes, MODEL) for c in result.cuts)
+        print(f"{budget:12.2f} {used:10.2f} {len(result.cuts):6d} "
+              f"{result.speedup:8.3f}")
+    print()
+    print("Most of the speedup is available within ~2 MACs of area —")
+    print("the paper's Section 8 observation, now as a selection")
+    print("constraint rather than an after-the-fact report.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Section 9 extension: loop unrolling before identification.
+
+The paper's conclusions propose feeding the identifier larger basic blocks
+obtained "by applying instruction-level parallelism techniques (e.g.
+unrolling)".  This example unrolls the GSM lattice filter's 8-stage inner
+loop at increasing factors and shows the effect on the hot block size and
+on the speedup of the selected extensions.
+
+Run:  python examples/unrolling_extension.py
+"""
+
+from repro import Constraints, SearchLimits, prepare_application, \
+    select_iterative
+
+CONS = Constraints(nin=4, nout=2, ninstr=8)
+LIMITS = SearchLimits(max_considered=500_000)
+
+
+def main() -> None:
+    print(f"{'unroll':>6s} {'hot-block nodes':>16s} {'speedup':>8s} "
+          f"{'complete':>9s}")
+    for factor in (None, 2, 4, 8):
+        app = prepare_application("gsm", n=128, unroll=factor)
+        result = select_iterative(app.dfgs, CONS, limits=LIMITS)
+        print(f"{factor or 1:6d} {app.hot_dfg.n:16d} "
+              f"{result.speedup:8.3f} {str(result.complete):>9s}")
+    print()
+    print("Unrolling exposes cross-iteration parallelism: the lattice")
+    print("stages of consecutive samples fuse into wider AFUs, at the")
+    print("price of a larger search space (watch 'complete' flip when")
+    print("the budget caps the exact search).")
+
+
+if __name__ == "__main__":
+    main()

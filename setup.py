@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (no PEP 660 builds).
+
+`pip install -e .` needs to build an editable wheel; when the `wheel`
+package is unavailable offline, `python setup.py develop` installs the
+same editable mapping without it.
+"""
+from setuptools import setup
+
+setup()

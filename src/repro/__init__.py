@@ -1,0 +1,58 @@
+"""repro — Automatic application-specific instruction-set extensions under
+microarchitectural constraints.
+
+A complete reproduction of Atasu, Pozzi & Ienne (DAC 2003 / IJPP 31(6),
+2003): exact identification of maximal-merit convex dataflow subgraphs
+under register-file port constraints, optimal and iterative selection of
+up to ``Ninstr`` custom instructions, the Clubbing and MaxMISO baselines,
+and everything underneath — a MiniC compiler, an IR with CFG/DFG
+analyses, if-conversion, an interpreter/profiler, hardware cost models and
+AFU datapath generation.
+
+Quickstart::
+
+    from repro import prepare_application, Constraints, select_iterative
+
+    app = prepare_application("adpcm-decode")
+    result = select_iterative(app.dfgs, Constraints(nin=4, nout=2,
+                                                    ninstr=16))
+    print(result.describe())
+"""
+
+from .core import (
+    BlockTooLargeError,
+    Constraints,
+    Cut,
+    MultiCutResult,
+    SearchLimits,
+    SearchResult,
+    SearchStats,
+    SelectionResult,
+    enumerate_feasible_cuts,
+    evaluate_cut,
+    find_best_cut,
+    find_best_cuts,
+    select_area_constrained,
+    select_clubbing,
+    select_iterative,
+    select_maxmiso,
+    select_optimal,
+)
+from .hwmodel import CostModel, estimated_speedup, uniform_cost_model
+from .pipeline import Application, compile_workload, prepare_application
+from .workloads import WORKLOADS, Workload, get_workload, paper_benchmarks
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Constraints", "Cut", "evaluate_cut",
+    "find_best_cut", "find_best_cuts", "enumerate_feasible_cuts",
+    "SearchStats", "SearchLimits", "SearchResult", "MultiCutResult",
+    "SelectionResult", "select_iterative", "select_optimal",
+    "select_area_constrained",
+    "select_clubbing", "select_maxmiso", "BlockTooLargeError",
+    "CostModel", "uniform_cost_model", "estimated_speedup",
+    "Application", "prepare_application", "compile_workload",
+    "WORKLOADS", "Workload", "get_workload", "paper_benchmarks",
+    "__version__",
+]

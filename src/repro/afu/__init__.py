@@ -1,0 +1,19 @@
+"""AFU generation: datapath netlists, Verilog emission, cycle simulation."""
+
+from .datapath import AFUDatapath, Gate, build_datapath
+from .schedule import (
+    CyclicDependenceError,
+    ScheduleSlot,
+    cut_is_schedulable,
+    schedule_with_cuts,
+)
+from .simulator import CycleSimulator, SimulationResult, simulate_selection
+from .verilog import emit_verilog
+
+__all__ = [
+    "AFUDatapath", "Gate", "build_datapath",
+    "emit_verilog",
+    "CycleSimulator", "SimulationResult", "simulate_selection",
+    "schedule_with_cuts", "cut_is_schedulable", "ScheduleSlot",
+    "CyclicDependenceError",
+]

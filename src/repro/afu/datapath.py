@@ -1,0 +1,189 @@
+"""AFU datapaths: turning a selected cut into a combinational unit.
+
+An :class:`AFUDatapath` is the hardware view of one chosen cut: named input
+ports (the register-file read operands), named output ports (the values
+written back), and a netlist of operator instances in dataflow order.
+
+Wires are named after DFG node indices (``n<i>``), not IR register names —
+the IR is non-SSA, so register names can be redefined inside one block and
+are not unique value identifiers.  Port names derive from register names
+(what the processor decoder would see) and are uniquified.
+
+The datapath can evaluate itself functionally using the *same* 32-bit
+semantics as the interpreter, which lets the test suite prove that
+specialised execution is bit-exact with the original software.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.cut import Cut
+from ..hwmodel.latency import CostModel
+from ..hwmodel.merit import (
+    cut_area,
+    cut_hardware_critical_path,
+    cut_hardware_cycles,
+)
+from ..ir.opcodes import Opcode
+from ..ir.values import Const, Reg
+from ..passes.constant_folding import evaluate_pure_op
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One operator instance in the datapath netlist.
+
+    ``inputs`` entries are wire/port names (str) or int constants.
+    """
+
+    opcode: Opcode
+    output: str
+    inputs: Tuple[object, ...]
+
+
+@dataclass
+class AFUDatapath:
+    """The synthesisable view of one custom instruction.
+
+    Attributes:
+        input_ports: port names in declaration order.
+        input_sources: parallel to ``input_ports`` — the DFG source tag of
+            each port (``('var', name)`` or ``('node', index)``).
+        output_ports: port names.
+        output_wires: port name -> internal wire it exposes.
+        gates: netlist in dataflow (producers-first) order.
+    """
+
+    name: str
+    cut: Cut
+    input_ports: List[str]
+    input_sources: List[Tuple]
+    output_ports: List[str]
+    output_wires: Dict[str, str]
+    gates: List[Gate]
+    latency_cycles: int
+    critical_path_mac: float
+    area_mac: float
+
+    # ------------------------------------------------------------------
+    def evaluate(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        """Functionally evaluate the datapath.
+
+        Args:
+            inputs: value for every input port name.
+
+        Returns:
+            Value of every output port.
+        """
+        wires: Dict[str, int] = {}
+        for port in self.input_ports:
+            if port not in inputs:
+                raise KeyError(f"missing input port {port!r}")
+            wires[port] = inputs[port]
+        for gate in self.gates:
+            values = [w if isinstance(w, int) else wires[w]
+                      for w in gate.inputs]
+            result = evaluate_pure_op(gate.opcode, values)
+            if result is None:
+                raise ZeroDivisionError(
+                    f"gate {gate.output} ({gate.opcode}) trapped")
+            wires[gate.output] = result
+        return {port: wires[self.output_wires[port]]
+                for port in self.output_ports}
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.input_ports)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.output_ports)
+
+    def describe(self) -> str:
+        return (f"AFU {self.name}: {len(self.gates)} operator(s), "
+                f"{self.num_inputs} in / {self.num_outputs} out, "
+                f"{self.latency_cycles} cycle(s), "
+                f"area {self.area_mac:.2f} MAC")
+
+
+def build_datapath(cut: Cut, model: Optional[CostModel] = None,
+                   name: str = "ise0") -> AFUDatapath:
+    """Construct the datapath of *cut*.
+
+    The cut must contain only AFU-legal single-instruction nodes (no
+    supernodes, loads, stores or calls) and the DFG must carry
+    ``operand_sources`` (all graphs built by :func:`repro.ir.build_dfg`
+    and :func:`repro.ir.synth.make_dfg` do).
+    """
+    model = model or CostModel()
+    dfg = cut.dfg
+    members = sorted(cut.nodes, reverse=True)   # producers first
+    member_set = set(cut.nodes)
+
+    for i in members:
+        node = dfg.nodes[i]
+        if node.forbidden or node.is_super or len(node.insns) != 1:
+            raise ValueError(
+                f"node {node.label} cannot be implemented in an AFU")
+        if len(dfg.operand_sources[i]) != len(node.insns[0].operands):
+            raise ValueError(
+                f"DFG {dfg.name} lacks operand sources for {node.label}")
+
+    input_ports: List[str] = []
+    input_sources: List[Tuple] = []
+    port_of_source: Dict[Tuple, str] = {}
+    taken_names: Dict[str, int] = {}
+
+    def unique_port(base: str) -> str:
+        base = base.replace(".", "_")
+        count = taken_names.get(base, 0)
+        taken_names[base] = count + 1
+        return base if count == 0 else f"{base}_{count}"
+
+    def port_for(source: Tuple, reg_name: str) -> str:
+        if source not in port_of_source:
+            port = unique_port(reg_name)
+            port_of_source[source] = port
+            input_ports.append(port)
+            input_sources.append(source)
+        return port_of_source[source]
+
+    gates: List[Gate] = []
+    for i in members:
+        insn = dfg.nodes[i].insns[0]
+        wires: List[object] = []
+        for operand, source in zip(insn.operands, dfg.operand_sources[i]):
+            if source[0] == "const":
+                wires.append(source[1])
+            elif source[0] == "node" and source[1] in member_set:
+                wires.append(f"n{source[1]}")
+            else:
+                reg_name = operand.name if isinstance(operand, Reg) \
+                    else f"in{i}"
+                wires.append(port_for(source, reg_name))
+        gates.append(Gate(opcode=insn.opcode, output=f"n{i}",
+                          inputs=tuple(wires)))
+
+    output_ports: List[str] = []
+    output_wires: Dict[str, str] = {}
+    for j in sorted(dfg.cut_outputs(member_set)):
+        port = unique_port(dfg.nodes[j].insns[0].dest or f"out{j}")
+        output_ports.append(port)
+        output_wires[port] = f"n{j}"
+
+    return AFUDatapath(
+        name=name,
+        cut=cut,
+        input_ports=input_ports,
+        input_sources=input_sources,
+        output_ports=output_ports,
+        output_wires=output_wires,
+        gates=gates,
+        latency_cycles=cut_hardware_cycles(dfg, member_set, model),
+        critical_path_mac=cut_hardware_critical_path(dfg, member_set,
+                                                     model),
+        area_mac=cut_area(dfg, member_set, model),
+    )

@@ -1,0 +1,123 @@
+"""Schedule legality: why the paper's convexity constraint exists.
+
+Section 5 of the paper argues that a non-convex cut is illegal because,
+once the cut is collapsed into a single instruction that reads all its
+inputs at issue and produces all its outputs at completion, *no* schedule
+of the surrounding code can respect the dependences (Fig. 4).
+
+This module makes that argument executable: :func:`schedule_with_cuts`
+collapses the chosen cuts of one block into atomic macro-operations,
+builds the resulting dependence graph, and list-schedules it.  Convex cuts
+always schedule; a non-convex cut produces a dependence *cycle* (the cut
+needs a value that can only be computed after the cut itself) and raises
+:class:`CyclicDependenceError` — exactly the paper's legality test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..ir.dfg import DataFlowGraph
+
+
+class CyclicDependenceError(ValueError):
+    """The block has no legal schedule once the cuts are collapsed —
+    i.e. some cut violates the convexity constraint."""
+
+
+@dataclass(frozen=True)
+class ScheduleSlot:
+    """One scheduled macro-operation."""
+
+    step: int
+    nodes: Tuple[int, ...]          # DFG node indices (1 for scalar ops)
+    is_cut: bool
+
+
+def _group_of(dfg: DataFlowGraph,
+              cuts: Sequence[FrozenSet[int]]) -> Dict[int, int]:
+    """Map each node to its macro-op id (cuts first, then singletons)."""
+    group: Dict[int, int] = {}
+    for gid, members in enumerate(cuts):
+        for i in members:
+            if i in group:
+                raise ValueError(f"node {i} belongs to two cuts")
+            group[i] = gid
+    next_gid = len(cuts)
+    for i in range(dfg.n):
+        if i not in group:
+            group[i] = next_gid
+            next_gid += 1
+    return group
+
+
+def schedule_with_cuts(
+    dfg: DataFlowGraph,
+    cuts: Iterable[Iterable[int]] = (),
+) -> List[ScheduleSlot]:
+    """List-schedule the block with each cut collapsed to one macro-op.
+
+    Returns the schedule in issue order (dependence-respecting).  Raises
+    :class:`CyclicDependenceError` when collapsing creates a dependence
+    cycle — which happens exactly when some cut is non-convex, or when
+    two cuts are mutually dependent.
+    """
+    cut_sets = [frozenset(c) for c in cuts]
+    group = _group_of(dfg, cut_sets)
+    num_groups = max(group.values()) + 1 if group else 0
+
+    members: Dict[int, List[int]] = {g: [] for g in range(num_groups)}
+    for node, g in group.items():
+        members[g].append(node)
+
+    # Macro-op dependence edges: producer group -> consumer group.
+    succs: Dict[int, Set[int]] = {g: set() for g in range(num_groups)}
+    indegree: Dict[int, int] = {g: 0 for g in range(num_groups)}
+    for producer in range(dfg.n):
+        for consumer in dfg.succs[producer]:
+            gp, gc = group[producer], group[consumer]
+            if gp != gc and gc not in succs[gp]:
+                succs[gp].add(gc)
+                indegree[gc] += 1
+
+    # Kahn list scheduling; deterministic by smallest max-node-index
+    # first (producers have larger DFG indices, so this issues roughly in
+    # program order).
+    import heapq
+
+    ready = [(max(members[g]), g) for g in range(num_groups)
+             if indegree[g] == 0]
+    heapq.heapify(ready)
+    schedule: List[ScheduleSlot] = []
+    step = 0
+    while ready:
+        _, g = heapq.heappop(ready)
+        schedule.append(ScheduleSlot(
+            step=step,
+            nodes=tuple(sorted(members[g])),
+            is_cut=g < len(cut_sets),
+        ))
+        step += 1
+        for s in succs[g]:
+            indegree[s] -= 1
+            if indegree[s] == 0:
+                heapq.heappush(ready, (max(members[s]), s))
+
+    if len(schedule) != num_groups:
+        stuck = [g for g in range(num_groups) if indegree[g] > 0]
+        raise CyclicDependenceError(
+            f"no legal schedule: macro-ops {stuck} form a dependence "
+            f"cycle (a cut violates convexity, cf. Fig. 4 of the paper)")
+    return schedule
+
+
+def cut_is_schedulable(dfg: DataFlowGraph,
+                       cut: Iterable[int]) -> bool:
+    """True when collapsing *cut* leaves the block schedulable — the
+    operational form of the paper's convexity constraint."""
+    try:
+        schedule_with_cuts(dfg, [cut])
+    except CyclicDependenceError:
+        return False
+    return True

@@ -1,0 +1,100 @@
+"""Structural Verilog emission for AFU datapaths.
+
+Produces a self-contained combinational module per AFU: one 32-bit input
+port per register-file read, one output per write-back, and a continuous
+assignment per operator.  The paper's AFUs are purely combinational
+(Section 2: no architecturally visible state), so no clock is emitted —
+the surrounding pipeline registers the results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ir.opcodes import Opcode
+from .datapath import AFUDatapath, Gate
+
+_BINARY_FMT = {
+    Opcode.ADD: "{a} + {b}",
+    Opcode.SUB: "{a} - {b}",
+    Opcode.MUL: "{a} * {b}",
+    Opcode.AND: "{a} & {b}",
+    Opcode.OR: "{a} | {b}",
+    Opcode.XOR: "{a} ^ {b}",
+    Opcode.SHL: "{a} << ({b} & 32'd31)",
+    Opcode.LSHR: "{a} >> ({b} & 32'd31)",
+    Opcode.ASHR: "$signed({a}) >>> ({b} & 32'd31)",
+    Opcode.EQ: "{{31'd0, {a} == {b}}}",
+    Opcode.NE: "{{31'd0, {a} != {b}}}",
+    Opcode.SLT: "{{31'd0, $signed({a}) < $signed({b})}}",
+    Opcode.SLE: "{{31'd0, $signed({a}) <= $signed({b})}}",
+    Opcode.SGT: "{{31'd0, $signed({a}) > $signed({b})}}",
+    Opcode.SGE: "{{31'd0, $signed({a}) >= $signed({b})}}",
+    Opcode.DIV: "$signed({a}) / $signed({b})",
+    Opcode.REM: "$signed({a}) % $signed({b})",
+}
+
+
+def _wire_name(name: str) -> str:
+    """Sanitise an IR register name into a Verilog identifier."""
+    out = name.replace(".", "_")
+    if out and out[0].isdigit():
+        out = "w" + out
+    return out
+
+
+def _operand(ref) -> str:
+    if isinstance(ref, int):
+        if ref < 0:
+            return f"-32'sd{-ref}"
+        return f"32'd{ref}"
+    return _wire_name(ref)
+
+
+def _gate_expr(gate: Gate) -> str:
+    op = gate.opcode
+    ins = [_operand(x) for x in gate.inputs]
+    if op in _BINARY_FMT:
+        return _BINARY_FMT[op].format(a=ins[0], b=ins[1])
+    if op is Opcode.NEG:
+        return f"-{ins[0]}"
+    if op is Opcode.NOT:
+        return f"~{ins[0]}"
+    if op is Opcode.COPY:
+        return ins[0]
+    if op is Opcode.SELECT:
+        return f"({ins[0]} != 32'd0) ? {ins[1]} : {ins[2]}"
+    raise ValueError(f"no Verilog form for {op}")
+
+
+def emit_verilog(afu: AFUDatapath) -> str:
+    """Render *afu* as a synthesisable Verilog-2001 module."""
+    lines: List[str] = []
+    ports: List[str] = []
+    for port in afu.input_ports:
+        ports.append(f"    input  wire [31:0] {_wire_name(port)}")
+    for port in afu.output_ports:
+        ports.append(f"    output wire [31:0] {_wire_name(port)}_out")
+
+    lines.append(f"// Custom instruction {afu.name}: "
+                 f"{len(afu.gates)} operators, "
+                 f"{afu.latency_cycles} cycle(s), "
+                 f"~{afu.area_mac:.2f} MAC-equivalent area.")
+    lines.append(f"module {afu.name} (")
+    lines.append(",\n".join(ports))
+    lines.append(");")
+    lines.append("")
+
+    for gate in afu.gates:
+        lines.append(f"    wire [31:0] {_wire_name(gate.output)};")
+    lines.append("")
+    for gate in afu.gates:
+        wire = _wire_name(gate.output)
+        lines.append(f"    assign {wire} = {_gate_expr(gate)};")
+    lines.append("")
+    for port in afu.output_ports:
+        wire = _wire_name(afu.output_wires[port])
+        lines.append(f"    assign {_wire_name(port)}_out = {wire};")
+    lines.append("")
+    lines.append("endmodule")
+    return "\n".join(lines)

@@ -1,0 +1,198 @@
+"""Command-line interface: ``repro <subcommand>``.
+
+Subcommands:
+
+* ``list`` — show the registered workloads;
+* ``ir`` — dump the optimised IR of a workload;
+* ``identify`` — best single cut of the hottest block (Problem 1);
+* ``select`` — choose up to Ninstr instructions with any algorithm
+  (Problem 2);
+* ``compare`` — one Fig. 11-style row: all four algorithms side by side;
+* ``afu`` — generate Verilog for the selected custom instructions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .afu import build_datapath, emit_verilog
+from .core import (
+    Constraints,
+    SearchLimits,
+    find_best_cut,
+    select_clubbing,
+    select_iterative,
+    select_maxmiso,
+    select_optimal,
+)
+from .hwmodel import CostModel
+from .pipeline import prepare_application
+from .workloads import WORKLOADS
+
+_ALGORITHMS = {
+    "iterative": select_iterative,
+    "clubbing": select_clubbing,
+    "maxmiso": select_maxmiso,
+}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("workload", help="registered workload name")
+    parser.add_argument("--n", type=int, default=None,
+                        help="profiling run size (default: workload's)")
+    parser.add_argument("--unroll", type=int, default=None,
+                        help="loop unroll factor (Section 9 extension)")
+    parser.add_argument("--nin", type=int, default=4,
+                        help="register-file read ports (default 4)")
+    parser.add_argument("--nout", type=int, default=2,
+                        help="register-file write ports (default 2)")
+    parser.add_argument("--limit", type=int, default=None,
+                        help="max cuts considered per search")
+
+
+def _limits(args) -> Optional[SearchLimits]:
+    if args.limit is None:
+        return None
+    return SearchLimits(max_considered=args.limit)
+
+
+def cmd_list(_args) -> int:
+    for name, workload in sorted(WORKLOADS.items()):
+        star = "*" if workload.paper_benchmark else " "
+        print(f"{star} {name:14s} {workload.description}")
+    print("(* = benchmark of the paper's Fig. 11)")
+    return 0
+
+
+def cmd_ir(args) -> int:
+    app = prepare_application(args.workload, n=args.n, unroll=args.unroll)
+    print(app.module)
+    print()
+    print(app.describe())
+    return 0
+
+
+def cmd_identify(args) -> int:
+    app = prepare_application(args.workload, n=args.n, unroll=args.unroll)
+    dfg = app.hot_dfg
+    constraints = Constraints(nin=args.nin, nout=args.nout)
+    start = time.time()
+    result = find_best_cut(dfg, constraints, limits=_limits(args))
+    elapsed = time.time() - start
+    print(f"hot block {dfg.name}: {dfg.n} nodes, weight {dfg.weight:g}")
+    print(f"searched {result.stats.cuts_considered} cuts in "
+          f"{elapsed:.2f}s (complete={result.complete})")
+    if result.cut is None:
+        print("no profitable cut under these constraints")
+        return 1
+    print(result.cut.describe())
+    for label in result.cut.node_labels():
+        print(f"  {label}")
+    return 0
+
+
+def cmd_select(args) -> int:
+    app = prepare_application(args.workload, n=args.n, unroll=args.unroll)
+    constraints = Constraints(nin=args.nin, nout=args.nout,
+                              ninstr=args.ninstr)
+    if args.algo == "optimal":
+        result = select_optimal(app.dfgs, constraints,
+                                limits=_limits(args),
+                                max_nodes=args.max_nodes)
+    else:
+        algo = _ALGORITHMS[args.algo]
+        if args.algo == "iterative":
+            result = algo(app.dfgs, constraints, limits=_limits(args))
+        else:
+            result = algo(app.dfgs, constraints)
+    print(result.describe())
+    return 0
+
+
+def cmd_compare(args) -> int:
+    app = prepare_application(args.workload, n=args.n, unroll=args.unroll)
+    constraints = Constraints(nin=args.nin, nout=args.nout,
+                              ninstr=args.ninstr)
+    limits = _limits(args) or SearchLimits(max_considered=2_000_000)
+    rows = [
+        ("Iterative", select_iterative(app.dfgs, constraints,
+                                       limits=limits)),
+        ("Clubbing", select_clubbing(app.dfgs, constraints)),
+        ("MaxMISO", select_maxmiso(app.dfgs, constraints)),
+    ]
+    print(f"{args.workload}  Nin={args.nin} Nout={args.nout} "
+          f"Ninstr={args.ninstr}")
+    for name, result in rows:
+        flag = "" if result.complete else " (budget hit)"
+        print(f"  {name:10s} speedup {result.speedup:6.3f}x  "
+              f"merit {result.total_merit:10.0f}  "
+              f"instrs {result.num_instructions:2d}{flag}")
+    return 0
+
+
+def cmd_afu(args) -> int:
+    app = prepare_application(args.workload, n=args.n, unroll=args.unroll)
+    constraints = Constraints(nin=args.nin, nout=args.nout,
+                              ninstr=args.ninstr)
+    result = select_iterative(app.dfgs, constraints, limits=_limits(args))
+    if not result.cuts:
+        print("no instructions selected")
+        return 1
+    for k, cut in enumerate(result.cuts):
+        afu = build_datapath(cut, name=f"ise{k}")
+        print(emit_verilog(afu))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Automatic instruction-set extensions under "
+                    "microarchitectural constraints (Atasu et al., 2003)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads").set_defaults(fn=cmd_list)
+
+    p = sub.add_parser("ir", help="dump optimised IR")
+    p.add_argument("workload")
+    p.add_argument("--n", type=int, default=None)
+    p.add_argument("--unroll", type=int, default=None)
+    p.set_defaults(fn=cmd_ir)
+
+    p = sub.add_parser("identify", help="best single cut (Problem 1)")
+    _add_common(p)
+    p.set_defaults(fn=cmd_identify)
+
+    p = sub.add_parser("select", help="select Ninstr cuts (Problem 2)")
+    _add_common(p)
+    p.add_argument("--ninstr", type=int, default=16)
+    p.add_argument("--algo", choices=["iterative", "optimal", "clubbing",
+                                      "maxmiso"], default="iterative")
+    p.add_argument("--max-nodes", type=int, default=40,
+                   help="node guard for the optimal algorithm")
+    p.set_defaults(fn=cmd_select)
+
+    p = sub.add_parser("compare", help="compare all algorithms")
+    _add_common(p)
+    p.add_argument("--ninstr", type=int, default=16)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("afu", help="emit Verilog for selected AFUs")
+    _add_common(p)
+    p.add_argument("--ninstr", type=int, default=2)
+    p.set_defaults(fn=cmd_afu)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The paper's contribution: identification and selection of instruction-set
+extensions under microarchitectural constraints."""
+
+from .cut import Constraints, Cut, cut_is_feasible, evaluate_cut
+from .single_cut import (
+    SearchLimits,
+    SearchResult,
+    SearchStats,
+    enumerate_feasible_cuts,
+    find_best_cut,
+    search_statistics,
+)
+from .multi_cut import MultiCutResult, find_best_cuts
+from .selection import SelectionResult, make_result
+from .select_area import (
+    AreaCandidate,
+    enumerate_candidates,
+    greedy_select,
+    knapsack_select,
+    select_area_constrained,
+)
+from .select_iterative import select_iterative
+from .select_optimal import BlockTooLargeError, select_optimal
+from .baselines import (
+    clubs_of_block,
+    maxmiso_cuts,
+    maxmiso_partition,
+    select_clubbing,
+    select_maxmiso,
+)
+
+__all__ = [
+    "Constraints", "Cut", "evaluate_cut", "cut_is_feasible",
+    "find_best_cut", "enumerate_feasible_cuts", "search_statistics",
+    "SearchStats", "SearchLimits", "SearchResult",
+    "find_best_cuts", "MultiCutResult",
+    "SelectionResult", "make_result",
+    "select_iterative", "select_optimal", "BlockTooLargeError",
+    "select_area_constrained", "AreaCandidate", "enumerate_candidates",
+    "knapsack_select", "greedy_select",
+    "select_clubbing", "clubs_of_block",
+    "select_maxmiso", "maxmiso_cuts", "maxmiso_partition",
+]

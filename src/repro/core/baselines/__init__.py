@@ -1,0 +1,9 @@
+"""State-of-the-art baselines the paper compares against (Section 7)."""
+
+from .clubbing import clubs_of_block, select_clubbing
+from .maxmiso import maxmiso_cuts, maxmiso_partition, select_maxmiso
+
+__all__ = [
+    "select_clubbing", "clubs_of_block",
+    "select_maxmiso", "maxmiso_cuts", "maxmiso_partition",
+]

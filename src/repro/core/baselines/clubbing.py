@@ -1,0 +1,82 @@
+"""The *Clubbing* baseline (Baleani et al., CODES 2002; paper ref. 16).
+
+A greedy, linear-complexity clustering: instructions are scanned in program
+order (which is a topological order of the DFG) and each legal operation is
+appended to the currently growing "club" as long as the club remains
+feasible — within the input/output port limits, convex and made of
+AFU-legal operations.  When an operation cannot join, the club is closed
+and a new one starts.  Selection then simply keeps the ``Ninstr`` clubs
+with the largest merit.
+
+This reproduces the baseline's key weakness the paper highlights: clubs are
+grown through one greedy pass, so they stay small and connected-ish, and
+the algorithm cannot trade a small early cluster for a larger later one.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ...hwmodel.latency import CostModel
+from ...ir.dfg import DataFlowGraph
+from ..cut import Constraints, Cut, cut_is_feasible, evaluate_cut
+from ..selection import SelectionResult, make_result
+
+
+def clubs_of_block(
+    dfg: DataFlowGraph,
+    constraints: Constraints,
+    model: CostModel,
+) -> List[Cut]:
+    """Partition the legal operations of one block into clubs."""
+    # Program order == descending node index (producers have larger
+    # indices in reverse topological numbering, and the numbering is the
+    # reverse of a producers-first order).  Scan producers-first so the
+    # "current club" grows downstream, as in the original formulation.
+    order = list(range(dfg.n - 1, -1, -1))
+    clubs: List[List[int]] = []
+    current: List[int] = []
+
+    for i in order:
+        if dfg.nodes[i].forbidden:
+            if current:
+                clubs.append(current)
+                current = []
+            continue
+        candidate = current + [i]
+        if cut_is_feasible(dfg, candidate, constraints):
+            current = candidate
+        else:
+            if current:
+                clubs.append(current)
+            current = [i]
+            if not cut_is_feasible(dfg, current, constraints):
+                # A single operation violating the ports (e.g. a 3-input
+                # select with Nin=2) stays in software.
+                current = []
+    if current:
+        clubs.append(current)
+
+    return [evaluate_cut(dfg, club, model) for club in clubs]
+
+
+def select_clubbing(
+    dfgs: Sequence[DataFlowGraph],
+    constraints: Constraints,
+    model: Optional[CostModel] = None,
+) -> SelectionResult:
+    """Run Clubbing over all blocks; keep the best ``Ninstr`` clubs."""
+    model = model or CostModel()
+    candidates: List[Cut] = []
+    for dfg in dfgs:
+        candidates.extend(clubs_of_block(dfg, constraints, model))
+    candidates = [c for c in candidates if c.merit > 0]
+    candidates.sort(key=lambda c: -c.merit)
+    chosen = candidates[:constraints.ninstr]
+    return make_result(
+        algorithm="Clubbing",
+        constraints=constraints,
+        cuts=chosen,
+        dfgs=dfgs,
+        model=model,
+    )

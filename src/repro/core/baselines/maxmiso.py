@@ -1,0 +1,106 @@
+"""The *MaxMISO* baseline (Alippi et al., DATE 1999; paper ref. 13).
+
+Partitions each DFG into **maximal single-output subgraphs**: a node joins
+the subgraph of its consumers when *all* of its consumers lie in the same
+subgraph and the node's value is not needed elsewhere (not live out of the
+block).  Every MaxMISO therefore produces exactly one result, uses an
+unbounded number of inputs, and the partition is unique — matching the
+original linear-time formulation.
+
+Selection keeps, among the MaxMISOs that contain only AFU-legal operations
+and respect the *input* constraint, the ``Ninstr`` with the largest merit.
+The output constraint is trivially satisfied (single output), which is why
+this baseline cannot profit from extra write ports — one of the effects
+Fig. 11 of the paper demonstrates.  Its other structural weakness is also
+faithfully preserved: a profitable *small* cut buried inside a larger
+MaxMISO (like M1 inside M2 in the paper's Fig. 3) is invisible when the
+larger graph violates the input constraint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ...hwmodel.latency import CostModel
+from ...ir.dfg import DataFlowGraph
+from ..cut import Constraints, Cut, evaluate_cut
+from ..selection import SelectionResult, make_result
+
+
+def maxmiso_partition(dfg: DataFlowGraph) -> List[List[int]]:
+    """Partition the nodes of *dfg* into MaxMISOs.
+
+    Returns a list of node-index lists.  Forbidden nodes (loads, stores,
+    calls, supernodes) each form a degenerate singleton group that callers
+    must filter out.
+    """
+    group: Dict[int, int] = {}
+    groups: List[List[int]] = []
+
+    # Node order is reverse topological (consumers first), so when node i
+    # is processed every consumer already has a group.
+    for i in range(dfg.n):
+        node = dfg.nodes[i]
+        succs = dfg.succs[i]
+        mergeable = (
+            not node.forbidden
+            and not node.forced_out
+            and len(succs) > 0
+            and all(not dfg.nodes[s].forbidden for s in succs)
+        )
+        if mergeable:
+            consumer_groups = {group[s] for s in succs}
+            if len(consumer_groups) == 1:
+                g = consumer_groups.pop()
+                group[i] = g
+                groups[g].append(i)
+                continue
+        # i roots a new MaxMISO (it is an output node of the partition).
+        group[i] = len(groups)
+        groups.append([i])
+
+    return groups
+
+
+def maxmiso_cuts(
+    dfg: DataFlowGraph,
+    constraints: Constraints,
+    model: CostModel,
+) -> List[Cut]:
+    """Evaluate the legal MaxMISOs of one block under *constraints*.
+
+    MaxMISOs violating the input-port constraint are dropped whole — the
+    original algorithm has no way to shrink them (cf. Section 8 of the
+    paper on adpcm-decode with two input ports).
+    """
+    cuts: List[Cut] = []
+    for members in maxmiso_partition(dfg):
+        if any(dfg.nodes[i].forbidden for i in members):
+            continue
+        cut = evaluate_cut(dfg, members, model)
+        if cut.num_inputs > constraints.nin:
+            continue
+        cuts.append(cut)
+    return cuts
+
+
+def select_maxmiso(
+    dfgs: Sequence[DataFlowGraph],
+    constraints: Constraints,
+    model: Optional[CostModel] = None,
+) -> SelectionResult:
+    """Run MaxMISO over all blocks; keep the best ``Ninstr`` subgraphs."""
+    model = model or CostModel()
+    candidates: List[Cut] = []
+    for dfg in dfgs:
+        candidates.extend(maxmiso_cuts(dfg, constraints, model))
+    candidates = [c for c in candidates if c.merit > 0]
+    candidates.sort(key=lambda c: -c.merit)
+    chosen = candidates[:constraints.ninstr]
+    return make_result(
+        algorithm="MaxMISO",
+        constraints=constraints,
+        cuts=chosen,
+        dfgs=dfgs,
+        model=model,
+    )

@@ -1,0 +1,81 @@
+"""Brute-force oracle: exhaustive enumeration of all ``2^n`` cuts.
+
+Deliberately naive and independent of the optimised search — used by the
+test suite to validate :mod:`repro.core.single_cut` and
+:mod:`repro.core.multi_cut` on small graphs, and by nothing else.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..hwmodel.latency import CostModel
+from ..ir.dfg import DataFlowGraph
+from .cut import Constraints, Cut, cut_is_feasible, evaluate_cut
+
+
+def all_feasible_cuts(
+    dfg: DataFlowGraph,
+    constraints: Constraints,
+    model: Optional[CostModel] = None,
+) -> List[Cut]:
+    """Every feasible nonempty cut, by sheer enumeration (exponential)."""
+    model = model or CostModel()
+    selectable = [i for i in range(dfg.n) if not dfg.nodes[i].forbidden]
+    cuts: List[Cut] = []
+    for r in range(1, len(selectable) + 1):
+        for combo in itertools.combinations(selectable, r):
+            if cut_is_feasible(dfg, combo, constraints):
+                cuts.append(evaluate_cut(dfg, combo, model))
+    return cuts
+
+
+def best_cut_bruteforce(
+    dfg: DataFlowGraph,
+    constraints: Constraints,
+    model: Optional[CostModel] = None,
+) -> Optional[Cut]:
+    """The maximal-merit feasible cut with positive merit, or ``None``."""
+    best: Optional[Cut] = None
+    for cut in all_feasible_cuts(dfg, constraints, model):
+        if cut.merit <= 0:
+            continue
+        if best is None or cut.merit > best.merit:
+            best = cut
+    return best
+
+
+def best_disjoint_cuts_bruteforce(
+    dfg: DataFlowGraph,
+    constraints: Constraints,
+    num_cuts: int,
+    model: Optional[CostModel] = None,
+) -> Tuple[List[Cut], float]:
+    """Optimal set of up to *num_cuts* disjoint feasible cuts maximising the
+    merit sum (each cut individually feasible).  Exponential in the
+    extreme — only for tiny test graphs."""
+    model = model or CostModel()
+    feasible = [c for c in all_feasible_cuts(dfg, constraints, model)
+                if c.merit > 0]
+    best_cuts: List[Cut] = []
+    best_total = 0.0
+
+    def extend(start: int, chosen: List[Cut], used: set,
+               total: float) -> None:
+        nonlocal best_cuts, best_total
+        if total > best_total:
+            best_total = total
+            best_cuts = list(chosen)
+        if len(chosen) == num_cuts:
+            return
+        for k in range(start, len(feasible)):
+            cand = feasible[k]
+            if used & cand.nodes:
+                continue
+            chosen.append(cand)
+            extend(k + 1, chosen, used | cand.nodes, total + cand.merit)
+            chosen.pop()
+
+    extend(0, [], set(), 0.0)
+    return best_cuts, best_total

@@ -1,0 +1,15 @@
+"""MiniC frontend: lexer, parser, semantic analysis and IR generation."""
+
+from .errors import LexError, MiniCError, ParseError, SemanticError
+from .lexer import Lexer, Token, TokenKind, tokenize
+from .parser import Parser, parse
+from .sema import FunctionSignature, SymbolTable, analyze
+from .irgen import compile_source, lower_program
+
+__all__ = [
+    "MiniCError", "LexError", "ParseError", "SemanticError",
+    "tokenize", "Lexer", "Token", "TokenKind",
+    "parse", "Parser",
+    "analyze", "SymbolTable", "FunctionSignature",
+    "compile_source", "lower_program",
+]

@@ -1,0 +1,176 @@
+"""Abstract syntax tree for MiniC.
+
+Plain dataclasses; every node carries its source line for diagnostics.
+The tree intentionally mirrors C's expression/statement split so the
+semantic checker and IR generator stay textbook-simple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+# ----------------------------------------------------------------------
+# Expressions.
+# ----------------------------------------------------------------------
+@dataclass
+class IntLit(Node):
+    value: int = 0
+
+
+@dataclass
+class Name(Node):
+    ident: str = ""
+
+
+@dataclass
+class Index(Node):
+    """``array[index]`` — MiniC arrays are global, one-dimensional."""
+
+    array: str = ""
+    index: "Expr" = None
+
+
+@dataclass
+class Unary(Node):
+    """Operators ``- ~ !``."""
+
+    op: str = ""
+    operand: "Expr" = None
+
+
+@dataclass
+class Binary(Node):
+    """All C binary integer operators, plus short-circuit ``&&``/``||``."""
+
+    op: str = ""
+    left: "Expr" = None
+    right: "Expr" = None
+
+
+@dataclass
+class Ternary(Node):
+    cond: "Expr" = None
+    if_true: "Expr" = None
+    if_false: "Expr" = None
+
+
+@dataclass
+class Call(Node):
+    callee: str = ""
+    args: List["Expr"] = field(default_factory=list)
+
+
+Expr = Union[IntLit, Name, Index, Unary, Binary, Ternary, Call]
+
+
+# ----------------------------------------------------------------------
+# Statements.
+# ----------------------------------------------------------------------
+@dataclass
+class Block(Node):
+    statements: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class Decl(Node):
+    """Local declaration ``int x;`` / ``int x = e;``."""
+
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Node):
+    """``target = value`` where target is a Name or an Index.
+
+    Compound assignments (``+=`` etc.) are desugared by the parser.
+    """
+
+    target: Union[Name, Index] = None
+    value: Expr = None
+
+
+@dataclass
+class ExprStmt(Node):
+    expr: Expr = None
+
+
+@dataclass
+class If(Node):
+    cond: Expr = None
+    then_body: Block = None
+    else_body: Optional[Block] = None
+
+
+@dataclass
+class While(Node):
+    cond: Expr = None
+    body: Block = None
+
+
+@dataclass
+class For(Node):
+    """``for (init; cond; step) body`` — init/step are statements or None;
+    cond may be None (infinite loop)."""
+
+    init: Optional["Stmt"] = None
+    cond: Optional[Expr] = None
+    step: Optional["Stmt"] = None
+    body: Block = None
+
+
+@dataclass
+class Return(Node):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Continue(Node):
+    pass
+
+
+Stmt = Union[Block, Decl, Assign, ExprStmt, If, While, For, Return,
+             Break, Continue]
+
+
+# ----------------------------------------------------------------------
+# Top level.
+# ----------------------------------------------------------------------
+@dataclass
+class GlobalDecl(Node):
+    """``int g;`` / ``int g = 3;`` / ``int a[8] = {...};`` at file scope."""
+
+    name: str = ""
+    size: Optional[int] = None            # None => scalar
+    init: Optional[List[int]] = None
+
+
+@dataclass
+class Param(Node):
+    name: str = ""
+
+
+@dataclass
+class FuncDef(Node):
+    name: str = ""
+    params: List[Param] = field(default_factory=list)
+    body: Block = None
+    returns_value: bool = True            # False for ``void``
+
+
+@dataclass
+class Program(Node):
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)

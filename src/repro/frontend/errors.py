@@ -1,0 +1,26 @@
+"""Diagnostics for the MiniC frontend."""
+
+from __future__ import annotations
+
+
+class MiniCError(Exception):
+    """Base class for all frontend errors; carries source position."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.column = column
+        where = f" at {line}:{column}" if line else ""
+        super().__init__(f"{message}{where}")
+
+
+class LexError(MiniCError):
+    """Invalid character or malformed literal."""
+
+
+class ParseError(MiniCError):
+    """Syntax error."""
+
+
+class SemanticError(MiniCError):
+    """Name/type/arity error found by semantic analysis."""

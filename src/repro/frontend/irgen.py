@@ -1,0 +1,362 @@
+"""Lowering from the MiniC AST to the repro IR.
+
+Deliberately simple, non-SSA lowering: every source variable becomes one
+virtual register (uniquified across shadowing scopes), every expression
+produces a fresh temporary, and all control flow becomes explicit basic
+blocks.  Cleanup (copy propagation, constant folding, DCE, CFG
+simplification, if-conversion) happens in :mod:`repro.passes`.
+
+Short-circuit ``&&``/``||`` and ``?:`` lower to control-flow diamonds; the
+if-conversion pass later turns the pure ones into ``SELECT`` dataflow, which
+is what produces the big select-rich basic blocks of the paper's Fig. 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir import (
+    BasicBlock,
+    Const,
+    Function,
+    GlobalArray,
+    Instruction,
+    Module,
+    Opcode,
+    Operand,
+    Reg,
+    binop,
+    br,
+    call,
+    copy_reg,
+    jmp,
+    load,
+    ret,
+    store,
+    unop,
+)
+from . import ast_nodes as ast
+from .errors import SemanticError
+from .parser import parse
+from .sema import SymbolTable, analyze
+
+_BINOP_OPCODES = {
+    "+": Opcode.ADD,
+    "-": Opcode.SUB,
+    "*": Opcode.MUL,
+    "/": Opcode.DIV,
+    "%": Opcode.REM,
+    "&": Opcode.AND,
+    "|": Opcode.OR,
+    "^": Opcode.XOR,
+    "<<": Opcode.SHL,
+    ">>": Opcode.ASHR,      # MiniC ints are signed; >> is arithmetic
+    "==": Opcode.EQ,
+    "!=": Opcode.NE,
+    "<": Opcode.SLT,
+    "<=": Opcode.SLE,
+    ">": Opcode.SGT,
+    ">=": Opcode.SGE,
+}
+
+
+class _FunctionLowering:
+    def __init__(self, module: Module, symbols: SymbolTable,
+                 func_ast: ast.FuncDef) -> None:
+        self.module = module
+        self.symbols = symbols
+        self.func_ast = func_ast
+        self.func = Function(func_ast.name,
+                             params=[p.name for p in func_ast.params])
+        self.current = self.func.add_block("entry")
+        # Scope stack: source name -> register name.
+        self.scopes: List[Dict[str, str]] = [
+            {p.name: p.name for p in func_ast.params}
+        ]
+        self.loop_stack: List[Tuple[str, str]] = []   # (continue, break)
+        self._version: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Plumbing.
+    # ------------------------------------------------------------------
+    def _emit(self, insn: Instruction) -> Instruction:
+        return self.current.append(insn)
+
+    def _temp(self) -> str:
+        return self.func.new_temp(".t")
+
+    def _switch_to(self, block: BasicBlock) -> None:
+        self.current = block
+
+    def _terminate_with_jump(self, label: str) -> None:
+        if not self.current.is_terminated:
+            self._emit(jmp(label))
+
+    def _lookup(self, name: str) -> Optional[str]:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def _declare_local(self, name: str) -> str:
+        version = self._version.get(name, 0)
+        self._version[name] = version + 1
+        reg = name if version == 0 else f"{name}.{version}"
+        self.scopes[-1][name] = reg
+        return reg
+
+    # ------------------------------------------------------------------
+    # Expressions.
+    # ------------------------------------------------------------------
+    def lower_expr(self, expr: ast.Expr) -> Operand:
+        if isinstance(expr, ast.IntLit):
+            return Const(expr.value)
+        if isinstance(expr, ast.Name):
+            reg = self._lookup(expr.ident)
+            if reg is not None:
+                return Reg(reg)
+            # Global scalar: load slot 0.
+            dest = self._temp()
+            self._emit(load(dest, expr.ident, Const(0)))
+            return Reg(dest)
+        if isinstance(expr, ast.Index):
+            index = self.lower_expr(expr.index)
+            dest = self._temp()
+            self._emit(load(dest, expr.array, index))
+            return Reg(dest)
+        if isinstance(expr, ast.Unary):
+            return self._lower_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._lower_binary(expr)
+        if isinstance(expr, ast.Ternary):
+            return self._lower_ternary(expr)
+        if isinstance(expr, ast.Call):
+            return self._lower_call(expr, want_value=True)
+        raise SemanticError(f"cannot lower expression {expr!r}",
+                            getattr(expr, "line", 0))
+
+    def _lower_unary(self, expr: ast.Unary) -> Operand:
+        operand = self.lower_expr(expr.operand)
+        dest = self._temp()
+        if expr.op == "-":
+            self._emit(unop(Opcode.NEG, dest, operand))
+        elif expr.op == "~":
+            self._emit(unop(Opcode.NOT, dest, operand))
+        elif expr.op == "!":
+            self._emit(binop(Opcode.EQ, dest, operand, Const(0)))
+        else:  # pragma: no cover - parser filters operators
+            raise SemanticError(f"unknown unary {expr.op!r}", expr.line)
+        return Reg(dest)
+
+    def _lower_binary(self, expr: ast.Binary) -> Operand:
+        if expr.op in ("&&", "||"):
+            return self._lower_short_circuit(expr)
+        opcode = _BINOP_OPCODES.get(expr.op)
+        if opcode is None:  # pragma: no cover - parser filters operators
+            raise SemanticError(f"unknown operator {expr.op!r}", expr.line)
+        left = self.lower_expr(expr.left)
+        right = self.lower_expr(expr.right)
+        dest = self._temp()
+        self._emit(binop(opcode, dest, left, right))
+        return Reg(dest)
+
+    def _lower_short_circuit(self, expr: ast.Binary) -> Operand:
+        """``a && b`` / ``a || b`` with proper short-circuit control flow."""
+        result = self._temp()
+        left = self.lower_expr(expr.left)
+        rhs_block = self.func.add_block(self.func.new_label("sc_rhs"))
+        done_block = self.func.add_block(self.func.new_label("sc_done"))
+        if expr.op == "&&":
+            self._emit(copy_reg(result, Const(0)))
+            self._emit(br(left, rhs_block.label, done_block.label))
+        else:
+            self._emit(copy_reg(result, Const(1)))
+            self._emit(br(left, done_block.label, rhs_block.label))
+        self._switch_to(rhs_block)
+        right = self.lower_expr(expr.right)
+        self._emit(binop(Opcode.NE, result, right, Const(0)))
+        self._emit(jmp(done_block.label))
+        self._switch_to(done_block)
+        return Reg(result)
+
+    def _lower_ternary(self, expr: ast.Ternary) -> Operand:
+        result = self._temp()
+        cond = self.lower_expr(expr.cond)
+        then_block = self.func.add_block(self.func.new_label("tern_t"))
+        else_block = self.func.add_block(self.func.new_label("tern_f"))
+        done_block = self.func.add_block(self.func.new_label("tern_done"))
+        self._emit(br(cond, then_block.label, else_block.label))
+        self._switch_to(then_block)
+        value_t = self.lower_expr(expr.if_true)
+        self._emit(copy_reg(result, value_t))
+        self._terminate_with_jump(done_block.label)
+        self._switch_to(else_block)
+        value_f = self.lower_expr(expr.if_false)
+        self._emit(copy_reg(result, value_f))
+        self._terminate_with_jump(done_block.label)
+        self._switch_to(done_block)
+        return Reg(result)
+
+    def _lower_call(self, expr: ast.Call, want_value: bool) -> Operand:
+        args = [self.lower_expr(a) for a in expr.args]
+        sig = self.symbols.functions[expr.callee]
+        dest = self._temp() if sig.returns_value else None
+        self._emit(call(dest, expr.callee, args))
+        if want_value and dest is not None:
+            return Reg(dest)
+        return Const(0)
+
+    # ------------------------------------------------------------------
+    # Statements.
+    # ------------------------------------------------------------------
+    def lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self.scopes.append({})
+            for inner in stmt.statements:
+                self.lower_stmt(inner)
+            self.scopes.pop()
+        elif isinstance(stmt, ast.Decl):
+            value = (self.lower_expr(stmt.init)
+                     if stmt.init is not None else Const(0))
+            reg = self._declare_local(stmt.name)
+            self._emit(copy_reg(reg, value))
+        elif isinstance(stmt, ast.Assign):
+            self._lower_assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            if isinstance(stmt.expr, ast.Call):
+                self._lower_call(stmt.expr, want_value=False)
+            else:
+                self.lower_expr(stmt.expr)   # value dropped; DCE cleans up
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._emit(ret(self.lower_expr(stmt.value)))
+            else:
+                self._emit(ret())
+            self._switch_to(self.func.add_block(
+                self.func.new_label("dead")))
+        elif isinstance(stmt, ast.Break):
+            self._emit(jmp(self.loop_stack[-1][1]))
+            self._switch_to(self.func.add_block(
+                self.func.new_label("dead")))
+        elif isinstance(stmt, ast.Continue):
+            self._emit(jmp(self.loop_stack[-1][0]))
+            self._switch_to(self.func.add_block(
+                self.func.new_label("dead")))
+        else:  # pragma: no cover - parser produces no other nodes
+            raise SemanticError(f"cannot lower statement {stmt!r}",
+                                stmt.line)
+
+    def _lower_assign(self, stmt: ast.Assign) -> None:
+        value = self.lower_expr(stmt.value)
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            reg = self._lookup(target.ident)
+            if reg is not None:
+                self._emit(copy_reg(reg, value))
+            else:
+                # Global scalar.
+                self._emit(store(target.ident, Const(0), value))
+        else:
+            index = self.lower_expr(target.index)
+            self._emit(store(target.array, index, value))
+
+    def _lower_if(self, stmt: ast.If) -> None:
+        cond = self.lower_expr(stmt.cond)
+        then_block = self.func.add_block(self.func.new_label("if_t"))
+        done_block = self.func.add_block(self.func.new_label("if_done"))
+        if stmt.else_body is not None:
+            else_block = self.func.add_block(self.func.new_label("if_f"))
+            self._emit(br(cond, then_block.label, else_block.label))
+        else:
+            self._emit(br(cond, then_block.label, done_block.label))
+        self._switch_to(then_block)
+        self.lower_stmt(stmt.then_body)
+        self._terminate_with_jump(done_block.label)
+        if stmt.else_body is not None:
+            self._switch_to(else_block)
+            self.lower_stmt(stmt.else_body)
+            self._terminate_with_jump(done_block.label)
+        self._switch_to(done_block)
+
+    def _lower_while(self, stmt: ast.While) -> None:
+        head = self.func.add_block(self.func.new_label("loop_head"))
+        body = self.func.add_block(self.func.new_label("loop_body"))
+        exit_block = self.func.add_block(self.func.new_label("loop_exit"))
+        self._terminate_with_jump(head.label)
+        self._switch_to(head)
+        cond = self.lower_expr(stmt.cond)
+        self._emit(br(cond, body.label, exit_block.label))
+        self._switch_to(body)
+        self.loop_stack.append((head.label, exit_block.label))
+        self.lower_stmt(stmt.body)
+        self.loop_stack.pop()
+        self._terminate_with_jump(head.label)
+        self._switch_to(exit_block)
+
+    def _lower_for(self, stmt: ast.For) -> None:
+        self.scopes.append({})
+        if stmt.init is not None:
+            self.lower_stmt(stmt.init)
+        head = self.func.add_block(self.func.new_label("for_head"))
+        body = self.func.add_block(self.func.new_label("for_body"))
+        step = self.func.add_block(self.func.new_label("for_step"))
+        exit_block = self.func.add_block(self.func.new_label("for_exit"))
+        self._terminate_with_jump(head.label)
+        self._switch_to(head)
+        if stmt.cond is not None:
+            cond = self.lower_expr(stmt.cond)
+            self._emit(br(cond, body.label, exit_block.label))
+        else:
+            self._emit(jmp(body.label))
+        self._switch_to(body)
+        self.loop_stack.append((step.label, exit_block.label))
+        self.lower_stmt(stmt.body)
+        self.loop_stack.pop()
+        self._terminate_with_jump(step.label)
+        self._switch_to(step)
+        if stmt.step is not None:
+            self.lower_stmt(stmt.step)
+        self._terminate_with_jump(head.label)
+        self._switch_to(exit_block)
+        self.scopes.pop()
+
+    # ------------------------------------------------------------------
+    def lower(self) -> Function:
+        self.lower_stmt(self.func_ast.body)
+        if not self.current.is_terminated:
+            if self.func_ast.returns_value:
+                self._emit(ret(Const(0)))
+            else:
+                self._emit(ret())
+        return self.func
+
+
+def lower_program(program: ast.Program,
+                  symbols: Optional[SymbolTable] = None,
+                  name: str = "module") -> Module:
+    """Lower a checked AST into an IR module."""
+    if symbols is None:
+        symbols = analyze(program)
+    module = Module(name)
+    for decl in program.globals:
+        size = decl.size if decl.size is not None else 1
+        module.add_global(GlobalArray(decl.name, size, decl.init))
+    for func_ast in program.functions:
+        module.add_function(
+            _FunctionLowering(module, symbols, func_ast).lower())
+    return module
+
+
+def compile_source(source: str, name: str = "module") -> Module:
+    """Parse, check and lower MiniC *source* into an (unoptimised) IR
+    module.  Most callers will follow with
+    :func:`repro.passes.optimize_module`."""
+    program = parse(source)
+    symbols = analyze(program)
+    return lower_program(program, symbols, name)

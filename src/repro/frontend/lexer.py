@@ -1,0 +1,193 @@
+"""Tokeniser for MiniC, the C subset the workloads are written in.
+
+MiniC keeps exactly what the MediaBench-style kernels need: ``int`` scalars
+and arrays, functions, ``if``/``else``/``while``/``for``, the full C
+integer expression grammar (including ``?:``, ``&&``, ``||`` and compound
+assignments) and decimal/hex/char literals.  No pointers, no structs, no
+floating point — the paper's AFUs are integer datapaths.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .errors import LexError
+
+
+class TokenKind(enum.Enum):
+    INT_LIT = "int_lit"
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({
+    "int", "void", "if", "else", "while", "for", "return", "break",
+    "continue",
+})
+
+# Longest first so maximal munch works with simple linear probing.
+PUNCTUATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    value: int = 0          # for INT_LIT
+    line: int = 0
+    column: int = 0
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{self.kind.value} {self.text!r} @{self.line}:{self.column}>"
+
+
+_ESCAPES = {
+    "n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34,
+}
+
+
+class Lexer:
+    """Single-pass tokeniser with line/column tracking."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.source[i] if i < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        while True:
+            ch = self._peek()
+            if ch and ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.column
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if not self._peek():
+                        raise LexError("unterminated block comment",
+                                       start_line, start_col)
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    # ------------------------------------------------------------------
+    def _lex_number(self) -> Token:
+        line, col = self.line, self.column
+        text = ""
+        if self._peek() == "0" and self._peek(1) in "xX":
+            text = self._peek() + self._peek(1)
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                text += self._peek()
+                self._advance()
+            if len(text) == 2:
+                raise LexError("malformed hex literal", line, col)
+            value = int(text, 16)
+        else:
+            while self._peek().isdigit():
+                text += self._peek()
+                self._advance()
+            value = int(text, 10)
+        if self._peek().isalpha() or self._peek() == "_":
+            raise LexError(f"invalid suffix on literal {text!r}",
+                           line, col)
+        return Token(TokenKind.INT_LIT, text, value, line, col)
+
+    def _lex_char(self) -> Token:
+        line, col = self.line, self.column
+        self._advance()  # opening quote
+        ch = self._peek()
+        if not ch:
+            raise LexError("unterminated character literal", line, col)
+        if ch == "\\":
+            self._advance()
+            esc = self._peek()
+            if esc not in _ESCAPES:
+                raise LexError(f"unknown escape \\{esc}", line, col)
+            value = _ESCAPES[esc]
+            self._advance()
+        else:
+            value = ord(ch)
+            self._advance()
+        if self._peek() != "'":
+            raise LexError("unterminated character literal", line, col)
+        self._advance()
+        return Token(TokenKind.INT_LIT, f"'{ch}'", value, line, col)
+
+    def _lex_word(self) -> Token:
+        line, col = self.line, self.column
+        text = ""
+        while self._peek().isalnum() or self._peek() == "_":
+            text += self._peek()
+            self._advance()
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, 0, line, col)
+
+    def _lex_punct(self) -> Token:
+        line, col = self.line, self.column
+        for punct in PUNCTUATORS:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(TokenKind.PUNCT, punct, 0, line, col)
+        raise LexError(f"unexpected character {self._peek()!r}", line, col)
+
+    # ------------------------------------------------------------------
+    def tokens(self) -> List[Token]:
+        """Tokenise the whole source, ending with an EOF token."""
+        result: List[Token] = []
+        while True:
+            self._skip_trivia()
+            ch = self._peek()
+            if not ch:
+                result.append(Token(TokenKind.EOF, "", 0,
+                                    self.line, self.column))
+                return result
+            if ch.isdigit():
+                result.append(self._lex_number())
+            elif ch == "'":
+                result.append(self._lex_char())
+            elif ch.isalpha() or ch == "_":
+                result.append(self._lex_word())
+            else:
+                result.append(self._lex_punct())
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper: tokenise *source* into a list."""
+    return Lexer(source).tokens()

@@ -1,0 +1,29 @@
+"""Hardware/software cost modelling: latencies, area, merit ``M(S)``."""
+
+from .latency import (
+    DEFAULT_AREA,
+    DEFAULT_HW_DELAY,
+    DEFAULT_SW_LATENCY,
+    CostModel,
+    uniform_cost_model,
+)
+from .merit import (
+    MeritBreakdown,
+    application_cycles,
+    cut_area,
+    cut_hardware_critical_path,
+    cut_hardware_cycles,
+    cut_merit,
+    cut_software_cycles,
+    estimated_speedup,
+    merit_breakdown,
+)
+
+__all__ = [
+    "CostModel", "uniform_cost_model",
+    "DEFAULT_SW_LATENCY", "DEFAULT_HW_DELAY", "DEFAULT_AREA",
+    "cut_merit", "cut_area", "cut_software_cycles",
+    "cut_hardware_critical_path", "cut_hardware_cycles",
+    "merit_breakdown", "MeritBreakdown",
+    "application_cycles", "estimated_speedup",
+]

@@ -1,0 +1,175 @@
+"""Software and hardware latency tables.
+
+The paper (Section 7) estimates, for every primitive operation:
+
+* a **software latency** — cycles spent in the execution stage of a
+  single-issue processor; and
+* a **hardware delay** — the propagation delay of the synthesised operator
+  on a 0.18 um CMOS process, *normalised to the delay of a 32-bit
+  multiply-accumulate* (so a value of 1.0 means "as slow as a MAC").
+
+We do not have the authors' synthesis library, so the hardware numbers
+below are a documented substitution (see DESIGN.md §2): they preserve the
+orderings that drive the paper's results — wide adders and comparators cost
+a fraction of a MAC, multipliers most of one, bitwise logic and multiplexers
+almost nothing.  Chaining several cheap operators inside one AFU therefore
+often still fits in a single cycle, which is precisely the effect the
+paper's merit function rewards.
+
+The tables are wrapped in a :class:`CostModel` so experiments can ablate
+them (e.g. a uniform model where every operator costs one cycle in both
+domains).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..ir.dfg import DataFlowGraph, DFGNode
+from ..ir.opcodes import Opcode
+
+#: Execution-stage cycles on the baseline single-issue core.
+DEFAULT_SW_LATENCY: Dict[Opcode, int] = {
+    Opcode.ADD: 1,
+    Opcode.SUB: 1,
+    Opcode.MUL: 2,
+    Opcode.DIV: 18,
+    Opcode.REM: 18,
+    Opcode.NEG: 1,
+    Opcode.AND: 1,
+    Opcode.OR: 1,
+    Opcode.XOR: 1,
+    Opcode.NOT: 1,
+    Opcode.SHL: 1,
+    Opcode.LSHR: 1,
+    Opcode.ASHR: 1,
+    Opcode.EQ: 1,
+    Opcode.NE: 1,
+    Opcode.SLT: 1,
+    Opcode.SLE: 1,
+    Opcode.SGT: 1,
+    Opcode.SGE: 1,
+    Opcode.COPY: 1,
+    Opcode.SELECT: 1,
+    Opcode.LOAD: 2,
+    Opcode.STORE: 1,
+    Opcode.CALL: 1,
+}
+
+#: Propagation delay normalised to a 32-bit multiply-accumulate (= 1.0).
+DEFAULT_HW_DELAY: Dict[Opcode, float] = {
+    Opcode.ADD: 0.30,
+    Opcode.SUB: 0.30,
+    Opcode.MUL: 0.85,
+    Opcode.DIV: 10.0,
+    Opcode.REM: 10.0,
+    Opcode.NEG: 0.30,
+    Opcode.AND: 0.05,
+    Opcode.OR: 0.05,
+    Opcode.XOR: 0.06,
+    Opcode.NOT: 0.03,
+    Opcode.SHL: 0.20,       # barrel shifter
+    Opcode.LSHR: 0.20,
+    Opcode.ASHR: 0.20,
+    Opcode.EQ: 0.18,
+    Opcode.NE: 0.18,
+    Opcode.SLT: 0.25,       # comparator = subtract + sign
+    Opcode.SLE: 0.25,
+    Opcode.SGT: 0.25,
+    Opcode.SGE: 0.25,
+    Opcode.COPY: 0.0,
+    Opcode.SELECT: 0.10,    # 2:1 mux
+    Opcode.LOAD: math.inf,  # never inside an AFU
+    Opcode.STORE: math.inf,
+    Opcode.CALL: math.inf,
+}
+
+#: Area normalised to a 32-bit multiply-accumulate (= 1.0); used by the
+#: Section 8 area claim ("within the area of a couple of MACs").
+DEFAULT_AREA: Dict[Opcode, float] = {
+    Opcode.ADD: 0.10,
+    Opcode.SUB: 0.10,
+    Opcode.MUL: 0.90,
+    Opcode.DIV: 3.00,
+    Opcode.REM: 3.00,
+    Opcode.NEG: 0.08,
+    Opcode.AND: 0.02,
+    Opcode.OR: 0.02,
+    Opcode.XOR: 0.03,
+    Opcode.NOT: 0.01,
+    Opcode.SHL: 0.12,
+    Opcode.LSHR: 0.12,
+    Opcode.ASHR: 0.12,
+    Opcode.EQ: 0.04,
+    Opcode.NE: 0.04,
+    Opcode.SLT: 0.06,
+    Opcode.SLE: 0.06,
+    Opcode.SGT: 0.06,
+    Opcode.SGE: 0.06,
+    Opcode.COPY: 0.0,
+    Opcode.SELECT: 0.03,
+    Opcode.LOAD: math.inf,
+    Opcode.STORE: math.inf,
+    Opcode.CALL: math.inf,
+}
+
+
+@dataclass
+class CostModel:
+    """Per-operation cost tables used by the merit function.
+
+    A shift (or any binop) whose second operand is a constant is cheaper in
+    hardware than the variable form (pure wiring for shifts); this is
+    controlled by ``const_shift_free``.
+    """
+
+    sw_latency: Dict[Opcode, int] = field(
+        default_factory=lambda: dict(DEFAULT_SW_LATENCY))
+    hw_delay: Dict[Opcode, float] = field(
+        default_factory=lambda: dict(DEFAULT_HW_DELAY))
+    area: Dict[Opcode, float] = field(
+        default_factory=lambda: dict(DEFAULT_AREA))
+    const_shift_free: bool = True
+
+    # ------------------------------------------------------------------
+    def sw(self, node: DFGNode) -> float:
+        """Software cycles of a DFG node (sum over supernode members)."""
+        if node.is_super:
+            return sum(self.sw_latency.get(i.opcode, 1) for i in node.insns)
+        return self.sw_latency[node.opcode]
+
+    def hw(self, node: DFGNode) -> float:
+        """Hardware delay of a DFG node in MAC units."""
+        if node.is_super:
+            return math.inf  # supernodes are forbidden anyway
+        op = node.opcode
+        delay = self.hw_delay[op]
+        if (self.const_shift_free
+                and op in (Opcode.SHL, Opcode.LSHR, Opcode.ASHR)
+                and node.insns and len(node.insns[0].operands) == 2
+                and not _is_reg(node.insns[0].operands[1])):
+            return 0.02  # constant shift amounts are wiring
+        return delay
+
+    def area_of(self, node: DFGNode) -> float:
+        """Silicon area of a DFG node in MAC units."""
+        if node.is_super:
+            return sum(self.area.get(i.opcode, 0.0) for i in node.insns)
+        return self.area[node.opcode]
+
+
+def _is_reg(operand) -> bool:
+    from ..ir.values import Reg
+
+    return isinstance(operand, Reg)
+
+
+def uniform_cost_model() -> CostModel:
+    """Ablation model: every AFU-legal operator costs 1 SW cycle and
+    0.3 MAC of delay — removes the operator-mix effect from results."""
+    sw = {op: 1 for op in DEFAULT_SW_LATENCY}
+    hw = {op: (math.inf if math.isinf(DEFAULT_HW_DELAY[op]) else 0.3)
+          for op in DEFAULT_HW_DELAY}
+    return CostModel(sw_latency=sw, hw_delay=hw, const_shift_free=False)

@@ -1,0 +1,16 @@
+"""IR interpreter: execution, memory image, profiling."""
+
+from .interpreter import (
+    ExecutionLimitExceeded,
+    Interpreter,
+    RunResult,
+    execute,
+    profile_module,
+)
+from .memory import Memory, TrapError
+from .profile import ProfileData
+
+__all__ = [
+    "Interpreter", "execute", "profile_module", "RunResult",
+    "Memory", "TrapError", "ProfileData", "ExecutionLimitExceeded",
+]

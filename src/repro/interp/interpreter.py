@@ -1,0 +1,152 @@
+"""IR interpreter with 32-bit wrapping semantics and profiling.
+
+Shares its arithmetic with the constant folder
+(:func:`repro.passes.constant_folding.evaluate_pure_op`), so compile-time
+and run-time evaluation can never diverge.  Used for:
+
+* gathering basic-block execution profiles (the ``weight`` of each DFG);
+* bit-exactness tests of the MiniC workloads against golden Python models;
+* validating that AFU specialisation preserves program semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..ir.function import Function, Module
+from ..ir.instructions import Instruction
+from ..ir.opcodes import Opcode
+from ..ir.values import Const, Operand, Reg, wrap32
+from ..passes.constant_folding import evaluate_pure_op
+from .memory import Memory, TrapError
+from .profile import ProfileData
+
+
+class ExecutionLimitExceeded(RuntimeError):
+    """The step budget ran out — almost certainly a non-terminating loop."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of one top-level function execution."""
+
+    value: Optional[int]
+    steps: int
+
+
+class Interpreter:
+    """Executes functions of one module against a :class:`Memory` image."""
+
+    def __init__(self, module: Module, memory: Optional[Memory] = None,
+                 profile: Optional[ProfileData] = None,
+                 max_steps: int = 50_000_000) -> None:
+        self.module = module
+        self.memory = memory if memory is not None else Memory(module)
+        self.profile = profile if profile is not None else ProfileData()
+        self.max_steps = max_steps
+        self._steps = 0
+
+    # ------------------------------------------------------------------
+    def run(self, func_name: str, args: Sequence[int] = ()) -> RunResult:
+        """Execute ``func_name(*args)``; returns its value and step count."""
+        start_steps = self._steps
+        value = self._call(func_name, [wrap32(a) for a in args], depth=0)
+        executed = self._steps - start_steps
+        self.profile.steps += executed
+        return RunResult(value=value, steps=executed)
+
+    # ------------------------------------------------------------------
+    def _call(self, func_name: str, args: List[int],
+              depth: int) -> Optional[int]:
+        if depth > 200:
+            raise TrapError(f"call depth exceeded at {func_name!r}")
+        func = self.module.functions.get(func_name)
+        if func is None:
+            raise TrapError(f"call to unknown function {func_name!r}")
+        if len(args) != len(func.params):
+            raise TrapError(
+                f"{func_name!r} expects {len(func.params)} args, "
+                f"got {len(args)}")
+        self.profile.record_call(func_name)
+
+        regs: Dict[str, int] = dict(zip(func.params, args))
+        block = func.entry
+        while True:
+            self.profile.record_block(func_name, block.label)
+            next_label: Optional[str] = None
+            for insn in block.instructions:
+                self._steps += 1
+                if self._steps > self.max_steps:
+                    raise ExecutionLimitExceeded(
+                        f"exceeded {self.max_steps} steps in {func_name!r}")
+                op = insn.opcode
+                if op is Opcode.BR:
+                    cond = self._value(insn.operands[0], regs)
+                    next_label = insn.targets[0] if cond != 0 \
+                        else insn.targets[1]
+                    break
+                if op is Opcode.JMP:
+                    next_label = insn.targets[0]
+                    break
+                if op is Opcode.RET:
+                    if insn.operands:
+                        return self._value(insn.operands[0], regs)
+                    return None
+                if op is Opcode.LOAD:
+                    index = self._value(insn.operands[0], regs)
+                    regs[insn.dest] = self.memory.load(insn.array, index)
+                    continue
+                if op is Opcode.STORE:
+                    index = self._value(insn.operands[0], regs)
+                    value = self._value(insn.operands[1], regs)
+                    self.memory.store(insn.array, index, value)
+                    continue
+                if op is Opcode.CALL:
+                    call_args = [self._value(a, regs)
+                                 for a in insn.operands]
+                    result = self._call(insn.callee, call_args, depth + 1)
+                    if insn.dest is not None:
+                        if result is None:
+                            raise TrapError(
+                                f"void result of {insn.callee!r} used")
+                        regs[insn.dest] = result
+                    continue
+                # Pure operation: shared semantics with the folder.
+                values = [self._value(a, regs) for a in insn.operands]
+                result = evaluate_pure_op(op, values)
+                if result is None:
+                    raise TrapError(f"trap in {insn} (division by zero?)")
+                regs[insn.dest] = result
+            else:
+                raise TrapError(
+                    f"block {block.label} fell through without terminator")
+            if next_label is None:
+                raise TrapError("terminator produced no successor")
+            block = func.block(next_label)
+
+    @staticmethod
+    def _value(operand: Operand, regs: Dict[str, int]) -> int:
+        if isinstance(operand, Const):
+            return operand.value
+        value = regs.get(operand.name)
+        if value is None:
+            raise TrapError(f"read of undefined register %{operand.name}")
+        return value
+
+
+def execute(module: Module, func_name: str, args: Sequence[int] = (),
+            memory: Optional[Memory] = None,
+            ) -> RunResult:
+    """One-shot convenience execution."""
+    return Interpreter(module, memory=memory).run(func_name, args)
+
+
+def profile_module(module: Module, func_name: str,
+                   args: Sequence[int] = (),
+                   memory: Optional[Memory] = None,
+                   ) -> ProfileData:
+    """Run ``func_name`` and return the gathered profile."""
+    interp = Interpreter(module, memory=memory)
+    interp.run(func_name, args)
+    return interp.profile

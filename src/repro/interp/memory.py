@@ -1,0 +1,69 @@
+"""Memory image for IR execution: the global arrays of a module."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..ir.function import Module
+from ..ir.values import wrap32
+
+
+class TrapError(RuntimeError):
+    """Run-time fault: out-of-bounds access or division by zero."""
+
+
+class Memory:
+    """The data memory of a running module: one row per global array.
+
+    Loads and stores are bounds-checked; MiniC has no pointers, so any
+    out-of-bounds index is a workload bug and traps immediately.
+    """
+
+    def __init__(self, module: Module) -> None:
+        self.arrays: Dict[str, List[int]] = {
+            g.name: list(g.init) for g in module.globals.values()
+        }
+
+    def load(self, array: str, index: int) -> int:
+        row = self.arrays.get(array)
+        if row is None:
+            raise TrapError(f"load from unknown array {array!r}")
+        if not 0 <= index < len(row):
+            raise TrapError(
+                f"load {array}[{index}] out of bounds (size {len(row)})")
+        return row[index]
+
+    def store(self, array: str, index: int, value: int) -> None:
+        row = self.arrays.get(array)
+        if row is None:
+            raise TrapError(f"store to unknown array {array!r}")
+        if not 0 <= index < len(row):
+            raise TrapError(
+                f"store {array}[{index}] out of bounds (size {len(row)})")
+        row[index] = wrap32(value)
+
+    # ------------------------------------------------------------------
+    # Harness conveniences.
+    # ------------------------------------------------------------------
+    def write_array(self, array: str, values: Iterable[int],
+                    offset: int = 0) -> None:
+        """Bulk-fill an array (used by workload drivers)."""
+        row = self.arrays[array]
+        for i, value in enumerate(values):
+            if offset + i >= len(row):
+                raise TrapError(f"write_array overflows {array!r}")
+            row[offset + i] = wrap32(value)
+
+    def read_array(self, array: str, length: int = -1,
+                   offset: int = 0) -> List[int]:
+        row = self.arrays[array]
+        if length < 0:
+            length = len(row) - offset
+        return list(row[offset:offset + length])
+
+    def scalar(self, name: str) -> int:
+        """Value of a global scalar (size-1 array)."""
+        return self.arrays[name][0]
+
+    def set_scalar(self, name: str, value: int) -> None:
+        self.arrays[name][0] = wrap32(value)

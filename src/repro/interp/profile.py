@@ -1,0 +1,47 @@
+"""Execution profiles: per-basic-block execution counts.
+
+The merit function weighs each cut by how often its block runs; the
+profile is gathered by actually executing the compiled workload in the IR
+interpreter, exactly as the paper gathers MediaBench profiles.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass
+class ProfileData:
+    """Block execution counts keyed by ``(function, block label)``."""
+
+    counts: Counter = field(default_factory=Counter)
+    calls: Counter = field(default_factory=Counter)
+    steps: int = 0
+
+    def record_block(self, func: str, label: str) -> None:
+        self.counts[(func, label)] += 1
+
+    def record_call(self, func: str) -> None:
+        self.calls[func] += 1
+
+    def block_count(self, func: str, label: str) -> int:
+        return self.counts[(func, label)]
+
+    def weights_for(self, func: str) -> Dict[str, float]:
+        """Block label -> execution count, for one function."""
+        return {
+            label: float(count)
+            for (f, label), count in self.counts.items()
+            if f == func
+        }
+
+    def hottest(self, limit: int = 10) -> Tuple[Tuple[Tuple[str, str], int],
+                                                ...]:
+        return tuple(self.counts.most_common(limit))
+
+    def merge(self, other: "ProfileData") -> None:
+        self.counts.update(other.counts)
+        self.calls.update(other.calls)
+        self.steps += other.steps

@@ -1,0 +1,165 @@
+"""Opcode definitions for the repro intermediate representation.
+
+The IR is a small RISC-like register machine: three-address arithmetic and
+logic operations over 32-bit two's-complement integers, explicit ``LOAD`` /
+``STORE`` instructions addressing named global arrays, a ``SELECT`` node
+produced by if-conversion, and structured terminators (``BR``/``JMP``/``RET``).
+
+Each opcode carries the static properties that the rest of the system needs:
+
+* whether it may appear inside an AFU cut (:attr:`OpInfo.afu_legal`) — the
+  paper forbids memory accesses and anything with architectural state;
+* commutativity (used by CSE and by the DFG canonicaliser);
+* arity of its register/constant operands.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Opcode(enum.Enum):
+    """Every operation of the repro IR."""
+
+    # Arithmetic.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"          # signed, truncating; traps on zero in the interpreter
+    REM = "rem"          # signed remainder
+    NEG = "neg"
+
+    # Bitwise logic.
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+
+    # Shifts (shift amount taken modulo 32, as on most 32-bit cores).
+    SHL = "shl"
+    LSHR = "lshr"
+    ASHR = "ashr"
+
+    # Comparisons (result is 0 or 1).
+    EQ = "eq"
+    NE = "ne"
+    SLT = "slt"
+    SLE = "sle"
+    SGT = "sgt"
+    SGE = "sge"
+
+    # Data movement / selection.
+    COPY = "copy"
+    SELECT = "select"    # select(cond, if_true, if_false); the paper's SEL
+
+    # Memory (never AFU-legal).
+    LOAD = "load"        # dest = array[index]
+    STORE = "store"      # array[index] = value
+
+    # Calls (never AFU-legal).
+    CALL = "call"
+
+    # Terminators.
+    BR = "br"            # br cond, then_label, else_label
+    JMP = "jmp"
+    RET = "ret"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Opcode.{self.name}"
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of an opcode."""
+
+    arity: int
+    has_dest: bool
+    commutative: bool = False
+    is_memory: bool = False
+    is_terminator: bool = False
+    has_side_effects: bool = False
+    afu_legal: bool = True
+
+
+_OPINFO = {
+    Opcode.ADD: OpInfo(2, True, commutative=True),
+    Opcode.SUB: OpInfo(2, True),
+    Opcode.MUL: OpInfo(2, True, commutative=True),
+    Opcode.DIV: OpInfo(2, True),
+    Opcode.REM: OpInfo(2, True),
+    Opcode.NEG: OpInfo(1, True),
+    Opcode.AND: OpInfo(2, True, commutative=True),
+    Opcode.OR: OpInfo(2, True, commutative=True),
+    Opcode.XOR: OpInfo(2, True, commutative=True),
+    Opcode.NOT: OpInfo(1, True),
+    Opcode.SHL: OpInfo(2, True),
+    Opcode.LSHR: OpInfo(2, True),
+    Opcode.ASHR: OpInfo(2, True),
+    Opcode.EQ: OpInfo(2, True, commutative=True),
+    Opcode.NE: OpInfo(2, True, commutative=True),
+    Opcode.SLT: OpInfo(2, True),
+    Opcode.SLE: OpInfo(2, True),
+    Opcode.SGT: OpInfo(2, True),
+    Opcode.SGE: OpInfo(2, True),
+    Opcode.COPY: OpInfo(1, True),
+    Opcode.SELECT: OpInfo(3, True),
+    Opcode.LOAD: OpInfo(1, True, is_memory=True, afu_legal=False),
+    Opcode.STORE: OpInfo(2, False, is_memory=True, has_side_effects=True,
+                         afu_legal=False),
+    Opcode.CALL: OpInfo(0, True, has_side_effects=True, afu_legal=False),
+    Opcode.BR: OpInfo(1, False, is_terminator=True, afu_legal=False),
+    Opcode.JMP: OpInfo(0, False, is_terminator=True, afu_legal=False),
+    Opcode.RET: OpInfo(0, False, is_terminator=True, afu_legal=False),
+}
+
+#: Opcodes whose result depends only on operand values (safe for CSE and for
+#: speculative execution during if-conversion).
+PURE_OPS = frozenset(
+    op for op, info in _OPINFO.items()
+    if not info.is_memory and not info.has_side_effects
+    and not info.is_terminator
+)
+
+#: Binary comparison opcodes.
+COMPARISON_OPS = frozenset({
+    Opcode.EQ, Opcode.NE, Opcode.SLT, Opcode.SLE, Opcode.SGT, Opcode.SGE,
+})
+
+#: Map from a comparison to its negation (used by branch simplification).
+NEGATED_COMPARISON = {
+    Opcode.EQ: Opcode.NE,
+    Opcode.NE: Opcode.EQ,
+    Opcode.SLT: Opcode.SGE,
+    Opcode.SGE: Opcode.SLT,
+    Opcode.SGT: Opcode.SLE,
+    Opcode.SLE: Opcode.SGT,
+}
+
+#: Map from a comparison to the equivalent with swapped operands.
+SWAPPED_COMPARISON = {
+    Opcode.EQ: Opcode.EQ,
+    Opcode.NE: Opcode.NE,
+    Opcode.SLT: Opcode.SGT,
+    Opcode.SGT: Opcode.SLT,
+    Opcode.SLE: Opcode.SGE,
+    Opcode.SGE: Opcode.SLE,
+}
+
+
+def opinfo(op: Opcode) -> OpInfo:
+    """Return the static :class:`OpInfo` for *op*."""
+    return _OPINFO[op]
+
+
+def is_terminator(op: Opcode) -> bool:
+    return _OPINFO[op].is_terminator
+
+
+def is_memory(op: Opcode) -> bool:
+    return _OPINFO[op].is_memory
+
+
+def is_afu_legal(op: Opcode) -> bool:
+    """True if an operation of this opcode may be included in an AFU cut."""
+    return _OPINFO[op].afu_legal

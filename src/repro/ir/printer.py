@@ -1,0 +1,201 @@
+"""Textual IR serialisation: printing and re-parsing modules.
+
+The format is exactly what ``str(module)`` produces::
+
+    global table[16] = {1, 2, 3}
+
+    func f(a, b):
+    entry:
+      %t0 = add %a, %b
+      store table[%t0] = 5
+      br %t0, then, done
+    ...
+
+Round-tripping (``parse_module(print_module(m))``) is guaranteed by the
+test suite; it is used for IR fixtures and for debugging dumps that can be
+fed back into the tools.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .function import Function, GlobalArray, Module
+from .instructions import Instruction
+from .opcodes import Opcode, opinfo
+from .values import Const, Operand, Reg
+
+
+def print_module(module: Module) -> str:
+    """Serialise *module*, including global initialisers."""
+    parts: List[str] = []
+    for g in module.globals.values():
+        nonzero = any(v != 0 for v in g.init)
+        if nonzero:
+            init = ", ".join(str(v) for v in g.init)
+            parts.append(f"global {g.name}[{g.size}] = {{{init}}}")
+        else:
+            parts.append(f"global {g.name}[{g.size}]")
+    parts.extend(str(func) for func in module.functions.values())
+    return "\n\n".join(parts) + "\n"
+
+
+class IRParseError(ValueError):
+    """Malformed textual IR."""
+
+    def __init__(self, message: str, line_no: int, line: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {line!r}")
+
+
+_GLOBAL_RE = re.compile(
+    r"^global\s+(\w+)\[(\d+)\](?:\s*=\s*\{([^}]*)\})?$")
+_FUNC_RE = re.compile(r"^func\s+(\w+)\(([^)]*)\):$")
+_LABEL_RE = re.compile(r"^(\w+):$")
+_ASSIGN_RE = re.compile(r"^%([\w.]+)\s*=\s*(.*)$")
+_LOAD_RE = re.compile(r"^load\s+(\w+)\[(.+)\]$")
+_STORE_RE = re.compile(r"^store\s+(\w+)\[(.+)\]\s*=\s*(.+)$")
+_CALL_RE = re.compile(r"^call\s+(\w+)\(([^)]*)\)$")
+
+_OPCODE_BY_NAME = {op.value: op for op in Opcode}
+
+
+def _parse_operand(text: str, line_no: int, line: str) -> Operand:
+    text = text.strip()
+    if text.startswith("%"):
+        return Reg(text[1:])
+    try:
+        return Const(int(text, 0))
+    except ValueError:
+        raise IRParseError(f"bad operand {text!r}", line_no, line)
+
+
+def _split_operands(text: str, line_no: int, line: str) -> List[Operand]:
+    text = text.strip()
+    if not text:
+        return []
+    return [_parse_operand(part, line_no, line)
+            for part in text.split(",")]
+
+
+def _parse_instruction(text: str, line_no: int,
+                       line: str) -> Instruction:
+    text = text.strip()
+
+    # Terminators and stores (no destination).
+    if text.startswith("store "):
+        match = _STORE_RE.match(text)
+        if not match:
+            raise IRParseError("malformed store", line_no, line)
+        array, index, value = match.groups()
+        return Instruction(
+            Opcode.STORE, None,
+            (_parse_operand(index, line_no, line),
+             _parse_operand(value, line_no, line)),
+            array=array)
+    if text.startswith("br "):
+        rest = text[3:].split(",")
+        if len(rest) != 3:
+            raise IRParseError("malformed br", line_no, line)
+        cond = _parse_operand(rest[0], line_no, line)
+        return Instruction(Opcode.BR, None, (cond,),
+                           targets=(rest[1].strip(), rest[2].strip()))
+    if text.startswith("jmp "):
+        return Instruction(Opcode.JMP, targets=(text[4:].strip(),))
+    if text == "ret":
+        return Instruction(Opcode.RET)
+    if text.startswith("ret "):
+        value = _parse_operand(text[4:], line_no, line)
+        return Instruction(Opcode.RET, operands=(value,))
+    if text.startswith("call "):
+        match = _CALL_RE.match(text)
+        if not match:
+            raise IRParseError("malformed call", line_no, line)
+        callee, args = match.groups()
+        return Instruction(Opcode.CALL, None,
+                           _split_operands(args, line_no, line),
+                           callee=callee)
+
+    # Destination forms.
+    match = _ASSIGN_RE.match(text)
+    if not match:
+        raise IRParseError("unrecognised instruction", line_no, line)
+    dest, rhs = match.groups()
+    rhs = rhs.strip()
+
+    load = _LOAD_RE.match(rhs)
+    if load:
+        array, index = load.groups()
+        return Instruction(Opcode.LOAD, dest,
+                           (_parse_operand(index, line_no, line),),
+                           array=array)
+    call = _CALL_RE.match(rhs)
+    if call:
+        callee, args = call.groups()
+        return Instruction(Opcode.CALL, dest,
+                           _split_operands(args, line_no, line),
+                           callee=callee)
+
+    head, _, tail = rhs.partition(" ")
+    opcode = _OPCODE_BY_NAME.get(head)
+    if opcode is None:
+        raise IRParseError(f"unknown opcode {head!r}", line_no, line)
+    operands = _split_operands(tail, line_no, line)
+    if len(operands) != opinfo(opcode).arity:
+        raise IRParseError(
+            f"{head} expects {opinfo(opcode).arity} operand(s)",
+            line_no, line)
+    return Instruction(opcode, dest, operands)
+
+
+def parse_module(text: str, name: str = "module") -> Module:
+    """Parse the output of :func:`print_module` back into a module."""
+    module = Module(name)
+    func: Optional[Function] = None
+    block = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+
+        g = _GLOBAL_RE.match(line)
+        if g:
+            array_name, size, init = g.groups()
+            values = None
+            if init is not None and init.strip():
+                values = [int(v.strip(), 0)
+                          for v in init.split(",") if v.strip()]
+            module.add_global(GlobalArray(array_name, int(size), values))
+            continue
+
+        f = _FUNC_RE.match(line)
+        if f:
+            func_name, params = f.groups()
+            param_names = [p.strip() for p in params.split(",")
+                           if p.strip()]
+            func = Function(func_name, param_names)
+            module.add_function(func)
+            block = None
+            continue
+
+        label = _LABEL_RE.match(line)
+        if label:
+            if func is None:
+                raise IRParseError("label outside a function",
+                                   line_no, raw)
+            block = func.add_block(label.group(1))
+            continue
+
+        if block is None:
+            raise IRParseError("instruction outside a block",
+                               line_no, raw)
+        block.append(_parse_instruction(line, line_no, raw))
+
+    return module
+
+
+def roundtrip(module: Module) -> Module:
+    """Print-and-reparse (used by tests to prove the format is lossless
+    for everything the algorithms care about)."""
+    return parse_module(print_module(module), name=module.name)

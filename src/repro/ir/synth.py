@@ -1,0 +1,208 @@
+"""Synthetic dataflow graphs: hand-built fixtures and random DAGs.
+
+Used by tests, examples and the Fig. 8 benchmark harness.  The builder
+accepts an arbitrary DAG description and renumbers it into the reverse
+topological order that :class:`~repro.ir.dfg.DataFlowGraph` requires, so
+fixtures can be written in whatever order is most readable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .dfg import DataFlowGraph, DFGNode
+from .instructions import Instruction, binop, unop
+from .opcodes import Opcode, opinfo
+from .values import Const, Reg
+
+
+def make_dfg(
+    ops: Sequence[Opcode],
+    edges: Iterable[Tuple[int, int]],
+    live_out: Iterable[int] = (),
+    extra_inputs: Optional[Dict[int, int]] = None,
+    name: str = "synthetic",
+    weight: float = 1.0,
+    keep_order: bool = False,
+) -> DataFlowGraph:
+    """Build a :class:`DataFlowGraph` from an explicit DAG description.
+
+    Args:
+        ops: opcode of each node, indexed by *user* node id (any order).
+        edges: ``(producer, consumer)`` pairs over user node ids.
+        live_out: user node ids whose value escapes the block.
+        extra_inputs: user node id -> number of external input variables
+            the node reads *in addition* to its internal producers.  When
+            omitted, each node is padded with input variables up to its
+            opcode arity (so a binary add with one internal producer reads
+            one input variable).
+        name: graph name for reports.
+        weight: execution frequency.
+        keep_order: use the user node ids directly as DFG indices (they
+            must already form a reverse topological order, i.e. every edge
+            must satisfy ``producer > consumer``).  Needed by fixtures that
+            reproduce the paper's exact search traces.
+
+    Returns:
+        A graph whose node ``i`` corresponds to user id via reverse
+        topological renumbering; the mapping is stable (ties broken by
+        user id) and exposed in each node's label as ``op#<user-id>``.
+    """
+    n = len(ops)
+    preds_user: List[Set[int]] = [set() for _ in range(n)]
+    succs_user: List[Set[int]] = [set() for _ in range(n)]
+    for producer, consumer in edges:
+        if not (0 <= producer < n and 0 <= consumer < n):
+            raise ValueError(f"edge ({producer},{consumer}) out of range")
+        if producer == consumer:
+            raise ValueError("self-loop in DAG description")
+        preds_user[consumer].add(producer)
+        succs_user[producer].add(consumer)
+
+    live = set(live_out)
+
+    if keep_order:
+        for producer, consumer in edges:
+            if producer <= consumer:
+                raise ValueError(
+                    f"keep_order requires producer > consumer; edge "
+                    f"({producer},{consumer}) violates it")
+        order = list(range(n))
+    else:
+        # Reverse topological numbering: Kahn producers-first, reversed.
+        indegree = [len(preds_user[i]) for i in range(n)]
+        heap = [i for i in range(n) if indegree[i] == 0]
+        heapq.heapify(heap)
+        topo: List[int] = []
+        while heap:
+            i = heapq.heappop(heap)
+            topo.append(i)
+            for s in sorted(succs_user[i]):
+                indegree[s] -= 1
+                if indegree[s] == 0:
+                    heapq.heappush(heap, s)
+        if len(topo) != n:
+            raise ValueError("edge list contains a cycle")
+        order = list(reversed(topo))
+    new_of_user = {user: new for new, user in enumerate(order)}
+
+    input_vars: List[str] = []
+    nodes: List[DFGNode] = []
+    succs: List[List[int]] = []
+    preds: List[List[int]] = []
+    node_inputs: List[List[int]] = []
+    sources: List[Tuple] = []
+
+    for new, user in enumerate(order):
+        op = ops[user]
+        info = opinfo(op)
+        internal = len(preds_user[user])
+        if extra_inputs is not None:
+            pad = extra_inputs.get(user, 0)
+        else:
+            pad = max(0, info.arity - internal)
+        my_inputs: List[int] = []
+        for k in range(pad):
+            var = f"in{user}_{k}"
+            my_inputs.append(len(input_vars))
+            input_vars.append(var)
+
+        operands = tuple(Reg(f"v{p}") for p in sorted(preds_user[user]))
+        my_sources: List[Tuple] = [
+            ("node", new_of_user[p]) for p in sorted(preds_user[user])]
+        operands += tuple(Reg(f"in{user}_{k}") for k in range(pad))
+        my_sources.extend(("var", f"in{user}_{k}") for k in range(pad))
+        # Pad with constants if the arity is still short (rare fixtures).
+        while len(operands) < info.arity:
+            operands += (Const(0),)
+            my_sources.append(("const", 0))
+        array = f"mem{user}" if op in (Opcode.LOAD, Opcode.STORE) else None
+        callee = f"fn{user}" if op is Opcode.CALL else None
+        dest = f"v{user}" if opinfo(op).has_dest else None
+        insn = Instruction(op, dest=dest, operands=operands,
+                           array=array, callee=callee)
+
+        nodes.append(DFGNode(
+            index=new,
+            opcode=op,
+            insns=(insn,),
+            label=f"{op.value}#{user}",
+            forbidden=not info.afu_legal,
+            forced_out=user in live,
+        ))
+        succs.append(sorted(new_of_user[s] for s in succs_user[user]))
+        preds.append(sorted(new_of_user[p] for p in preds_user[user]))
+        node_inputs.append(my_inputs)
+        sources.append(tuple(my_sources))
+
+    return DataFlowGraph(
+        name=name,
+        nodes=nodes,
+        succs=succs,
+        preds=preds,
+        input_vars=input_vars,
+        node_inputs=node_inputs,
+        weight=weight,
+        operand_sources=sources,
+    )
+
+
+def paper_figure4_dfg() -> DataFlowGraph:
+    """The 4-node example of the paper's Fig. 4.
+
+    Reconstruction (validated against the Fig. 7 trace): user ids equal the
+    paper's topological numbers; edges ``3 -> 2 -> 0`` and ``1 -> 0``; the
+    values of nodes 0, 1 and 3 are also used outside the candidate cut
+    (live out), node 2 only feeds node 0.  With ``Nout = 1`` the Fig. 6
+    algorithm then examines exactly 11 of the 16 possible cuts, finds 5
+    feasible and 6 infeasible, and prunes the remaining 4 — the numbers
+    reported in the paper.
+    """
+    ops = [Opcode.ADD, Opcode.ADD, Opcode.LSHR, Opcode.MUL]
+    edges = [(3, 2), (2, 0), (1, 0)]
+    return make_dfg(ops, edges, live_out=[0, 1, 3], name="paper-fig4",
+                    keep_order=True)
+
+
+def random_dag_dfg(
+    num_nodes: int,
+    rng: random.Random,
+    edge_prob: float = 0.3,
+    live_out_prob: float = 0.3,
+    forbidden_prob: float = 0.0,
+    name: str = "random",
+    weight: float = 1.0,
+) -> DataFlowGraph:
+    """A random DAG for property tests and scaling studies.
+
+    Edges only go from lower to higher user id (then renumbered), giving a
+    uniform-ish DAG.  ``forbidden_prob`` sprinkles LOAD nodes to exercise
+    forbidden-node handling.
+    """
+    legal_ops = [
+        Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND, Opcode.OR,
+        Opcode.XOR, Opcode.SHL, Opcode.ASHR, Opcode.SLT, Opcode.SELECT,
+        Opcode.NOT,
+    ]
+    ops: List[Opcode] = []
+    for _ in range(num_nodes):
+        if rng.random() < forbidden_prob:
+            ops.append(Opcode.LOAD)
+        else:
+            ops.append(rng.choice(legal_ops))
+    edges: List[Tuple[int, int]] = []
+    for consumer in range(1, num_nodes):
+        arity = opinfo(ops[consumer]).arity
+        max_preds = min(consumer, arity)
+        for producer in rng.sample(range(consumer), consumer):
+            if len([e for e in edges if e[1] == consumer]) >= max_preds:
+                break
+            if rng.random() < edge_prob:
+                edges.append((producer, consumer))
+    live = [i for i in range(num_nodes) if rng.random() < live_out_prob]
+    sinks = {i for i in range(num_nodes)
+             if not any(e[0] == i for e in edges)}
+    live = sorted(set(live) | sinks)   # sinks must matter to someone
+    return make_dfg(ops, edges, live_out=live, name=name, weight=weight)

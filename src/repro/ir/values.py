@@ -1,0 +1,72 @@
+"""Operand values of the repro IR: virtual registers and integer constants.
+
+All arithmetic in the IR is 32-bit two's complement; :func:`wrap32` and
+:func:`to_signed` implement the canonical normalisation used everywhere
+(frontend constant folding, the interpreter, and the AFU functional model),
+so the three can never disagree about overflow behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+MASK32 = 0xFFFFFFFF
+INT32_MIN = -(1 << 31)
+INT32_MAX = (1 << 31) - 1
+
+
+def wrap32(value: int) -> int:
+    """Wrap *value* to a signed 32-bit integer (two's complement)."""
+    value &= MASK32
+    if value > INT32_MAX:
+        value -= 1 << 32
+    return value
+
+
+def to_unsigned(value: int) -> int:
+    """Reinterpret a signed 32-bit value as unsigned (0 .. 2^32-1)."""
+    return value & MASK32
+
+
+def to_signed(value: int) -> int:
+    """Reinterpret an unsigned 32-bit value as signed."""
+    return wrap32(value)
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A virtual register operand, identified by name.
+
+    Register names are unique within a function.  The frontend generates
+    ``%tN`` temporaries and ``var.N`` versions of source-level variables.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class Const:
+    """An integer constant operand (already wrapped to 32 bits)."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", wrap32(self.value))
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+Operand = Union[Reg, Const]
+
+
+def is_reg(operand: Operand) -> bool:
+    return isinstance(operand, Reg)
+
+
+def is_const(operand: Operand) -> bool:
+    return isinstance(operand, Const)

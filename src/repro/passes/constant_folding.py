@@ -1,0 +1,139 @@
+"""Constant folding and algebraic simplification.
+
+Evaluates pure operations whose operands are all constants, using the same
+32-bit two's-complement semantics as the interpreter (:mod:`repro.interp`),
+and applies the usual identities (``x+0``, ``x*1``, ``x&0``, shifts by 0,
+selects with constant condition, ...).  Folded instructions become copies,
+which :mod:`repro.passes.copyprop` then propagates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.function import Function
+from ..ir.instructions import Instruction, copy_reg
+from ..ir.opcodes import Opcode
+from ..ir.values import Const, Operand, Reg, to_unsigned, wrap32
+
+
+def evaluate_pure_op(opcode: Opcode, values: list) -> Optional[int]:
+    """Evaluate *opcode* on constant operand *values* (32-bit wrapping).
+
+    Returns ``None`` when the operation cannot be folded (division by
+    zero traps at run time and is left alone).
+    """
+    if opcode is Opcode.ADD:
+        return wrap32(values[0] + values[1])
+    if opcode is Opcode.SUB:
+        return wrap32(values[0] - values[1])
+    if opcode is Opcode.MUL:
+        return wrap32(values[0] * values[1])
+    if opcode is Opcode.DIV:
+        if values[1] == 0:
+            return None
+        return wrap32(int(values[0] / values[1]))     # trunc toward zero
+    if opcode is Opcode.REM:
+        if values[1] == 0:
+            return None
+        return wrap32(values[0] - int(values[0] / values[1]) * values[1])
+    if opcode is Opcode.NEG:
+        return wrap32(-values[0])
+    if opcode is Opcode.AND:
+        return wrap32(values[0] & values[1])
+    if opcode is Opcode.OR:
+        return wrap32(values[0] | values[1])
+    if opcode is Opcode.XOR:
+        return wrap32(values[0] ^ values[1])
+    if opcode is Opcode.NOT:
+        return wrap32(~values[0])
+    if opcode is Opcode.SHL:
+        return wrap32(to_unsigned(values[0]) << (values[1] & 31))
+    if opcode is Opcode.LSHR:
+        return wrap32(to_unsigned(values[0]) >> (values[1] & 31))
+    if opcode is Opcode.ASHR:
+        return wrap32(values[0] >> (values[1] & 31))
+    if opcode is Opcode.EQ:
+        return 1 if values[0] == values[1] else 0
+    if opcode is Opcode.NE:
+        return 1 if values[0] != values[1] else 0
+    if opcode is Opcode.SLT:
+        return 1 if values[0] < values[1] else 0
+    if opcode is Opcode.SLE:
+        return 1 if values[0] <= values[1] else 0
+    if opcode is Opcode.SGT:
+        return 1 if values[0] > values[1] else 0
+    if opcode is Opcode.SGE:
+        return 1 if values[0] >= values[1] else 0
+    if opcode is Opcode.COPY:
+        return wrap32(values[0])
+    if opcode is Opcode.SELECT:
+        return wrap32(values[1] if values[0] != 0 else values[2])
+    return None
+
+
+_FOLDABLE = frozenset({
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.REM, Opcode.NEG,
+    Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.NOT, Opcode.SHL, Opcode.LSHR,
+    Opcode.ASHR, Opcode.EQ, Opcode.NE, Opcode.SLT, Opcode.SLE, Opcode.SGT,
+    Opcode.SGE, Opcode.SELECT,
+})
+
+
+def _simplify_identity(insn: Instruction) -> Optional[Instruction]:
+    """Algebraic identities returning a replacement COPY, or ``None``."""
+    op = insn.opcode
+    ops = insn.operands
+
+    def const(i: int) -> Optional[int]:
+        return ops[i].value if isinstance(ops[i], Const) else None
+
+    if op in (Opcode.ADD, Opcode.OR, Opcode.XOR):
+        if const(1) == 0:
+            return copy_reg(insn.dest, ops[0])
+        if const(0) == 0:
+            return copy_reg(insn.dest, ops[1])
+    if op in (Opcode.SUB, Opcode.SHL, Opcode.LSHR, Opcode.ASHR):
+        if const(1) == 0:
+            return copy_reg(insn.dest, ops[0])
+    if op is Opcode.MUL:
+        if const(1) == 1:
+            return copy_reg(insn.dest, ops[0])
+        if const(0) == 1:
+            return copy_reg(insn.dest, ops[1])
+        if const(1) == 0 or const(0) == 0:
+            return copy_reg(insn.dest, Const(0))
+    if op is Opcode.AND:
+        if const(1) == 0 or const(0) == 0:
+            return copy_reg(insn.dest, Const(0))
+        if const(1) == -1:
+            return copy_reg(insn.dest, ops[0])
+        if const(0) == -1:
+            return copy_reg(insn.dest, ops[1])
+    if op is Opcode.SELECT:
+        cond = const(0)
+        if cond is not None:
+            return copy_reg(insn.dest, ops[1] if cond != 0 else ops[2])
+        if ops[1] == ops[2]:
+            return copy_reg(insn.dest, ops[1])
+    return None
+
+
+def fold_constants(func: Function) -> bool:
+    changed = False
+    for block in func.blocks:
+        for i, insn in enumerate(block.instructions):
+            if insn.opcode not in _FOLDABLE or insn.dest is None:
+                continue
+            if all(isinstance(op, Const) for op in insn.operands):
+                value = evaluate_pure_op(
+                    insn.opcode, [op.value for op in insn.operands])
+                if value is not None:
+                    block.instructions[i] = copy_reg(insn.dest, Const(value))
+                    changed = True
+                    continue
+            replacement = _simplify_identity(insn)
+            if replacement is not None:
+                block.instructions[i] = replacement
+                changed = True
+    return changed

@@ -1,0 +1,96 @@
+"""Copy propagation and copy coalescing.
+
+Two complementary block-local rewrites over the non-SSA IR:
+
+* :func:`propagate_copies` — forward within a block: after ``x = copy y``,
+  uses of ``x`` read ``y`` directly until either side is redefined.
+  Constants propagate the same way, feeding the constant folder.
+* :func:`coalesce_copies` — the IR generator emits ``%t = <op> ...`` then
+  ``%x = copy %t`` for every assignment; when ``%t`` has no other use, the
+  op writes ``%x`` directly and the copy disappears.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional
+
+from ..ir.function import Function
+from ..ir.instructions import Instruction
+from ..ir.opcodes import Opcode
+from ..ir.values import Const, Operand, Reg
+
+
+def propagate_copies(func: Function) -> bool:
+    changed = False
+    for block in func.blocks:
+        available: Dict[str, Operand] = {}
+        for insn in block.instructions:
+            # Rewrite uses through the available copies.
+            if insn.operands:
+                new_ops = []
+                mutated = False
+                for op in insn.operands:
+                    while isinstance(op, Reg) and op.name in available:
+                        op = available[op.name]
+                        mutated = True
+                    new_ops.append(op)
+                if mutated:
+                    insn.operands = tuple(new_ops)
+                    changed = True
+            # Kill facts invalidated by this definition.
+            if insn.dest is not None:
+                dest = insn.dest
+                available.pop(dest, None)
+                stale = [k for k, v in available.items()
+                         if isinstance(v, Reg) and v.name == dest]
+                for k in stale:
+                    available.pop(k)
+                if insn.opcode is Opcode.COPY:
+                    src = insn.operands[0]
+                    if not (isinstance(src, Reg) and src.name == dest):
+                        available[dest] = src
+    return changed
+
+
+def coalesce_copies(func: Function) -> bool:
+    """Fuse ``%t = op ...; %x = copy %t`` into ``%x = op ...``.
+
+    Safe when, inside one block, ``%t`` is defined by the instruction
+    immediately preceding the copy (allowing no intervening redefinition of
+    ``%x`` trivially) and ``%t`` has exactly one use in the whole function.
+    """
+    use_counts: Counter = Counter()
+    def_counts: Counter = Counter()
+    for insn in func.instructions():
+        for name in insn.uses():
+            use_counts[name] += 1
+        for name in insn.defs():
+            def_counts[name] += 1
+
+    changed = False
+    for block in func.blocks:
+        insns = block.instructions
+        for i in range(len(insns) - 1, 0, -1):
+            copy = insns[i]
+            if copy.opcode is not Opcode.COPY:
+                continue
+            src = copy.operands[0]
+            if not isinstance(src, Reg):
+                continue
+            producer = insns[i - 1]
+            if producer.dest != src.name:
+                continue
+            if producer.opcode is Opcode.CALL:
+                # Calls keep their own result register naming.
+                pass
+            if use_counts[src.name] != 1 or def_counts[src.name] != 1:
+                continue
+            if copy.dest == src.name:
+                continue
+            producer.dest = copy.dest
+            del insns[i]
+            use_counts[src.name] -= 1
+            def_counts[copy.dest] += 0   # dest count unchanged (moved def)
+            changed = True
+    return changed

@@ -1,0 +1,101 @@
+"""Local common-subexpression elimination via value numbering.
+
+Classic block-local LVN adapted to the non-SSA IR: every definition gets a
+fresh value number; a pure instruction whose ``(opcode, operand value
+numbers)`` key was already computed — by a register that still holds that
+value — becomes a copy of that register.  Commutative operations normalise
+their key by sorting operand numbers.
+
+Loads are value-numbered too, keyed by array and index number, but any
+store or call invalidates all load numbers (MiniC has no alias analysis —
+one store kills everything, which is always safe).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.function import Function
+from ..ir.instructions import copy_reg
+from ..ir.opcodes import Opcode, opinfo
+from ..ir.values import Const, Reg
+
+
+def local_value_numbering(func: Function) -> bool:
+    changed = False
+    for block in func.blocks:
+        changed = _lvn_block(block) or changed
+    return changed
+
+
+def _lvn_block(block) -> bool:
+    next_vn = [0]
+    reg_vn: Dict[str, int] = {}         # register -> value number
+    const_vn: Dict[int, int] = {}       # constant -> value number
+    expr_vn: Dict[Tuple, int] = {}      # expression key -> value number
+    vn_home: Dict[int, str] = {}        # value number -> register holding it
+    load_keys: List[Tuple] = []         # keys to drop on stores/calls
+
+    def fresh() -> int:
+        next_vn[0] += 1
+        return next_vn[0]
+
+    def vn_of_operand(op) -> int:
+        if isinstance(op, Const):
+            if op.value not in const_vn:
+                const_vn[op.value] = fresh()
+            return const_vn[op.value]
+        vn = reg_vn.get(op.name)
+        if vn is None:
+            vn = fresh()
+            reg_vn[op.name] = vn
+            vn_home.setdefault(vn, op.name)
+        return vn
+
+    changed = False
+    for i, insn in enumerate(block.instructions):
+        info = opinfo(insn.opcode)
+        operand_vns = [vn_of_operand(op) for op in insn.operands]
+
+        key: Optional[Tuple] = None
+        if insn.opcode is Opcode.LOAD:
+            key = ("load", insn.array, operand_vns[0])
+            load_keys.append(key)
+        elif (insn.dest is not None and not info.is_memory
+                and not info.has_side_effects
+                and insn.opcode not in (Opcode.CALL, Opcode.COPY)):
+            vns = (sorted(operand_vns) if info.commutative
+                   else operand_vns)
+            key = (insn.opcode.value, tuple(vns))
+
+        if insn.opcode is Opcode.STORE or insn.opcode is Opcode.CALL:
+            for k in load_keys:
+                expr_vn.pop(k, None)
+            load_keys.clear()
+
+        dest = insn.dest
+        if dest is None:
+            continue
+
+        if insn.opcode is Opcode.COPY:
+            src_vn = operand_vns[0]
+            reg_vn[dest] = src_vn
+            vn_home.setdefault(src_vn, dest)
+            continue
+
+        if key is not None and key in expr_vn:
+            vn = expr_vn[key]
+            home = vn_home.get(vn)
+            if home is not None and reg_vn.get(home) == vn and home != dest:
+                block.instructions[i] = copy_reg(dest, Reg(home))
+                reg_vn[dest] = vn
+                changed = True
+                continue
+
+        vn = fresh()
+        reg_vn[dest] = vn
+        vn_home[vn] = dest
+        if key is not None:
+            expr_vn[key] = vn
+
+    return changed

@@ -1,0 +1,70 @@
+"""Dead-code elimination.
+
+Two conservative rules over the non-SSA IR, iterated by the pass manager:
+
+* a pure instruction whose destination register is never read anywhere in
+  the function is dead;
+* within one block, a pure definition overwritten by a later definition of
+  the same register before any possible read (no intervening use, no block
+  boundary) is dead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..ir.function import Function
+from ..ir.opcodes import Opcode, opinfo
+
+
+def _is_removable(insn) -> bool:
+    info = opinfo(insn.opcode)
+    if info.is_terminator or info.has_side_effects:
+        return False
+    if insn.opcode is Opcode.CALL:
+        return False
+    # LOAD is pure in MiniC (no volatile), so an unused load can go.
+    return insn.dest is not None
+
+
+def eliminate_dead_code(func: Function) -> bool:
+    changed = False
+
+    # Rule 1: never-read destinations.
+    used: Set[str] = set()
+    for insn in func.instructions():
+        used.update(insn.uses())
+    for block in func.blocks:
+        kept = []
+        for insn in block.instructions:
+            if _is_removable(insn) and insn.dest not in used:
+                changed = True
+                continue
+            kept.append(insn)
+        block.instructions = kept
+
+    # Rule 2: block-local overwritten definitions.
+    for block in func.blocks:
+        pending: Dict[str, int] = {}   # reg -> index of unread definition
+        dead_indices: Set[int] = set()
+        for i, insn in enumerate(block.instructions):
+            for name in insn.uses():
+                pending.pop(name, None)
+            dest = insn.dest
+            if dest is not None:
+                previous = pending.get(dest)
+                if previous is not None and _is_removable(
+                        block.instructions[previous]):
+                    dead_indices.add(previous)
+                if _is_removable(insn):
+                    pending[dest] = i
+                else:
+                    pending.pop(dest, None)
+        if dead_indices:
+            block.instructions = [
+                insn for i, insn in enumerate(block.instructions)
+                if i not in dead_indices
+            ]
+            changed = True
+
+    return changed

@@ -1,0 +1,185 @@
+"""If-conversion: turn branching diamonds/triangles into ``SELECT`` dataflow.
+
+The paper preprocesses every benchmark with "a classic if-conversion pass"
+— this is what produces the large select-rich basic blocks of its Fig. 3
+(the ``SEL`` nodes).  The pass repeatedly looks for two shapes ending in a
+common join block ``J``::
+
+      A: br c, T, F            A: br c, T, J
+      T: ...; jmp J            T: ...; jmp J        (triangle)
+      F: ...; jmp J
+          (diamond)
+
+where ``T`` (and ``F``) have no other predecessors and contain only
+speculatable instructions: pure ops, and — optionally — loads (MiniC
+globals are always mapped, so speculative loads cannot fault as long as
+indices stay in bounds on both paths; the workloads are written that way,
+matching what a compiler with speculative-load support would do).
+
+Both arms are *renamed* into fresh temporaries and appended to ``A``; every
+register assigned by either arm and live into ``J`` gets a
+``select(c, t_value, f_value)`` merging the two versions.  ``A`` then jumps
+to ``J`` unconditionally, and CFG simplification merges the blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir.cfg import Liveness, predecessors
+from ..ir.function import BasicBlock, Function
+from ..ir.instructions import Instruction, jmp, select
+from ..ir.opcodes import PURE_OPS, Opcode
+from ..ir.values import Operand, Reg
+
+
+class IfConverter:
+    """Configurable if-conversion pass.
+
+    Args:
+        speculate_loads: allow ``LOAD`` in converted arms (default True —
+            this is required to reproduce the paper's adpcm block).
+        max_speculated: skip patterns whose arms together exceed this many
+            instructions (guards against absurd speculation).
+    """
+
+    def __init__(self, speculate_loads: bool = True,
+                 max_speculated: int = 256) -> None:
+        self.speculate_loads = speculate_loads
+        self.max_speculated = max_speculated
+
+    # ------------------------------------------------------------------
+    def _arm_convertible(self, block: BasicBlock) -> bool:
+        term = block.terminator
+        if term is None or term.opcode is not Opcode.JMP:
+            return False
+        for insn in block.body:
+            if insn.opcode in PURE_OPS:
+                continue
+            if insn.opcode is Opcode.LOAD and self.speculate_loads:
+                continue
+            return False
+        return True
+
+    @staticmethod
+    def _rename_arm(func: Function, block: BasicBlock,
+                    ) -> Tuple[List[Instruction], Dict[str, str]]:
+        """Copy *block*'s body with all definitions renamed to fresh
+        temporaries; later uses inside the arm follow the renaming."""
+        mapping: Dict[str, Operand] = {}
+        final: Dict[str, str] = {}
+        renamed: List[Instruction] = []
+        for insn in block.body:
+            clone = insn.copy()
+            clone.replace_uses(mapping)
+            if clone.dest is not None:
+                fresh = func.new_temp(".ifc")
+                final[clone.dest] = fresh
+                mapping[clone.dest] = Reg(fresh)
+                clone.dest = fresh
+            renamed.append(clone)
+        return renamed, final
+
+    # ------------------------------------------------------------------
+    def _try_convert(self, func: Function, head: BasicBlock,
+                     liveness: Liveness,
+                     preds: Dict[str, List[str]]) -> bool:
+        term = head.terminator
+        if term is None or term.opcode is not Opcode.BR:
+            return False
+        cond = term.operands[0]
+        then_label, else_label = term.targets
+        if then_label == else_label:
+            return False
+
+        then_block = func.block(then_label)
+        else_block = func.block(else_label)
+
+        # Diamond: both arms are dedicated and join at the same block.
+        if (self._arm_convertible(then_block)
+                and preds[then_label] == [head.label]
+                and self._arm_convertible(else_block)
+                and preds[else_label] == [head.label]
+                and then_block.terminator.targets[0]
+                == else_block.terminator.targets[0]
+                and then_block.terminator.targets[0] not in (
+                    then_label, else_label, head.label)):
+            join_label = then_block.terminator.targets[0]
+            arms = (then_block, else_block)
+        # Triangle: one dedicated arm falling into the other target.
+        elif (self._arm_convertible(then_block)
+                and preds[then_label] == [head.label]
+                and then_block.terminator.targets[0] == else_label
+                and else_label != head.label):
+            join_label = else_label
+            arms = (then_block, None)
+        elif (self._arm_convertible(else_block)
+                and preds[else_label] == [head.label]
+                and else_block.terminator.targets[0] == then_label
+                and then_label != head.label):
+            join_label = then_label
+            arms = (None, else_block)
+        else:
+            return False
+
+        total = sum(len(a.body) for a in arms if a is not None)
+        if total > self.max_speculated:
+            return False
+
+        then_arm, else_arm = arms
+        then_insns: List[Instruction] = []
+        else_insns: List[Instruction] = []
+        then_final: Dict[str, str] = {}
+        else_final: Dict[str, str] = {}
+        if then_arm is not None:
+            then_insns, then_final = self._rename_arm(func, then_arm)
+        if else_arm is not None:
+            else_insns, else_final = self._rename_arm(func, else_arm)
+
+        live_into_join = liveness.live_in_of(join_label)
+
+        merged = sorted(set(then_final) | set(else_final))
+
+        head.instructions.pop()             # remove the branch
+        head.instructions.extend(then_insns)
+        head.instructions.extend(else_insns)
+        if isinstance(cond, Reg) and cond.name in merged:
+            # The first select would clobber the condition; snapshot it.
+            safe = func.new_temp(".ifc")
+            head.instructions.append(
+                Instruction(Opcode.COPY, safe, (cond,)))
+            cond = Reg(safe)
+        for reg in merged:
+            if reg not in live_into_join:
+                continue                    # dead after the join
+            value_t: Operand = Reg(then_final.get(reg, reg))
+            value_f: Operand = Reg(else_final.get(reg, reg))
+            head.instructions.append(select(reg, cond, value_t, value_f))
+        head.instructions.append(jmp(join_label))
+
+        for arm in arms:
+            if arm is not None:
+                func.remove_block(arm.label)
+        return True
+
+    # ------------------------------------------------------------------
+    def run(self, func: Function) -> bool:
+        """Convert patterns until none remain; return whether any fired."""
+        changed = False
+        while True:
+            liveness = Liveness(func)
+            preds = predecessors(func)
+            fired = False
+            for head in list(func.blocks):
+                if self._try_convert(func, head, liveness, preds):
+                    fired = True
+                    break                   # CFG changed; recompute facts
+            if not fired:
+                return changed
+            changed = True
+
+
+def if_convert(func: Function, speculate_loads: bool = True,
+               max_speculated: int = 256) -> bool:
+    """Functional wrapper around :class:`IfConverter`."""
+    return IfConverter(speculate_loads, max_speculated).run(func)

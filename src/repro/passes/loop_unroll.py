@@ -1,0 +1,188 @@
+"""Source-level loop unrolling.
+
+The paper's conclusions point at "instruction-level parallelism techniques
+(e.g. unrolling)" as the way to hand the identification algorithm larger
+basic blocks.  This pass implements that preprocessing on the MiniC AST:
+counted ``for`` loops of the shape ::
+
+    for (i = C0; i < C1; i += C2) body      (also <=, and i++ / i-- forms)
+
+with a compile-time trip count divisible by the unroll factor, no nested
+``break``/``continue``, and a body that does not modify the induction
+variable, are rewritten into ``factor`` copies of ``body`` with the
+induction step spliced in between.  Everything else is left untouched.
+
+Operating on the AST (rather than the CFG) keeps the transform simple and
+composes naturally with the rest of the pipeline: after lowering and
+if-conversion the unrolled iterations merge into one big block.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..frontend import ast_nodes as ast
+
+
+@dataclass(frozen=True)
+class _CountedLoop:
+    var: str
+    start: int
+    bound: int
+    step: int
+    inclusive: bool
+
+    @property
+    def trip_count(self) -> int:
+        limit = self.bound + (1 if self.inclusive else 0)
+        if self.step > 0:
+            span = limit - self.start
+        else:
+            span = self.start - (limit - 1)   # not supported; see analyse
+        if span <= 0:
+            return 0
+        return (span + abs(self.step) - 1) // abs(self.step)
+
+
+def _const_value(expr: Optional[ast.Expr]) -> Optional[int]:
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if (isinstance(expr, ast.Unary) and expr.op == "-"
+            and isinstance(expr.operand, ast.IntLit)):
+        return -expr.operand.value
+    return None
+
+
+def _analyse_for(stmt: ast.For) -> Optional[_CountedLoop]:
+    # init: i = C0   (either a Decl with init or an Assign to a Name)
+    if isinstance(stmt.init, ast.Decl):
+        var = stmt.init.name
+        start = _const_value(stmt.init.init)
+    elif (isinstance(stmt.init, ast.Assign)
+            and isinstance(stmt.init.target, ast.Name)):
+        var = stmt.init.target.ident
+        start = _const_value(stmt.init.value)
+    else:
+        return None
+    if start is None:
+        return None
+
+    # cond: i < C1 or i <= C1
+    cond = stmt.cond
+    if not (isinstance(cond, ast.Binary) and cond.op in ("<", "<=")
+            and isinstance(cond.left, ast.Name) and cond.left.ident == var):
+        return None
+    bound = _const_value(cond.right)
+    if bound is None:
+        return None
+
+    # step: i = i + C2 (the parser desugars i++ and i += C2 to this form)
+    step_stmt = stmt.step
+    if not (isinstance(step_stmt, ast.Assign)
+            and isinstance(step_stmt.target, ast.Name)
+            and step_stmt.target.ident == var
+            and isinstance(step_stmt.value, ast.Binary)
+            and step_stmt.value.op in ("+", "-")
+            and isinstance(step_stmt.value.left, ast.Name)
+            and step_stmt.value.left.ident == var):
+        return None
+    step = _const_value(step_stmt.value.right)
+    if step is None or step == 0:
+        return None
+    if step_stmt.value.op == "-":
+        step = -step
+    if step < 0:
+        return None                      # only upward-counting loops
+
+    return _CountedLoop(var=var, start=start, bound=bound, step=step,
+                        inclusive=cond.op == "<=")
+
+
+def _body_is_unrollable(body: ast.Block, var: str) -> bool:
+    """No break/continue/return, no nested redefinition or write of the
+    induction variable."""
+
+    def check_stmt(stmt: ast.Stmt) -> bool:
+        if isinstance(stmt, (ast.Break, ast.Continue, ast.Return)):
+            return False
+        if isinstance(stmt, ast.Decl):
+            return stmt.name != var
+        if isinstance(stmt, ast.Assign):
+            if isinstance(stmt.target, ast.Name) and \
+                    stmt.target.ident == var:
+                return False
+            return True
+        if isinstance(stmt, ast.Block):
+            return all(check_stmt(s) for s in stmt.statements)
+        if isinstance(stmt, ast.If):
+            ok = all(check_stmt(s) for s in stmt.then_body.statements)
+            if stmt.else_body is not None:
+                ok = ok and all(check_stmt(s)
+                                for s in stmt.else_body.statements)
+            return ok
+        if isinstance(stmt, (ast.While, ast.For)):
+            # Nested loops keep their own break/continue; only the
+            # induction variable matters.
+            inner = stmt.body
+            return all(check_stmt(s) for s in inner.statements)
+        return True
+
+    return all(check_stmt(s) for s in body.statements)
+
+
+def _unroll_for(stmt: ast.For, factor: int) -> Optional[ast.For]:
+    info = _analyse_for(stmt)
+    if info is None:
+        return None
+    trips = info.trip_count
+    if trips == 0 or trips % factor != 0:
+        return None
+    if not _body_is_unrollable(stmt.body, info.var):
+        return None
+
+    new_body = ast.Block(line=stmt.body.line)
+    for k in range(factor):
+        # Each copy keeps its own scope so local declarations inside the
+        # body do not collide across iterations.
+        new_body.statements.append(ast.Block(
+            line=stmt.body.line,
+            statements=copy.deepcopy(stmt.body.statements)))
+        if k != factor - 1:
+            new_body.statements.append(copy.deepcopy(stmt.step))
+    return ast.For(line=stmt.line, init=copy.deepcopy(stmt.init),
+                   cond=copy.deepcopy(stmt.cond),
+                   step=copy.deepcopy(stmt.step), body=new_body)
+
+
+def _walk_block(block: ast.Block, factor: int) -> int:
+    count = 0
+    for i, stmt in enumerate(block.statements):
+        if isinstance(stmt, ast.For):
+            unrolled = _unroll_for(stmt, factor)
+            if unrolled is not None:
+                block.statements[i] = unrolled
+                stmt = unrolled
+                count += 1
+            count += _walk_block(stmt.body, factor)
+        elif isinstance(stmt, ast.While):
+            count += _walk_block(stmt.body, factor)
+        elif isinstance(stmt, ast.If):
+            count += _walk_block(stmt.then_body, factor)
+            if stmt.else_body is not None:
+                count += _walk_block(stmt.else_body, factor)
+        elif isinstance(stmt, ast.Block):
+            count += _walk_block(stmt, factor)
+    return count
+
+
+def unroll_loops(program: ast.Program, factor: int) -> int:
+    """Unroll every eligible counted loop of *program* by *factor*
+    (in place).  Returns the number of loops unrolled."""
+    if factor < 2:
+        raise ValueError("unroll factor must be >= 2")
+    total = 0
+    for func in program.functions:
+        total += _walk_block(func.body, factor)
+    return total

@@ -1,0 +1,67 @@
+"""Pass management: ordered rewrites over IR functions.
+
+Passes are plain callables ``(Function) -> bool`` returning whether they
+changed anything.  :func:`optimize_module` runs the standard pipeline the
+experiments use: cleanup passes to fixpoint, then if-conversion (the paper's
+preprocessing step), then cleanup again.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from ..ir.function import Function, Module
+
+FunctionPass = Callable[[Function], bool]
+
+
+def run_to_fixpoint(func: Function, passes: Iterable[FunctionPass],
+                    max_rounds: int = 20) -> bool:
+    """Run *passes* repeatedly until nothing changes (or round limit)."""
+    passes = list(passes)
+    changed_any = False
+    for _ in range(max_rounds):
+        changed = False
+        for p in passes:
+            changed = p(func) or changed
+        changed_any = changed_any or changed
+        if not changed:
+            break
+    return changed_any
+
+
+def optimize_function(func: Function, if_convert: bool = True,
+                      max_speculated: int = 256) -> None:
+    """The standard optimisation pipeline for one function."""
+    from .constant_folding import fold_constants
+    from .copyprop import coalesce_copies, propagate_copies
+    from .cse import local_value_numbering
+    from .dce import eliminate_dead_code
+    from .if_conversion import IfConverter
+    from .simplify_cfg import simplify_cfg
+
+    cleanup: List[FunctionPass] = [
+        simplify_cfg,
+        propagate_copies,
+        fold_constants,
+        coalesce_copies,
+        local_value_numbering,
+        eliminate_dead_code,
+    ]
+    run_to_fixpoint(func, cleanup)
+    if if_convert:
+        converter = IfConverter(max_speculated=max_speculated)
+        for _ in range(20):
+            changed = converter.run(func)
+            changed = run_to_fixpoint(func, cleanup) or changed
+            if not changed:
+                break
+
+
+def optimize_module(module: Module, if_convert: bool = True,
+                    max_speculated: int = 256) -> Module:
+    """Optimise every function of *module* in place; returns the module."""
+    for func in module.functions.values():
+        optimize_function(func, if_convert=if_convert,
+                          max_speculated=max_speculated)
+    return module

@@ -1,0 +1,114 @@
+"""Control-flow graph cleanup.
+
+Four rewrites, iterated to a fixpoint by the pass manager:
+
+1. fold conditional branches with constant conditions into jumps;
+2. delete blocks unreachable from the entry;
+3. forward jumps through empty blocks (blocks whose only instruction is a
+   jump);
+4. merge a block into its unique predecessor when that predecessor's only
+   successor is the block (straight-line merging) — this is what grows the
+   big post-if-conversion basic blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ir.cfg import predecessors, reachable_blocks
+from ..ir.function import Function
+from ..ir.instructions import Instruction, jmp
+from ..ir.opcodes import Opcode
+from ..ir.values import Const
+
+
+def _fold_constant_branches(func: Function) -> bool:
+    changed = False
+    for block in func.blocks:
+        term = block.terminator
+        if term is None or term.opcode is not Opcode.BR:
+            continue
+        cond = term.operands[0]
+        if isinstance(cond, Const):
+            target = term.targets[0] if cond.value != 0 else term.targets[1]
+            block.instructions[-1] = jmp(target)
+            changed = True
+        elif term.targets[0] == term.targets[1]:
+            block.instructions[-1] = jmp(term.targets[0])
+            changed = True
+    return changed
+
+
+def _remove_unreachable(func: Function) -> bool:
+    reachable = reachable_blocks(func)
+    dead = [b.label for b in func.blocks if b.label not in reachable]
+    for label in dead:
+        func.remove_block(label)
+    return bool(dead)
+
+
+def _forward_empty_blocks(func: Function) -> bool:
+    """Retarget branches that go to a block containing only ``jmp X``."""
+    forward: Dict[str, str] = {}
+    for block in func.blocks:
+        if len(block.instructions) == 1:
+            term = block.terminator
+            if term is not None and term.opcode is Opcode.JMP:
+                forward[block.label] = term.targets[0]
+
+    def resolve(label: str) -> str:
+        seen = set()
+        while label in forward and label not in seen:
+            seen.add(label)
+            label = forward[label]
+        return label
+
+    changed = False
+    for block in func.blocks:
+        term = block.terminator
+        if term is None or not term.targets:
+            continue
+        new_targets = tuple(resolve(t) for t in term.targets)
+        if new_targets != term.targets:
+            # Self-forwarding empty infinite loops resolve to themselves.
+            if block.label not in new_targets or term.opcode is Opcode.BR:
+                term.targets = new_targets
+                changed = True
+    return changed
+
+
+def _merge_straight_line(func: Function) -> bool:
+    changed = False
+    while True:
+        preds = predecessors(func)
+        merged = False
+        for block in list(func.blocks):
+            term = block.terminator
+            if term is None or term.opcode is not Opcode.JMP:
+                continue
+            succ_label = term.targets[0]
+            if succ_label == block.label:
+                continue
+            if preds[succ_label] != [block.label]:
+                continue
+            succ = func.block(succ_label)
+            if succ is func.entry:
+                continue
+            block.instructions.pop()            # drop the jump
+            block.instructions.extend(succ.instructions)
+            func.remove_block(succ_label)
+            merged = True
+            changed = True
+            break
+        if not merged:
+            return changed
+
+
+def simplify_cfg(func: Function) -> bool:
+    """Run all CFG cleanups once; return whether anything changed."""
+    changed = _fold_constant_branches(func)
+    changed = _remove_unreachable(func) or changed
+    changed = _forward_empty_blocks(func) or changed
+    changed = _remove_unreachable(func) or changed
+    changed = _merge_straight_line(func) or changed
+    return changed

@@ -1,0 +1,5 @@
+"""Benchmark workloads written in MiniC, with golden Python models."""
+
+from .registry import WORKLOADS, Workload, get_workload, paper_benchmarks
+
+__all__ = ["WORKLOADS", "Workload", "get_workload", "paper_benchmarks"]

@@ -1,0 +1,255 @@
+"""IMA/DVI ADPCM coder and decoder — the paper's motivating benchmark.
+
+``adpcmdecode``'s hot basic block (after if-conversion) is the paper's
+Fig. 3: table lookups feeding an index update, the approximate
+``16x4``-bit multiply (subgraphs M1/M2) and the saturation network.  The
+MiniC sources below are a faithful port of the MediaBench kernel (arrays
+instead of pointers); :func:`decode_golden` / :func:`encode_golden` are
+independent pure-Python implementations used to prove bit-exactness.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8]
+
+STEPSIZE_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+    19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+    50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+    130, 143, 158, 173, 190, 209, 230, 253, 279, 307,
+    337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+    876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+    5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+]
+
+#: Buffer sizes used by the MiniC drivers.
+MAX_SAMPLES = 4096
+
+_TABLES = f"""
+int indexTable[16] = {{{', '.join(str(v) for v in INDEX_TABLE)}}};
+int stepsizeTable[89] = {{{', '.join(str(v) for v in STEPSIZE_TABLE)}}};
+"""
+
+DECODE_SOURCE = _TABLES + f"""
+int inbuf[{MAX_SAMPLES // 2}];
+int outbuf[{MAX_SAMPLES}];
+
+void adpcm_decode(int len) {{
+  int valpred = 0;
+  int index = 0;
+  int step = 7;
+  int bufferstep = 0;
+  int inputbuffer = 0;
+  int i;
+  for (i = 0; i < len; i++) {{
+    int delta;
+    if (bufferstep) {{
+      delta = inputbuffer & 15;
+    }} else {{
+      inputbuffer = inbuf[i >> 1];
+      delta = (inputbuffer >> 4) & 15;
+    }}
+    bufferstep = !bufferstep;
+
+    index = index + indexTable[delta];
+    if (index < 0) index = 0;
+    if (index > 88) index = 88;
+
+    int sign = delta & 8;
+    delta = delta & 7;
+
+    int vpdiff = step >> 3;
+    if (delta & 4) vpdiff = vpdiff + step;
+    if (delta & 2) vpdiff = vpdiff + (step >> 1);
+    if (delta & 1) vpdiff = vpdiff + (step >> 2);
+
+    if (sign) {{
+      valpred = valpred - vpdiff;
+    }} else {{
+      valpred = valpred + vpdiff;
+    }}
+
+    if (valpred > 32767) valpred = 32767;
+    if (valpred < -32768) valpred = -32768;
+
+    step = stepsizeTable[index];
+    outbuf[i] = valpred;
+  }}
+}}
+"""
+
+ENCODE_SOURCE = _TABLES + f"""
+int pcmbuf[{MAX_SAMPLES}];
+int adpcmbuf[{MAX_SAMPLES // 2}];
+
+void adpcm_encode(int len) {{
+  int valpred = 0;
+  int index = 0;
+  int step = 7;
+  int bufferstep = 1;
+  int outputbuffer = 0;
+  int i;
+  for (i = 0; i < len; i++) {{
+    int val = pcmbuf[i];
+    int diff = val - valpred;
+    int sign = 0;
+    if (diff < 0) {{
+      sign = 8;
+      diff = -diff;
+    }}
+
+    int delta = 0;
+    int vpdiff = step >> 3;
+    int tempstep = step;
+    if (diff >= tempstep) {{
+      delta = 4;
+      diff = diff - tempstep;
+      vpdiff = vpdiff + step;
+    }}
+    tempstep = tempstep >> 1;
+    if (diff >= tempstep) {{
+      delta = delta | 2;
+      diff = diff - tempstep;
+      vpdiff = vpdiff + (step >> 1);
+    }}
+    tempstep = tempstep >> 1;
+    if (diff >= tempstep) {{
+      delta = delta | 1;
+      vpdiff = vpdiff + (step >> 2);
+    }}
+
+    if (sign) {{
+      valpred = valpred - vpdiff;
+    }} else {{
+      valpred = valpred + vpdiff;
+    }}
+    if (valpred > 32767) valpred = 32767;
+    if (valpred < -32768) valpred = -32768;
+
+    delta = delta | sign;
+    index = index + indexTable[delta];
+    if (index < 0) index = 0;
+    if (index > 88) index = 88;
+    step = stepsizeTable[index];
+
+    if (bufferstep) {{
+      outputbuffer = (delta << 4) & 0xf0;
+    }} else {{
+      adpcmbuf[i >> 1] = (delta & 0x0f) | outputbuffer;
+    }}
+    bufferstep = !bufferstep;
+  }}
+}}
+"""
+
+
+# ----------------------------------------------------------------------
+# Golden models (independent reimplementation, pure Python).
+# ----------------------------------------------------------------------
+def _clamp16(value: int) -> int:
+    return max(-32768, min(32767, value))
+
+
+def encode_golden(samples: Sequence[int]) -> List[int]:
+    """Reference ADPCM encoder: 16-bit samples -> packed 4-bit codes
+    (one byte per pair, first sample in the high nibble)."""
+    valpred = 0
+    index = 0
+    step = STEPSIZE_TABLE[0]
+    out: List[int] = []
+    outputbuffer = 0
+    bufferstep = True
+    for val in samples:
+        diff = val - valpred
+        sign = 8 if diff < 0 else 0
+        if sign:
+            diff = -diff
+
+        delta = 0
+        vpdiff = step >> 3
+        tempstep = step
+        if diff >= tempstep:
+            delta = 4
+            diff -= tempstep
+            vpdiff += step
+        tempstep >>= 1
+        if diff >= tempstep:
+            delta |= 2
+            diff -= tempstep
+            vpdiff += step >> 1
+        tempstep >>= 1
+        if diff >= tempstep:
+            delta |= 1
+            vpdiff += step >> 2
+
+        valpred = valpred - vpdiff if sign else valpred + vpdiff
+        valpred = _clamp16(valpred)
+
+        delta |= sign
+        index += INDEX_TABLE[delta]
+        index = max(0, min(88, index))
+        step = STEPSIZE_TABLE[index]
+
+        if bufferstep:
+            outputbuffer = (delta << 4) & 0xF0
+        else:
+            out.append((delta & 0x0F) | outputbuffer)
+        bufferstep = not bufferstep
+    return out
+
+
+def decode_golden(codes: Sequence[int], num_samples: int) -> List[int]:
+    """Reference ADPCM decoder: packed codes -> 16-bit samples."""
+    valpred = 0
+    index = 0
+    step = STEPSIZE_TABLE[0]
+    out: List[int] = []
+    inputbuffer = 0
+    bufferstep = False
+    for i in range(num_samples):
+        if bufferstep:
+            delta = inputbuffer & 0xF
+        else:
+            inputbuffer = codes[i >> 1]
+            delta = (inputbuffer >> 4) & 0xF
+        bufferstep = not bufferstep
+
+        index += INDEX_TABLE[delta]
+        index = max(0, min(88, index))
+
+        sign = delta & 8
+        delta &= 7
+
+        vpdiff = step >> 3
+        if delta & 4:
+            vpdiff += step
+        if delta & 2:
+            vpdiff += step >> 1
+        if delta & 1:
+            vpdiff += step >> 2
+
+        valpred = valpred - vpdiff if sign else valpred + vpdiff
+        valpred = _clamp16(valpred)
+
+        step = STEPSIZE_TABLE[index]
+        out.append(valpred)
+    return out
+
+
+def make_pcm_input(num_samples: int, seed: int = 1234) -> List[int]:
+    """Deterministic pseudo-speech test signal (sum of slow ramps and
+    noise, clamped to 16 bits)."""
+    rng = random.Random(seed)
+    samples: List[int] = []
+    value = 0
+    for i in range(num_samples):
+        value += rng.randint(-700, 700)
+        value = int(value * 0.98)
+        wave = int(6000 * ((i % 200) - 100) / 100)
+        samples.append(_clamp16(value + wave))
+    return samples

@@ -1,0 +1,60 @@
+"""Bitwise CRC-32 (reflected, polynomial 0xEDB88320), bit-at-a-time.
+
+A logic-dominated workload: the inner loop is shifts, XORs and a select —
+the opposite operator mix from the MAC-heavy DSP kernels.  Chains of
+1-cycle logic ops are where AFUs shine (many software cycles collapse into
+a fraction of a MAC delay), and where the input-port constraint, not the
+critical path, limits the cut size.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+MAX_BYTES = 4096
+POLY = 0xEDB88320
+
+
+# The polynomial constant 0xEDB88320 as a signed 32-bit literal.
+_POLY_SIGNED = POLY - (1 << 32)   # -306674912
+
+SOURCE = f"""
+int data[{MAX_BYTES}];
+int crc_out;
+
+void crc32(int len) {{
+  int crc = -1;
+  int i;
+  for (i = 0; i < len; i++) {{
+    int byte = data[i] & 255;
+    crc = crc ^ byte;
+    int b;
+    for (b = 0; b < 8; b++) {{
+      int mask = -(crc & 1);
+      crc = ((crc >> 1) & 0x7fffffff) ^ (mask & ({_POLY_SIGNED}));
+    }}
+  }}
+  crc_out = ~crc;
+}}
+"""
+
+
+def crc32_golden(data: Sequence[int]) -> int:
+    """Reference CRC-32, returned as a signed 32-bit value (matching the
+    IR's numeric domain)."""
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc ^= byte & 0xFF
+        for _ in range(8):
+            mask = -(crc & 1) & 0xFFFFFFFF
+            crc = (crc >> 1) ^ (POLY & mask)
+    result = (~crc) & 0xFFFFFFFF
+    if result > 0x7FFFFFFF:
+        result -= 1 << 32
+    return result
+
+
+def make_input(num_bytes: int, seed: int = 99) -> List[int]:
+    rng = random.Random(seed)
+    return [rng.randint(0, 255) for _ in range(num_bytes)]

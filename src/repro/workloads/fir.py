@@ -1,0 +1,63 @@
+"""Saturating fixed-point FIR filter — a generic DSP workload.
+
+An 8-tap Q15 FIR with rounding and output saturation: the accumulation
+chain is the textbook multiply-accumulate pattern, so the identified AFUs
+should look like (partial) MAC trees.  Used as an extra benchmark beyond
+the paper's three, and by the quickstart example.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+NUM_TAPS = 8
+MAX_SAMPLES = 2048
+
+DEFAULT_COEFFS = [1310, -2621, 5243, 14418, 14418, 5243, -2621, 1310]
+
+SOURCE = f"""
+int x_in[{MAX_SAMPLES + NUM_TAPS}];
+int y_out[{MAX_SAMPLES}];
+int coeff[{NUM_TAPS}] = {{{', '.join(str(v) for v in DEFAULT_COEFFS)}}};
+
+void fir_filter(int len) {{
+  int n;
+  for (n = 0; n < len; n++) {{
+    int acc = 16384;
+    int k;
+    for (k = 0; k < {NUM_TAPS}; k++) {{
+      acc = acc + coeff[k] * x_in[n + k];
+    }}
+    acc = acc >> 15;
+    if (acc > 32767) acc = 32767;
+    if (acc < -32768) acc = -32768;
+    y_out[n] = acc;
+  }}
+}}
+"""
+
+
+def _clamp16(value: int) -> int:
+    return max(-32768, min(32767, value))
+
+
+def fir_golden(samples: Sequence[int],
+               coeffs: Sequence[int] = tuple(DEFAULT_COEFFS)) -> List[int]:
+    """Reference FIR, bit-exact against the MiniC kernel.
+
+    ``samples`` must include the NUM_TAPS-1 history tail (the MiniC driver
+    zero-pads, so pass ``len(samples) == n + NUM_TAPS`` with zeros)."""
+    out: List[int] = []
+    n = len(samples) - NUM_TAPS
+    for i in range(n):
+        acc = 16384
+        for k in range(NUM_TAPS):
+            acc += coeffs[k] * samples[i + k]
+        out.append(_clamp16(acc >> 15))
+    return out
+
+
+def make_input(num_samples: int, seed: int = 5150) -> List[int]:
+    rng = random.Random(seed)
+    return [rng.randint(-32768, 32767) for _ in range(num_samples)]

@@ -1,0 +1,148 @@
+"""G.721 ADPCM predictor kernel (MediaBench ``g721``).
+
+The heart of the CCITT G.721 codec is ``fmult`` — a multiply of two values
+held in a custom floating-point-ish short format (4-bit exponent, 6-bit
+mantissa), used six times per sample by the zero predictor.  Its dataflow
+(sign handling, ``quan`` exponent extraction, mantissa align, renormalise)
+is a textbook candidate for an instruction-set extension, and its variable
+shifts exercise the barrel-shifter costs of the hardware model.
+
+The MiniC kernel computes the zero-predictor partial signal estimate over
+a stream of quantised difference values; :func:`predict_golden` is an
+independent Python model, bit-exact against the compiled version (both
+define shift amounts modulo 32, like the IR).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+MAX_SAMPLES = 1024
+NUM_TAPS = 6
+
+#: Fixed predictor coefficients (Q? representative magnitudes, signed).
+DEFAULT_B = [126, -418, 62, -172, 98, -28]
+
+POWER2 = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192]
+
+SOURCE = f"""
+int dq_in[{MAX_SAMPLES}];
+int sez_out[{MAX_SAMPLES}];
+int bcoef[{NUM_TAPS}] = {{{', '.join(str(v) for v in DEFAULT_B)}}};
+int dqhist[{NUM_TAPS}];
+int power2[14] = {{{', '.join(str(v) for v in POWER2)}}};
+
+int quan(int val) {{
+  int i;
+  for (i = 0; i < 14; i++) {{
+    if (val < power2[i]) {{
+      return i;
+    }}
+  }}
+  return 14;
+}}
+
+int fmult(int an, int srn) {{
+  int anmag;
+  int anexp;
+  int anmant;
+  int wanexp;
+  int wanmant;
+  int retval;
+
+  if (an > 0) {{
+    anmag = an >> 2;
+  }} else {{
+    anmag = ((-an) >> 2) & 8191;
+  }}
+  anexp = quan(anmag) - 6;
+  if (anmag == 0) {{
+    anmant = 32;
+  }} else {{
+    if (anexp >= 0) {{
+      anmant = anmag >> anexp;
+    }} else {{
+      anmant = anmag << (-anexp);
+    }}
+  }}
+  wanexp = anexp + ((srn >> 6) & 15) - 13;
+  wanmant = (anmant * (srn & 63) + 48) >> 4;
+  if (wanexp >= 0) {{
+    retval = (wanmant << wanexp) & 32767;
+  }} else {{
+    retval = wanmant >> (-wanexp);
+  }}
+  if ((an ^ srn) < 0) {{
+    return -retval;
+  }}
+  return retval;
+}}
+
+void g721_predict(int len) {{
+  int k;
+  for (k = 0; k < len; k++) {{
+    int dq = dq_in[k];
+    int sez = 0;
+    int i;
+    for (i = 0; i < {NUM_TAPS}; i++) {{
+      sez = sez + fmult(bcoef[i] >> 2, dqhist[i]);
+    }}
+    sez = sez >> 1;
+    int j;
+    for (j = {NUM_TAPS} - 1; j >= 1; j -= 1) {{
+      dqhist[j] = dqhist[j - 1];
+    }}
+    dqhist[0] = dq;
+    sez_out[k] = sez;
+  }}
+}}
+"""
+
+
+def _quan(val: int) -> int:
+    for i, p in enumerate(POWER2):
+        if val < p:
+            return i
+    return 14
+
+
+def _fmult(an: int, srn: int) -> int:
+    if an > 0:
+        anmag = an >> 2
+    else:
+        anmag = ((-an) >> 2) & 8191
+    anexp = _quan(anmag) - 6
+    if anmag == 0:
+        anmant = 32
+    else:
+        anmant = anmag >> anexp if anexp >= 0 else anmag << (-anexp)
+    wanexp = anexp + ((srn >> 6) & 15) - 13
+    wanmant = (anmant * (srn & 63) + 48) >> 4
+    if wanexp >= 0:
+        retval = (wanmant << (wanexp & 31)) & 32767
+    else:
+        retval = wanmant >> ((-wanexp) & 31)
+    return -retval if (an ^ srn) < 0 else retval
+
+
+def predict_golden(dq_values: Sequence[int],
+                   b: Sequence[int] = tuple(DEFAULT_B)) -> List[int]:
+    """Reference zero-predictor, bit-exact against the MiniC kernel."""
+    history = [0] * NUM_TAPS
+    out: List[int] = []
+    for dq in dq_values:
+        sez = 0
+        for i in range(NUM_TAPS):
+            sez += _fmult(b[i] >> 2, history[i])
+        sez >>= 1
+        history = [dq] + history[:-1]
+        out.append(sez)
+    return out
+
+
+def make_input(num_samples: int, seed: int = 4242) -> List[int]:
+    """Quantised-difference stream in the codec's typical dynamic range
+    (sign-magnitude-ish small values)."""
+    rng = random.Random(seed)
+    return [rng.randint(0, 1 << 12) for _ in range(num_samples)]

@@ -1,0 +1,98 @@
+"""GSM 06.10-style short-term analysis filter kernel.
+
+A faithful extraction of the lattice filter at the heart of the GSM
+full-rate encoder (MediaBench ``gsm``): per sample, eight lattice stages
+of rounded Q15 multiplies (``gsm_mult_r``) and saturating adds
+(``gsm_add``).  The saturations become ``SELECT`` chains after
+if-conversion and the stage is MAC-shaped — exactly the operator mix the
+paper's AFUs accelerate.
+
+The eight-stage inner loop is a natural target for the unrolling extension
+(Section 9 of the paper): unrolled by 8, the whole per-sample computation
+becomes one large basic block.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+NUM_STAGES = 8
+MAX_SAMPLES = 2048
+
+#: Representative reflection coefficients (Q15), mid-range magnitudes.
+DEFAULT_RP = [22118, -14336, 8192, -4096, 11264, -6144, 3072, -1536]
+
+SOURCE = f"""
+int s_in[{MAX_SAMPLES}];
+int s_out[{MAX_SAMPLES}];
+int rp[{NUM_STAGES}] = {{{', '.join(str(v) for v in DEFAULT_RP)}}};
+int u[{NUM_STAGES}];
+
+int gsm_add(int a, int b) {{
+  int sum = a + b;
+  if (sum > 32767) sum = 32767;
+  if (sum < -32768) sum = -32768;
+  return sum;
+}}
+
+void short_term_analysis(int len) {{
+  int k;
+  int i;
+  for (k = 0; k < len; k++) {{
+    int di = s_in[k];
+    int sav = di;
+    for (i = 0; i < {NUM_STAGES}; i++) {{
+      int ui = u[i];
+      int rpi = rp[i];
+      u[i] = sav;
+
+      int zzz = (rpi * di + 16384) >> 15;
+      sav = ui + zzz;
+      if (sav > 32767) sav = 32767;
+      if (sav < -32768) sav = -32768;
+
+      zzz = (rpi * ui + 16384) >> 15;
+      di = di + zzz;
+      if (di > 32767) di = 32767;
+      if (di < -32768) di = -32768;
+    }}
+    s_out[k] = di;
+  }}
+}}
+"""
+
+
+def _clamp16(value: int) -> int:
+    return max(-32768, min(32767, value))
+
+
+def short_term_golden(samples: Sequence[int],
+                      rp: Sequence[int] = tuple(DEFAULT_RP)) -> List[int]:
+    """Reference lattice filter, bit-exact against the MiniC kernel."""
+    u = [0] * NUM_STAGES
+    out: List[int] = []
+    for sample in samples:
+        di = sample
+        sav = di
+        for i in range(NUM_STAGES):
+            ui = u[i]
+            rpi = rp[i]
+            u[i] = sav
+            zzz = (rpi * di + 16384) >> 15
+            sav = _clamp16(ui + zzz)
+            zzz = (rpi * ui + 16384) >> 15
+            di = _clamp16(di + zzz)
+        out.append(di)
+    return out
+
+
+def make_input(num_samples: int, seed: int = 77) -> List[int]:
+    """Deterministic pseudo-speech input, 13-bit range like GSM frames."""
+    rng = random.Random(seed)
+    samples: List[int] = []
+    value = 0
+    for _ in range(num_samples):
+        value = int(0.95 * value) + rng.randint(-400, 400)
+        samples.append(_clamp16(value * 4))
+    return samples

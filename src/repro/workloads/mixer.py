@@ -1,0 +1,72 @@
+"""SHA-style word mixer — wide-logic workload with rotates.
+
+Each round mixes four 32-bit state words with xor/add/rotate (rotates are
+``shl | lshr`` pairs in MiniC, which the identifier happily fuses into one
+AFU).  Exercises many-input cuts: a round function reads all four state
+words, so the identified instructions track the ``Nin`` constraint closely.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+MAX_WORDS = 2048
+NUM_ROUNDS_PER_WORD = 2
+
+SOURCE = f"""
+int msg[{MAX_WORDS}];
+int digest[4];
+
+void mix(int len) {{
+  int a = 0x67452301;
+  int b = -271733879;
+  int c = -1732584194;
+  int d = 0x10325476;
+  int i;
+  for (i = 0; i < len; i++) {{
+    int w = msg[i];
+    a = a + (b ^ c ^ d) + w;
+    a = ((a << 7) | ((a >> 25) & 127));
+    d = d + ((a & b) | (~a & c)) + w;
+    d = ((d << 12) | ((d >> 20) & 4095));
+    c = c ^ (a + d);
+    b = b + ((c << 3) | ((c >> 29) & 7));
+  }}
+  digest[0] = a;
+  digest[1] = b;
+  digest[2] = c;
+  digest[3] = d;
+}}
+"""
+
+
+def _wrap32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value > 0x7FFFFFFF else value
+
+
+def _u32(value: int) -> int:
+    return value & 0xFFFFFFFF
+
+
+def mix_golden(words: Sequence[int]) -> Tuple[int, int, int, int]:
+    """Reference mixer, bit-exact against the MiniC kernel."""
+    a = 0x67452301
+    b = _u32(-271733879)
+    c = _u32(-1732584194)
+    d = 0x10325476
+    for w in words:
+        w = _u32(w)
+        a = _u32(a + (b ^ c ^ d) + w)
+        a = _u32((a << 7) | ((a >> 25) & 127))
+        d = _u32(d + ((a & b) | (~a & c)) + w)
+        d = _u32((d << 12) | ((d >> 20) & 4095))
+        c = _u32(c ^ _u32(a + d))
+        b = _u32(b + _u32((c << 3) | ((c >> 29) & 7)))
+    return (_wrap32(a), _wrap32(b), _wrap32(c), _wrap32(d))
+
+
+def make_input(num_words: int, seed: int = 2024) -> List[int]:
+    rng = random.Random(seed)
+    return [_wrap32(rng.getrandbits(32)) for _ in range(num_words)]

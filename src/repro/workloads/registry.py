@@ -1,0 +1,234 @@
+"""Workload registry: one place that knows how to build, drive and verify
+every benchmark application.
+
+A :class:`Workload` bundles the MiniC source, the entry function, a driver
+(fills input arrays, returns the call arguments) and a verifier comparing
+interpreter output against the independent golden model.  The registry is
+what the Fig. 11 harness, the examples and the CLI iterate over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..interp.memory import Memory
+from . import adpcm, crc, fir, g721, gsm, mixer
+
+DriverFn = Callable[[Memory, int], Sequence[int]]
+VerifyFn = Callable[[Memory, int], None]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A runnable benchmark application.
+
+    Attributes:
+        name: registry key (e.g. ``"adpcm-decode"``).
+        source: MiniC program text.
+        entry: function to profile and specialise.
+        driver: fills the memory image for a run of size ``n`` and returns
+            the argument list for ``entry``.
+        verify: raises ``AssertionError`` if the memory image after a run
+            of size ``n`` does not match the golden model.
+        default_n: problem size used by profiling and benches.
+        paper_benchmark: True for the three benchmarks of the paper's
+            Fig. 11.
+        description: one-line summary for reports.
+    """
+
+    name: str
+    source: str
+    entry: str
+    driver: DriverFn
+    verify: VerifyFn
+    default_n: int = 256
+    paper_benchmark: bool = False
+    description: str = ""
+
+
+# ----------------------------------------------------------------------
+# adpcm-decode
+# ----------------------------------------------------------------------
+def _adpcm_decode_driver(memory: Memory, n: int) -> Sequence[int]:
+    pcm = adpcm.make_pcm_input(n)
+    codes = adpcm.encode_golden(pcm)
+    memory.write_array("inbuf", codes)
+    return [n]
+
+
+def _adpcm_decode_verify(memory: Memory, n: int) -> None:
+    pcm = adpcm.make_pcm_input(n)
+    codes = adpcm.encode_golden(pcm)
+    expected = adpcm.decode_golden(codes, n)
+    actual = memory.read_array("outbuf", n)
+    assert actual == expected, "adpcm-decode output mismatch"
+
+
+# ----------------------------------------------------------------------
+# adpcm-encode
+# ----------------------------------------------------------------------
+def _adpcm_encode_driver(memory: Memory, n: int) -> Sequence[int]:
+    memory.write_array("pcmbuf", adpcm.make_pcm_input(n))
+    return [n]
+
+
+def _adpcm_encode_verify(memory: Memory, n: int) -> None:
+    expected = adpcm.encode_golden(adpcm.make_pcm_input(n))
+    actual = memory.read_array("adpcmbuf", len(expected))
+    assert actual == expected, "adpcm-encode output mismatch"
+
+
+# ----------------------------------------------------------------------
+# gsm (short-term analysis filter)
+# ----------------------------------------------------------------------
+def _gsm_driver(memory: Memory, n: int) -> Sequence[int]:
+    memory.write_array("s_in", gsm.make_input(n))
+    return [n]
+
+
+def _gsm_verify(memory: Memory, n: int) -> None:
+    expected = gsm.short_term_golden(gsm.make_input(n))
+    actual = memory.read_array("s_out", n)
+    assert actual == expected, "gsm output mismatch"
+
+
+# ----------------------------------------------------------------------
+# fir
+# ----------------------------------------------------------------------
+def _fir_driver(memory: Memory, n: int) -> Sequence[int]:
+    memory.write_array("x_in", fir.make_input(n + fir.NUM_TAPS))
+    return [n]
+
+
+def _fir_verify(memory: Memory, n: int) -> None:
+    expected = fir.fir_golden(fir.make_input(n + fir.NUM_TAPS))
+    actual = memory.read_array("y_out", n)
+    assert actual == expected, "fir output mismatch"
+
+
+# ----------------------------------------------------------------------
+# crc32
+# ----------------------------------------------------------------------
+def _crc_driver(memory: Memory, n: int) -> Sequence[int]:
+    memory.write_array("data", crc.make_input(n))
+    return [n]
+
+
+def _crc_verify(memory: Memory, n: int) -> None:
+    expected = crc.crc32_golden(crc.make_input(n))
+    assert memory.scalar("crc_out") == expected, "crc32 mismatch"
+
+
+# ----------------------------------------------------------------------
+# g721 (zero predictor with fmult)
+# ----------------------------------------------------------------------
+def _g721_driver(memory: Memory, n: int) -> Sequence[int]:
+    memory.write_array("dq_in", g721.make_input(n))
+    return [n]
+
+
+def _g721_verify(memory: Memory, n: int) -> None:
+    expected = g721.predict_golden(g721.make_input(n))
+    actual = memory.read_array("sez_out", n)
+    assert actual == expected, "g721 predictor mismatch"
+
+
+# ----------------------------------------------------------------------
+# mixer
+# ----------------------------------------------------------------------
+def _mixer_driver(memory: Memory, n: int) -> Sequence[int]:
+    memory.write_array("msg", mixer.make_input(n))
+    return [n]
+
+
+def _mixer_verify(memory: Memory, n: int) -> None:
+    expected = list(mixer.mix_golden(mixer.make_input(n)))
+    actual = memory.read_array("digest", 4)
+    assert actual == expected, "mixer digest mismatch"
+
+
+WORKLOADS: Dict[str, Workload] = {
+    w.name: w for w in [
+        Workload(
+            name="adpcm-decode",
+            source=adpcm.DECODE_SOURCE,
+            entry="adpcm_decode",
+            driver=_adpcm_decode_driver,
+            verify=_adpcm_decode_verify,
+            default_n=512,
+            paper_benchmark=True,
+            description="IMA ADPCM decoder (the paper's Fig. 3 benchmark)",
+        ),
+        Workload(
+            name="adpcm-encode",
+            source=adpcm.ENCODE_SOURCE,
+            entry="adpcm_encode",
+            driver=_adpcm_encode_driver,
+            verify=_adpcm_encode_verify,
+            default_n=512,
+            paper_benchmark=True,
+            description="IMA ADPCM encoder",
+        ),
+        Workload(
+            name="gsm",
+            source=gsm.SOURCE,
+            entry="short_term_analysis",
+            driver=_gsm_driver,
+            verify=_gsm_verify,
+            default_n=256,
+            paper_benchmark=True,
+            description="GSM 06.10 short-term analysis lattice filter",
+        ),
+        Workload(
+            name="fir",
+            source=fir.SOURCE,
+            entry="fir_filter",
+            driver=_fir_driver,
+            verify=_fir_verify,
+            default_n=256,
+            description="8-tap saturating Q15 FIR filter",
+        ),
+        Workload(
+            name="crc32",
+            source=crc.SOURCE,
+            entry="crc32",
+            driver=_crc_driver,
+            verify=_crc_verify,
+            default_n=256,
+            description="bitwise CRC-32 (logic-dominated)",
+        ),
+        Workload(
+            name="g721",
+            source=g721.SOURCE,
+            entry="g721_predict",
+            driver=_g721_driver,
+            verify=_g721_verify,
+            default_n=128,
+            description="G.721 zero predictor (fmult custom-float "
+                        "multiply, MediaBench)",
+        ),
+        Workload(
+            name="mixer",
+            source=mixer.SOURCE,
+            entry="mix",
+            driver=_mixer_driver,
+            verify=_mixer_verify,
+            default_n=256,
+            description="SHA-style 32-bit word mixer (wide logic, rotates)",
+        ),
+    ]
+}
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise KeyError(f"unknown workload {name!r}; known: {known}")
+
+
+def paper_benchmarks() -> List[Workload]:
+    """The three benchmarks used for the paper's Fig. 11."""
+    return [w for w in WORKLOADS.values() if w.paper_benchmark]

@@ -1,0 +1,113 @@
+"""Tests for schedule legality — the operational meaning of convexity."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.afu.schedule import (
+    CyclicDependenceError,
+    cut_is_schedulable,
+    schedule_with_cuts,
+)
+from repro.core import Constraints, SearchLimits, select_iterative
+from repro.hwmodel import CostModel
+from repro.ir.synth import make_dfg, paper_figure4_dfg, random_dag_dfg
+from repro.ir.opcodes import Opcode
+
+MODEL = CostModel()
+
+
+class TestFigure4Argument:
+    """The paper's Fig. 4: collapsing the non-convex cut {0,1,3} leaves
+    no feasible schedule; the convex repairs all schedule fine."""
+
+    def test_nonconvex_cut_unschedulable(self):
+        dfg = paper_figure4_dfg()
+        assert not cut_is_schedulable(dfg, {0, 1, 3})
+
+    @pytest.mark.parametrize("cut", [
+        {0, 1, 2, 3},   # include node 2
+        {1, 3},          # remove node 0
+        {0, 1},          # remove node 3
+    ])
+    def test_repaired_cuts_schedulable(self, cut):
+        dfg = paper_figure4_dfg()
+        assert cut_is_schedulable(dfg, cut)
+
+
+class TestSchedule:
+    def test_empty_cut_list(self):
+        dfg = make_dfg([Opcode.ADD, Opcode.MUL], [(0, 1)], live_out=[1])
+        schedule = schedule_with_cuts(dfg)
+        assert len(schedule) == 2
+
+    def test_respects_dependences(self):
+        rng = random.Random(1)
+        dfg = random_dag_dfg(10, rng, edge_prob=0.4)
+        schedule = schedule_with_cuts(dfg)
+        position = {}
+        for slot in schedule:
+            for node in slot.nodes:
+                position[node] = slot.step
+        for producer in range(dfg.n):
+            for consumer in dfg.succs[producer]:
+                assert position[producer] < position[consumer]
+
+    def test_cut_becomes_one_slot(self):
+        dfg = make_dfg([Opcode.MUL, Opcode.ADD, Opcode.XOR],
+                       [(0, 1), (1, 2)], live_out=[2])
+        chain = [n.index for n in dfg.nodes]
+        schedule = schedule_with_cuts(dfg, [chain])
+        assert len(schedule) == 1
+        assert schedule[0].is_cut
+
+    def test_overlapping_cuts_rejected(self):
+        dfg = make_dfg([Opcode.MUL, Opcode.ADD], [(0, 1)], live_out=[1])
+        with pytest.raises(ValueError):
+            schedule_with_cuts(dfg, [{0, 1}, {1}])
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 2 ** 31), st.integers(2, 10))
+def test_schedulability_equals_convexity(seed, n):
+    """For single cuts, the scheduler's verdict must coincide with the
+    DFG convexity predicate on every random subset."""
+    rng = random.Random(seed)
+    dfg = random_dag_dfg(n, rng, edge_prob=0.4)
+    for _ in range(8):
+        cut = {i for i in range(n) if rng.random() < 0.5}
+        if not cut:
+            continue
+        assert cut_is_schedulable(dfg, cut) == dfg.is_convex(cut)
+
+
+class TestSelectedCutsSchedule:
+    def test_iterative_selection_is_schedulable(self, adpcm_decode_app):
+        """Everything the selection returns must schedule together."""
+        cons = Constraints(nin=4, nout=2, ninstr=4)
+        result = select_iterative(adpcm_decode_app.dfgs, cons, MODEL,
+                                  SearchLimits(max_considered=400_000))
+        # Group the cuts by their (collapsed) source block: schedule each
+        # block's original DFG with the nodes mapped back by instruction
+        # identity.
+        by_block = {}
+        for cut in result.cuts:
+            by_block.setdefault(cut.dfg.name, []).append(cut)
+        for name, cuts in by_block.items():
+            original = next(d for d in adpcm_decode_app.dfgs
+                            if d.name == name)
+            insn_to_node = {
+                id(node.insns[0]): node.index
+                for node in original.nodes if len(node.insns) == 1
+            }
+            mapped = []
+            for cut in cuts:
+                nodes = set()
+                for i in cut.nodes:
+                    for insn in cut.dfg.nodes[i].insns:
+                        nodes.add(insn_to_node[id(insn)])
+                mapped.append(nodes)
+            schedule_with_cuts(original, mapped)   # must not raise

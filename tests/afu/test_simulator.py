@@ -1,0 +1,68 @@
+"""Tests for the cycle-approximate AFU simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.afu import CycleSimulator, simulate_selection
+from repro.core import Constraints, select_iterative
+from repro.hwmodel import CostModel
+from repro.interp import Memory
+from repro.workloads import get_workload
+
+MODEL = CostModel()
+
+
+def run_sim(app, cuts, n):
+    workload = get_workload(app.name)
+    memory = Memory(app.module)
+    args = workload.driver(memory, n)
+    return simulate_selection(app.module, app.entry, args, cuts,
+                              MODEL, memory=memory)
+
+
+class TestBaseline:
+    def test_no_cuts_means_no_speedup(self, adpcm_decode_app):
+        sim = run_sim(adpcm_decode_app, [], 64)
+        assert sim.baseline_cycles == sim.specialized_cycles
+        assert sim.speedup == pytest.approx(1.0)
+
+    def test_baseline_scales_with_input(self, adpcm_decode_app):
+        small = run_sim(adpcm_decode_app, [], 32)
+        large = run_sim(adpcm_decode_app, [], 64)
+        assert large.baseline_cycles > small.baseline_cycles
+
+
+class TestWithCuts:
+    def test_cuts_reduce_cycles(self, adpcm_decode_app):
+        cons = Constraints(nin=4, nout=2, ninstr=4)
+        sel = select_iterative(adpcm_decode_app.dfgs, cons, MODEL)
+        sim = run_sim(adpcm_decode_app, sel.cuts, 64)
+        assert sim.specialized_cycles < sim.baseline_cycles
+        assert sim.speedup > 1.2
+
+    def test_dynamic_matches_static_on_profiled_blocks(
+            self, adpcm_decode_app):
+        """On the same input as profiling, the simulator's saved cycles
+        equal the selection's total merit exactly (the static model *is*
+        profile x per-block cost)."""
+        cons = Constraints(nin=4, nout=2, ninstr=4)
+        sel = select_iterative(adpcm_decode_app.dfgs, cons, MODEL)
+        sim = run_sim(adpcm_decode_app, sel.cuts, 64)
+        saved = sim.baseline_cycles - sim.specialized_cycles
+        assert saved == pytest.approx(sel.total_merit)
+
+    def test_speedup_generalizes_to_other_inputs(self, adpcm_decode_app):
+        cons = Constraints(nin=4, nout=2, ninstr=4)
+        sel = select_iterative(adpcm_decode_app.dfgs, cons, MODEL)
+        sim = run_sim(adpcm_decode_app, sel.cuts, 128)   # 2x profile size
+        assert sim.speedup > 1.2
+
+    def test_more_instructions_never_slower(self, gsm_app):
+        speedups = []
+        for ninstr in (1, 2, 4):
+            cons = Constraints(nin=4, nout=2, ninstr=ninstr)
+            sel = select_iterative(gsm_app.dfgs, cons, MODEL)
+            sim = run_sim(gsm_app, sel.cuts, 32)
+            speedups.append(sim.speedup)
+        assert speedups == sorted(speedups)

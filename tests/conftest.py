@@ -1,0 +1,44 @@
+"""Shared fixtures: compiled+profiled applications are expensive, so they
+are built once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hwmodel import CostModel
+from repro.pipeline import prepare_application
+
+
+@pytest.fixture(scope="session")
+def model():
+    return CostModel()
+
+
+@pytest.fixture(scope="session")
+def adpcm_decode_app():
+    return prepare_application("adpcm-decode", n=64)
+
+
+@pytest.fixture(scope="session")
+def adpcm_encode_app():
+    return prepare_application("adpcm-encode", n=64)
+
+
+@pytest.fixture(scope="session")
+def gsm_app():
+    return prepare_application("gsm", n=32)
+
+
+@pytest.fixture(scope="session")
+def fir_app():
+    return prepare_application("fir", n=32)
+
+
+@pytest.fixture(scope="session")
+def crc_app():
+    return prepare_application("crc32", n=16)
+
+
+@pytest.fixture(scope="session")
+def mixer_app():
+    return prepare_application("mixer", n=32)

@@ -1,0 +1,159 @@
+"""Tests for the Clubbing and MaxMISO baselines."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import Constraints, select_clubbing, select_maxmiso
+from repro.core.baselines import clubs_of_block, maxmiso_cuts, \
+    maxmiso_partition
+from repro.core.cut import cut_is_feasible, evaluate_cut
+from repro.core import select_iterative
+from repro.hwmodel import CostModel
+from repro.ir.opcodes import Opcode
+from repro.ir.synth import make_dfg, random_dag_dfg
+
+MODEL = CostModel()
+
+
+class TestMaxMISOPartition:
+    def test_chain_is_one_miso(self):
+        dfg = make_dfg([Opcode.MUL, Opcode.ADD, Opcode.ADD],
+                       [(0, 1), (1, 2)], live_out=[2])
+        groups = [g for g in maxmiso_partition(dfg) if len(g) > 0]
+        assert sorted(len(g) for g in groups) == [3]
+
+    def test_fanout_splits_misos(self):
+        # Node 0 feeds nodes 1 and 2: node 0 must root its own MISO.
+        dfg = make_dfg([Opcode.MUL, Opcode.ADD, Opcode.ADD],
+                       [(0, 1), (0, 2)], live_out=[1, 2])
+        groups = maxmiso_partition(dfg)
+        assert sorted(len(g) for g in groups) == [1, 1, 1]
+
+    def test_partition_is_a_partition(self):
+        rng = random.Random(4)
+        for trial in range(20):
+            dfg = random_dag_dfg(rng.randint(1, 12), rng,
+                                 edge_prob=rng.uniform(0.1, 0.6),
+                                 forbidden_prob=0.2)
+            groups = maxmiso_partition(dfg)
+            all_nodes = sorted(i for g in groups for i in g)
+            assert all_nodes == list(range(dfg.n))
+
+    def test_single_output_property(self):
+        rng = random.Random(8)
+        for trial in range(20):
+            dfg = random_dag_dfg(rng.randint(1, 12), rng,
+                                 edge_prob=rng.uniform(0.1, 0.6))
+            for group in maxmiso_partition(dfg):
+                if any(dfg.nodes[i].forbidden for i in group):
+                    continue
+                assert len(dfg.cut_outputs(group)) <= 1
+
+    def test_misos_are_convex(self):
+        rng = random.Random(12)
+        for trial in range(20):
+            dfg = random_dag_dfg(rng.randint(2, 12), rng,
+                                 edge_prob=rng.uniform(0.1, 0.6))
+            for group in maxmiso_partition(dfg):
+                assert dfg.is_convex(group)
+
+    def test_maximality(self):
+        """No MISO can absorb its neighbour producer without either
+        gaining a second output or stealing a shared node."""
+        rng = random.Random(21)
+        for trial in range(10):
+            dfg = random_dag_dfg(rng.randint(2, 10), rng, edge_prob=0.4)
+            groups = maxmiso_partition(dfg)
+            group_of = {}
+            for gid, g in enumerate(groups):
+                for i in g:
+                    group_of[i] = gid
+            for gid, g in enumerate(groups):
+                if any(dfg.nodes[i].forbidden for i in g):
+                    continue
+                members = set(g)
+                for i in g:
+                    for p in dfg.preds[i]:
+                        if p in members or dfg.nodes[p].forbidden:
+                            continue
+                        grown = members | {p}
+                        # Adding the producer must break the single-output
+                        # property (otherwise the MISO was not maximal).
+                        assert len(dfg.cut_outputs(grown)) > 1 or \
+                            dfg.nodes[p].forced_out
+
+
+class TestMaxMISOSelection:
+    def test_input_constraint_filters_whole_misos(self):
+        # 3-input MISO (two adds feeding one) is dropped at Nin=2 even
+        # though a 2-input sub-cut exists inside it — the paper's point
+        # about M1 buried in M2.
+        dfg = make_dfg([Opcode.MUL, Opcode.MUL, Opcode.ADD],
+                       [(0, 2), (1, 2)], live_out=[2])
+        wide = maxmiso_cuts(dfg, Constraints(nin=4, nout=1), MODEL)
+        narrow = maxmiso_cuts(dfg, Constraints(nin=2, nout=1), MODEL)
+        assert len(wide) == 1 and wide[0].size == 3
+        assert narrow == []
+
+    def test_insensitive_to_nout(self, adpcm_decode_app):
+        cons1 = Constraints(nin=4, nout=1, ninstr=8)
+        cons4 = Constraints(nin=4, nout=4, ninstr=8)
+        res1 = select_maxmiso(adpcm_decode_app.dfgs, cons1, MODEL)
+        res4 = select_maxmiso(adpcm_decode_app.dfgs, cons4, MODEL)
+        assert res1.total_merit == pytest.approx(res4.total_merit)
+
+    def test_selection_sorted_by_merit(self):
+        rng = random.Random(31)
+        dfgs = [random_dag_dfg(8, rng, edge_prob=0.3, name=f"b{k}")
+                for k in range(3)]
+        res = select_maxmiso(dfgs, Constraints(8, 1, 4), MODEL)
+        merits = [c.merit for c in res.cuts]
+        assert merits == sorted(merits, reverse=True)
+
+
+class TestClubbing:
+    def test_clubs_are_feasible(self):
+        rng = random.Random(6)
+        for trial in range(15):
+            dfg = random_dag_dfg(rng.randint(1, 14), rng,
+                                 edge_prob=rng.uniform(0.1, 0.5),
+                                 forbidden_prob=0.15)
+            cons = Constraints(nin=rng.randint(1, 4),
+                               nout=rng.randint(1, 3))
+            for club in clubs_of_block(dfg, cons, MODEL):
+                assert cut_is_feasible(dfg, club.nodes, cons)
+
+    def test_clubs_do_not_overlap(self):
+        rng = random.Random(7)
+        dfg = random_dag_dfg(12, rng, edge_prob=0.3)
+        cons = Constraints(3, 2)
+        seen = set()
+        for club in clubs_of_block(dfg, cons, MODEL):
+            assert not (club.nodes & seen)
+            seen |= club.nodes
+
+    def test_never_beats_exact_on_single_cut(self):
+        rng = random.Random(13)
+        for trial in range(10):
+            dfg = random_dag_dfg(rng.randint(2, 10), rng, edge_prob=0.4,
+                                 name=f"t{trial}")
+            cons = Constraints(nin=3, nout=2, ninstr=1)
+            club = select_clubbing([dfg], cons, MODEL)
+            exact = select_iterative([dfg], cons, MODEL)
+            assert club.total_merit <= exact.total_merit + 1e-9
+
+
+class TestBaselinesVsExact:
+    """The paper's headline: the exact algorithms dominate the baselines."""
+
+    def test_iterative_dominates_on_adpcm(self, adpcm_decode_app):
+        cons = Constraints(nin=4, nout=2, ninstr=16)
+        iterative = select_iterative(adpcm_decode_app.dfgs, cons, MODEL)
+        clubbing = select_clubbing(adpcm_decode_app.dfgs, cons, MODEL)
+        maxmiso = select_maxmiso(adpcm_decode_app.dfgs, cons, MODEL)
+        assert iterative.total_merit >= clubbing.total_merit
+        assert iterative.total_merit >= maxmiso.total_merit
+        assert iterative.speedup > 1.0

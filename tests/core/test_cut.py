@@ -1,0 +1,115 @@
+"""Unit tests for Cut, Constraints and the reference evaluation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import Constraints, Cut, cut_is_feasible, evaluate_cut
+from repro.hwmodel import CostModel
+from repro.ir.opcodes import Opcode
+from repro.ir.synth import make_dfg
+
+MODEL = CostModel()
+
+
+@pytest.fixture()
+def dfg():
+    # mul -> add -> shr, plus an independent xor.
+    return make_dfg(
+        [Opcode.MUL, Opcode.ADD, Opcode.ASHR, Opcode.XOR],
+        [(0, 1), (1, 2)],
+        live_out=[2, 3],
+        name="t",
+    )
+
+
+def by_op(dfg, op):
+    return [n.index for n in dfg.nodes if n.opcode is op][0]
+
+
+class TestConstraints:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Constraints(nin=0, nout=1)
+        with pytest.raises(ValueError):
+            Constraints(nin=1, nout=0)
+        with pytest.raises(ValueError):
+            Constraints(nin=1, nout=1, ninstr=0)
+
+    def test_describe(self):
+        text = Constraints(nin=4, nout=2, ninstr=16).describe()
+        assert "Nin=4" in text and "Nout=2" in text and "Ninstr=16" in text
+
+    def test_frozen(self):
+        cons = Constraints(nin=2, nout=1)
+        with pytest.raises(Exception):
+            cons.nin = 3
+
+
+class TestEvaluateCut:
+    def test_empty_cut(self, dfg):
+        cut = evaluate_cut(dfg, [], MODEL)
+        assert cut.size == 0
+        assert cut.merit == 0.0
+        assert cut.convex
+
+    def test_single_node(self, dfg):
+        mul = by_op(dfg, Opcode.MUL)
+        cut = evaluate_cut(dfg, [mul], MODEL)
+        assert cut.num_inputs == 2
+        assert cut.num_outputs == 1
+        assert cut.convex
+        assert cut.merit == 1.0        # 2 sw - 1 hw
+
+    def test_chain_cut(self, dfg):
+        members = [by_op(dfg, op) for op in
+                   (Opcode.MUL, Opcode.ADD, Opcode.ASHR)]
+        cut = evaluate_cut(dfg, members, MODEL)
+        assert cut.num_outputs == 1
+        assert cut.is_connected()
+        assert cut.satisfies(Constraints(nin=4, nout=1))
+        assert not cut.satisfies(Constraints(nin=3, nout=1))
+
+    def test_disconnected_cut(self, dfg):
+        members = [by_op(dfg, Opcode.MUL), by_op(dfg, Opcode.XOR)]
+        cut = evaluate_cut(dfg, members, MODEL)
+        assert not cut.is_connected()
+        assert cut.num_outputs == 2
+
+    def test_nonconvex_cut_flagged(self, dfg):
+        members = [by_op(dfg, Opcode.MUL), by_op(dfg, Opcode.ASHR)]
+        cut = evaluate_cut(dfg, members, MODEL)
+        assert not cut.convex
+        assert not cut.satisfies(Constraints(nin=8, nout=8))
+
+    def test_out_of_range_node(self, dfg):
+        with pytest.raises(ValueError):
+            evaluate_cut(dfg, [99], MODEL)
+
+    def test_forbidden_node_merit(self):
+        g = make_dfg([Opcode.LOAD], [], live_out=[0])
+        cut = evaluate_cut(g, [0], MODEL)
+        assert cut.merit == -math.inf
+
+    def test_node_labels(self, dfg):
+        mul = by_op(dfg, Opcode.MUL)
+        cut = evaluate_cut(dfg, [mul], MODEL)
+        assert cut.node_labels() == [dfg.nodes[mul].label]
+
+    def test_describe_mentions_shape(self, dfg):
+        members = [by_op(dfg, Opcode.MUL), by_op(dfg, Opcode.XOR)]
+        cut = evaluate_cut(dfg, members, MODEL)
+        assert "disconnected" in cut.describe()
+
+
+class TestFeasibility:
+    def test_feasible_cut(self, dfg):
+        mul = by_op(dfg, Opcode.MUL)
+        assert cut_is_feasible(dfg, [mul], Constraints(nin=2, nout=1))
+        assert not cut_is_feasible(dfg, [mul], Constraints(nin=1, nout=1))
+
+    def test_forbidden_rejected(self):
+        g = make_dfg([Opcode.STORE], [], live_out=[])
+        assert not cut_is_feasible(g, [0], Constraints(nin=8, nout=8))

@@ -1,0 +1,70 @@
+"""Tests for the (M+1)-ary multi-cut identification (Section 6.2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Constraints, find_best_cut, find_best_cuts
+from repro.core.bruteforce import best_disjoint_cuts_bruteforce
+from repro.hwmodel import CostModel
+from repro.ir.opcodes import Opcode
+from repro.ir.synth import make_dfg, random_dag_dfg
+
+MODEL = CostModel()
+
+
+class TestBasics:
+    def test_m1_equals_single_cut(self):
+        dfg = make_dfg([Opcode.MUL, Opcode.ADD, Opcode.ADD],
+                       [(0, 1), (1, 2)], live_out=[2])
+        cons = Constraints(nin=4, nout=1)
+        single = find_best_cut(dfg, cons, MODEL)
+        multi = find_best_cuts(dfg, cons, 1, MODEL)
+        assert multi.total_merit == pytest.approx(single.cut.merit)
+
+    def test_two_cuts_capture_two_islands(self):
+        # Two independent mul->add chains; Nout=1 forces two separate cuts.
+        ops = [Opcode.MUL, Opcode.ADD, Opcode.MUL, Opcode.ADD]
+        edges = [(0, 1), (2, 3)]
+        dfg = make_dfg(ops, edges, live_out=[1, 3])
+        cons = Constraints(nin=2, nout=1)
+        one = find_best_cuts(dfg, cons, 1, MODEL)
+        two = find_best_cuts(dfg, cons, 2, MODEL)
+        assert len(two.cuts) == 2
+        assert two.total_merit > one.total_merit
+        sets = [c.nodes for c in two.cuts]
+        assert sets[0].isdisjoint(sets[1])
+
+    def test_cuts_are_disjoint_and_feasible(self):
+        rng = random.Random(3)
+        dfg = random_dag_dfg(7, rng, edge_prob=0.3)
+        cons = Constraints(nin=3, nout=2)
+        result = find_best_cuts(dfg, cons, 3, MODEL)
+        used = set()
+        for cut in result.cuts:
+            assert cut.satisfies(cons)
+            assert not (cut.nodes & used)
+            used |= cut.nodes
+
+    def test_more_cuts_never_hurt(self):
+        rng = random.Random(11)
+        dfg = random_dag_dfg(8, rng, edge_prob=0.35)
+        cons = Constraints(nin=3, nout=1)
+        merits = [find_best_cuts(dfg, cons, m, MODEL).total_merit
+                  for m in (1, 2, 3)]
+        assert merits[0] <= merits[1] <= merits[2]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2 ** 31), st.integers(2, 7), st.integers(1, 3))
+def test_multi_cut_matches_bruteforce(seed, n, m):
+    rng = random.Random(seed)
+    dfg = random_dag_dfg(n, rng, edge_prob=rng.uniform(0.1, 0.6),
+                         forbidden_prob=0.1)
+    cons = Constraints(nin=rng.randint(1, 4), nout=rng.randint(1, 3))
+    fast = find_best_cuts(dfg, cons, m, MODEL)
+    _, slow_total = best_disjoint_cuts_bruteforce(dfg, cons, m, MODEL)
+    assert fast.total_merit == pytest.approx(slow_total)

@@ -1,0 +1,126 @@
+"""Tests for the optimal and iterative selection algorithms (Problem 2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    BlockTooLargeError,
+    Constraints,
+    select_iterative,
+    select_optimal,
+)
+from repro.core.bruteforce import best_disjoint_cuts_bruteforce
+from repro.hwmodel import CostModel
+from repro.ir.opcodes import Opcode
+from repro.ir.synth import make_dfg, random_dag_dfg
+
+MODEL = CostModel()
+
+
+def two_block_app():
+    """Two blocks with different weights and structures."""
+    hot = make_dfg([Opcode.MUL, Opcode.ADD, Opcode.ADD, Opcode.XOR],
+                   [(0, 1), (1, 2), (2, 3)], live_out=[3],
+                   name="f/hot", weight=100.0)
+    cold = make_dfg([Opcode.MUL, Opcode.MUL],
+                    [(0, 1)], live_out=[1], name="f/cold", weight=1.0)
+    return [hot, cold]
+
+
+class TestIterative:
+    def test_respects_ninstr(self):
+        dfgs = two_block_app()
+        for ninstr in (1, 2, 3):
+            res = select_iterative(
+                dfgs, Constraints(nin=4, nout=1, ninstr=ninstr), MODEL)
+            assert res.num_instructions <= ninstr
+
+    def test_prefers_hot_block(self):
+        dfgs = two_block_app()
+        res = select_iterative(dfgs, Constraints(4, 1, 1), MODEL)
+        assert res.cuts[0].dfg.name == "f/hot"
+
+    def test_cuts_do_not_overlap_instructions(self):
+        rng = random.Random(5)
+        dfgs = [random_dag_dfg(9, rng, edge_prob=0.35, name=f"b{k}")
+                for k in range(3)]
+        res = select_iterative(dfgs, Constraints(3, 2, 6), MODEL)
+        seen = set()
+        for cut in res.cuts:
+            for i in cut.nodes:
+                for insn in cut.dfg.nodes[i].insns:
+                    assert id(insn) not in seen
+                    seen.add(id(insn))
+
+    def test_total_merit_is_sum(self):
+        dfgs = two_block_app()
+        res = select_iterative(dfgs, Constraints(4, 1, 4), MODEL)
+        assert res.total_merit == pytest.approx(
+            sum(c.merit for c in res.cuts))
+
+    def test_speedup_greater_one_when_cuts_found(self):
+        res = select_iterative(two_block_app(), Constraints(4, 1, 2), MODEL)
+        assert res.cuts
+        assert res.speedup > 1.0
+
+    def test_monotone_in_ninstr(self):
+        rng = random.Random(9)
+        dfgs = [random_dag_dfg(8, rng, edge_prob=0.3, name=f"b{k}")
+                for k in range(2)]
+        merits = [
+            select_iterative(dfgs, Constraints(3, 1, m), MODEL).total_merit
+            for m in (1, 2, 4, 8)
+        ]
+        assert merits == sorted(merits)
+
+
+class TestOptimal:
+    def test_matches_bruteforce_on_one_block(self):
+        rng = random.Random(17)
+        for trial in range(8):
+            dfg = random_dag_dfg(6, rng, edge_prob=0.4, name=f"t{trial}")
+            cons = Constraints(nin=3, nout=1, ninstr=2)
+            res = select_optimal([dfg], cons, MODEL)
+            _, slow = best_disjoint_cuts_bruteforce(dfg, cons, 2, MODEL)
+            assert res.total_merit == pytest.approx(slow)
+
+    def test_optimal_at_least_iterative(self):
+        rng = random.Random(23)
+        for trial in range(6):
+            dfgs = [random_dag_dfg(6, rng, edge_prob=0.35,
+                                   name=f"b{trial}_{k}") for k in range(2)]
+            cons = Constraints(nin=3, nout=1, ninstr=3)
+            optimal = select_optimal(dfgs, cons, MODEL)
+            iterative = select_iterative(dfgs, cons, MODEL)
+            assert optimal.total_merit >= iterative.total_merit - 1e-9
+
+    def test_large_block_guard(self):
+        rng = random.Random(1)
+        big = random_dag_dfg(50, rng, edge_prob=0.1, name="big")
+        with pytest.raises(BlockTooLargeError):
+            select_optimal([big], Constraints(4, 2, 2), MODEL,
+                           max_nodes=40)
+
+    def test_guard_can_be_disabled(self):
+        rng = random.Random(2)
+        small = random_dag_dfg(5, rng, edge_prob=0.4)
+        res = select_optimal([small], Constraints(3, 1, 1), MODEL,
+                             max_nodes=None)
+        assert res.algorithm == "Optimal"
+
+    def test_allocates_across_blocks(self):
+        # One block with one good cut; another with two good cuts: with
+        # ninstr=3 the optimal selection must take all three.
+        a = make_dfg([Opcode.MUL, Opcode.MUL], [], live_out=[0, 1],
+                     name="f/a", weight=10.0)
+        b = make_dfg([Opcode.MUL, Opcode.ADD, Opcode.ADD],
+                     [(0, 1), (1, 2)], live_out=[2], name="f/b",
+                     weight=10.0)
+        cons = Constraints(nin=2, nout=1, ninstr=3)
+        res = select_optimal([a, b], cons, MODEL)
+        blocks = sorted(c.dfg.name for c in res.cuts)
+        assert blocks.count("f/a") == 2
+        assert blocks.count("f/b") == 1

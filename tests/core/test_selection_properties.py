@@ -1,0 +1,95 @@
+"""Property tests for the selection layer (Problem 2 machinery)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Constraints, select_iterative, select_optimal
+from repro.core.bruteforce import best_disjoint_cuts_bruteforce
+from repro.core.selection import SelectionResult, make_result
+from repro.hwmodel import CostModel
+from repro.ir.synth import random_dag_dfg
+
+MODEL = CostModel()
+
+
+@st.composite
+def small_app(draw):
+    seed = draw(st.integers(0, 2 ** 31))
+    num_blocks = draw(st.integers(1, 3))
+    rng = random.Random(seed)
+    dfgs = []
+    for k in range(num_blocks):
+        dfgs.append(random_dag_dfg(
+            rng.randint(2, 7), rng,
+            edge_prob=rng.uniform(0.1, 0.5),
+            forbidden_prob=0.1,
+            name=f"f/b{k}",
+            weight=float(rng.randint(1, 20)),
+        ))
+    cons = Constraints(nin=rng.randint(2, 4), nout=rng.randint(1, 2),
+                       ninstr=rng.randint(1, 4))
+    return dfgs, cons
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_app())
+def test_iterative_invariants(case):
+    dfgs, cons = case
+    result = select_iterative(dfgs, cons, MODEL)
+    # Cardinality and merit bookkeeping.
+    assert result.num_instructions <= cons.ninstr
+    assert result.total_merit == pytest.approx(
+        sum(c.merit for c in result.cuts))
+    # Every cut individually feasible and profitable.
+    for cut in result.cuts:
+        assert cut.merit > 0
+        assert cut.num_inputs <= cons.nin
+        assert cut.num_outputs <= cons.nout
+        assert cut.convex
+    # No instruction (IR object) is covered twice across cuts.
+    seen = set()
+    for cut in result.cuts:
+        for i in cut.nodes:
+            for insn in cut.dfg.nodes[i].insns:
+                assert id(insn) not in seen
+                seen.add(id(insn))
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_app())
+def test_optimal_dominates_iterative(case):
+    dfgs, cons = case
+    optimal = select_optimal(dfgs, cons, MODEL, max_nodes=None)
+    iterative = select_iterative(dfgs, cons, MODEL)
+    assert optimal.total_merit >= iterative.total_merit - 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_app())
+def test_optimal_matches_global_bruteforce_single_block(case):
+    dfgs, cons = case
+    if len(dfgs) != 1:
+        return
+    optimal = select_optimal(dfgs, cons, MODEL, max_nodes=None)
+    _, best = best_disjoint_cuts_bruteforce(dfgs[0], cons, cons.ninstr,
+                                            MODEL)
+    assert optimal.total_merit == pytest.approx(best)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_app())
+def test_speedup_consistent_with_merit(case):
+    dfgs, cons = case
+    result = select_iterative(dfgs, cons, MODEL)
+    if result.total_merit == 0:
+        assert result.speedup == pytest.approx(1.0)
+    else:
+        assert result.speedup > 1.0
+        # speedup = base / (base - merit)
+        base = result.baseline_cycles
+        assert result.speedup == pytest.approx(
+            base / (base - result.total_merit))

@@ -1,0 +1,192 @@
+"""Unit tests for the exact single-cut identification algorithm."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    Constraints,
+    SearchLimits,
+    enumerate_feasible_cuts,
+    evaluate_cut,
+    find_best_cut,
+)
+from repro.hwmodel import CostModel, uniform_cost_model
+from repro.ir.opcodes import Opcode
+from repro.ir.synth import make_dfg
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CostModel()
+
+
+def chain(n, op=Opcode.ADD, live_last=True):
+    """A linear chain: user 0 -> 1 -> ... -> n-1 (renumbered reverse)."""
+    ops = [op] * n
+    edges = [(i, i + 1) for i in range(n - 1)]
+    live = [n - 1] if live_last else []
+    return make_dfg(ops, edges, live_out=live, name="chain")
+
+
+class TestSimpleGraphs:
+    def test_single_node_mul(self, model):
+        dfg = make_dfg([Opcode.MUL], [], live_out=[0])
+        res = find_best_cut(dfg, Constraints(nin=2, nout=1), model)
+        assert res.cut is not None
+        assert res.cut.nodes == frozenset({0})
+        # MUL: 2 sw cycles vs 1 hw cycle.
+        assert res.cut.merit == 1.0
+
+    def test_single_add_not_profitable(self, model):
+        # ADD saves nothing (1 sw cycle vs 1 hw cycle) -> no cut.
+        dfg = make_dfg([Opcode.ADD], [], live_out=[0])
+        res = find_best_cut(dfg, Constraints(nin=2, nout=1), model)
+        assert res.cut is None
+
+    def test_add_chain_profitable(self, model):
+        # Three chained adds: 3 sw cycles vs ceil(0.9) = 1 hw cycle.
+        dfg = chain(3)
+        res = find_best_cut(dfg, Constraints(nin=8, nout=1), model)
+        assert res.cut is not None
+        assert res.cut.size == 3
+        assert res.cut.merit == 2.0
+
+    def test_empty_graph(self, model):
+        dfg = make_dfg([], [], live_out=[])
+        res = find_best_cut(dfg, Constraints(nin=4, nout=2), model)
+        assert res.cut is None
+        assert res.stats.cuts_considered == 0
+
+    def test_forbidden_nodes_never_selected(self, model):
+        # load -> add -> store; only the add is legal.
+        ops = [Opcode.LOAD, Opcode.ADD, Opcode.STORE]
+        edges = [(0, 1), (1, 2)]
+        dfg = make_dfg(ops, edges, live_out=[])
+        res = find_best_cut(dfg, Constraints(nin=8, nout=4), model)
+        if res.cut is not None:
+            for i in res.cut.nodes:
+                assert not dfg.nodes[i].forbidden
+
+
+class TestConstraintEnforcement:
+    def test_input_constraint(self, model):
+        # A 4-input adder tree: under Nin=2 only single adds fit... which
+        # are unprofitable, so nothing is chosen.
+        ops = [Opcode.ADD, Opcode.ADD, Opcode.ADD]
+        edges = [(0, 2), (1, 2)]  # two adds feeding a third
+        dfg = make_dfg(ops, edges, live_out=[2])
+        res2 = find_best_cut(dfg, Constraints(nin=2, nout=1), model)
+        res4 = find_best_cut(dfg, Constraints(nin=4, nout=1), model)
+        assert res2.cut is None
+        assert res4.cut is not None and res4.cut.size == 3
+
+    def test_every_returned_cut_satisfies_constraints(self, model):
+        dfg = make_dfg(
+            [Opcode.MUL, Opcode.MUL, Opcode.ADD, Opcode.ADD, Opcode.XOR],
+            [(0, 2), (1, 2), (2, 3), (1, 4)],
+            live_out=[3, 4],
+        )
+        for nin in (1, 2, 3, 4):
+            for nout in (1, 2):
+                cons = Constraints(nin=nin, nout=nout)
+                res = find_best_cut(dfg, cons, model)
+                if res.cut is not None:
+                    assert res.cut.satisfies(cons)
+                for nodes, _ in enumerate_feasible_cuts(dfg, cons, model):
+                    cut = evaluate_cut(dfg, nodes, model)
+                    assert cut.num_inputs <= nin
+                    assert cut.num_outputs <= nout
+                    assert cut.convex
+
+    def test_constants_do_not_consume_ports(self, model):
+        # shift by constant: only one register input.
+        dfg = make_dfg([Opcode.SHL], [], live_out=[0],
+                       extra_inputs={0: 1})
+        res = find_best_cut(dfg, Constraints(nin=1, nout=1), model)
+        # SHL reads one variable + one implicit const: fits Nin=1 and the
+        # constant-shift is nearly free in hardware -> no positive merit
+        # (1 sw vs 1 hw cycle); just assert feasibility accounting.
+        cuts = list(enumerate_feasible_cuts(dfg, Constraints(1, 1), model))
+        assert [c for c, _ in cuts] == [(0,)]
+
+
+class TestDisconnectedCuts:
+    def test_two_components_selected_together(self, model):
+        # Two independent MULs; with Nout=2 both fit in one instruction.
+        dfg = make_dfg([Opcode.MUL, Opcode.MUL], [], live_out=[0, 1])
+        res1 = find_best_cut(dfg, Constraints(nin=4, nout=1), model)
+        res2 = find_best_cut(dfg, Constraints(nin=4, nout=2), model)
+        assert res1.cut.size == 1
+        assert res2.cut.size == 2
+        assert not res2.cut.is_connected()
+        # Parallel execution: both mults in 1 cycle -> merit 4-1=3.
+        assert res2.cut.merit == 3.0
+
+    def test_disconnected_critical_path_is_max_not_sum(self, model):
+        dfg = make_dfg([Opcode.MUL, Opcode.MUL], [], live_out=[0, 1])
+        cut = evaluate_cut(dfg, {0, 1}, model)
+        assert cut.hardware_cycles == 1
+
+
+class TestMerit:
+    def test_merit_uses_block_weight(self, model):
+        light = chain(3)
+        heavy = make_dfg([Opcode.ADD] * 3, [(0, 1), (1, 2)],
+                         live_out=[2], weight=100.0)
+        res_l = find_best_cut(light, Constraints(8, 1), model)
+        res_h = find_best_cut(heavy, Constraints(8, 1), model)
+        assert res_h.cut.merit == 100.0 * res_l.cut.merit
+
+    def test_uniform_model(self):
+        dfg = chain(4)
+        res = find_best_cut(dfg, Constraints(8, 1), uniform_cost_model())
+        # 4 ops at 0.3 -> cp 1.2 -> 2 cycles; merit 4-2 = 2.
+        assert res.cut is not None
+        assert res.cut.merit == 2.0
+
+    def test_negative_merit_cut_not_returned(self, model):
+        # A lone DIV is far slower in our AFU model than in software
+        # pipelines?  No: DIV sw=18, hw=ceil(10)=10 -> positive.  Use a
+        # single ADD (merit 0) to check the >0 filter instead.
+        dfg = make_dfg([Opcode.ADD], [], live_out=[0])
+        res = find_best_cut(dfg, Constraints(4, 2), model)
+        assert res.cut is None
+
+
+class TestSearchLimits:
+    def test_budget_stops_search(self, model):
+        dfg = chain(14)
+        limited = find_best_cut(dfg, Constraints(16, 8), model,
+                                limits=SearchLimits(max_considered=10))
+        assert not limited.complete
+        assert limited.stats.cuts_considered <= 11
+
+    def test_budget_large_enough_is_complete(self, model):
+        dfg = chain(6)
+        res = find_best_cut(dfg, Constraints(16, 8), model,
+                            limits=SearchLimits(max_considered=10_000))
+        assert res.complete
+
+
+class TestStats:
+    def test_considered_counts_every_one_branch(self, model):
+        # Independent nodes, unconstrained: every nonempty cut is convex
+        # and within ports, so all 2^n - 1 cuts get examined.
+        dfg = make_dfg([Opcode.MUL] * 5, [], live_out=list(range(5)))
+        res = find_best_cut(dfg, Constraints(nin=16, nout=16), model)
+        assert res.stats.cuts_considered == 2 ** 5 - 1
+        assert res.stats.cuts_feasible == 2 ** 5 - 1
+
+    def test_chain_convexity_prunes_even_unconstrained(self, model):
+        # In a 5-chain only the 15 contiguous subsets are convex.
+        dfg = chain(5)
+        res = find_best_cut(dfg, Constraints(nin=16, nout=16), model)
+        assert res.stats.cuts_feasible == 15
+
+    def test_graph_nodes_recorded(self, model):
+        dfg = chain(5)
+        res = find_best_cut(dfg, Constraints(nin=2, nout=1), model)
+        assert res.stats.graph_nodes == 5

@@ -1,0 +1,88 @@
+"""Tests for the MiniC lexer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import LexError, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind is TokenKind.EOF
+
+    def test_whitespace_only(self):
+        assert len(tokenize("  \n\t \r\n ")) == 1
+
+    def test_keywords_vs_identifiers(self):
+        toks = tokenize("int x intx for forx")
+        assert [t.kind for t in toks[:-1]] == [
+            TokenKind.KEYWORD, TokenKind.IDENT, TokenKind.IDENT,
+            TokenKind.KEYWORD, TokenKind.IDENT,
+        ]
+
+    def test_line_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+
+class TestNumbers:
+    @pytest.mark.parametrize("src,value", [
+        ("0", 0), ("42", 42), ("0x10", 16), ("0xff", 255),
+        ("0XABCDEF", 0xABCDEF), ("'A'", 65), ("'\\n'", 10), ("'\\0'", 0),
+    ])
+    def test_literals(self, src, value):
+        tok = tokenize(src)[0]
+        assert tok.kind is TokenKind.INT_LIT
+        assert tok.value == value
+
+    def test_bad_hex(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+    def test_bad_suffix(self):
+        with pytest.raises(LexError):
+            tokenize("123abc")
+
+
+class TestOperators:
+    def test_maximal_munch(self):
+        assert texts("a<<=b") == ["a", "<<=", "b"]
+        assert texts("a<<b") == ["a", "<<", "b"]
+        assert texts("a<=b") == ["a", "<=", "b"]
+        assert texts("a<b") == ["a", "<", "b"]
+        assert texts("a++ +b") == ["a", "++", "+", "b"]
+
+    def test_all_compound_ops(self):
+        for op in ["+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+                   "<<=", ">>="]:
+            assert op in texts(f"x {op} 1")
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("a // comment here\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_comment_like_operators(self):
+        assert texts("a / b") == ["a", "/", "b"]

@@ -1,0 +1,82 @@
+"""Tests for the ``repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "adpcm-decode" in out
+        assert "gsm" in out
+
+
+class TestIdentify:
+    def test_identify_adpcm(self, capsys):
+        code = main(["identify", "adpcm-decode", "--n", "32",
+                     "--nin", "3", "--nout", "1",
+                     "--limit", "200000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "hot block" in out
+        assert "cut of" in out
+
+    def test_identify_reports_no_cut(self, capsys):
+        # Nin=1/Nout=1 on fir: single ops only, none profitable.
+        code = main(["identify", "fir", "--n", "16",
+                     "--nin", "1", "--nout", "1"])
+        out = capsys.readouterr().out
+        assert "no profitable cut" in out or "cut of" in out
+
+
+class TestSelect:
+    @pytest.mark.parametrize("algo", ["iterative", "clubbing", "maxmiso"])
+    def test_algorithms_run(self, capsys, algo):
+        code = main(["select", "fir", "--n", "16", "--algo", algo,
+                     "--nin", "4", "--nout", "2", "--ninstr", "4",
+                     "--limit", "100000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_optimal_on_small_workload(self, capsys):
+        code = main(["select", "fir", "--n", "16", "--algo", "optimal",
+                     "--nin", "3", "--nout", "1", "--ninstr", "2",
+                     "--limit", "200000"])
+        assert code == 0
+        assert "Optimal" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_row(self, capsys):
+        code = main(["compare", "crc32", "--n", "16",
+                     "--nin", "4", "--nout", "2", "--ninstr", "8",
+                     "--limit", "200000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("Iterative", "Clubbing", "MaxMISO"):
+            assert name in out
+
+
+class TestAfu:
+    def test_emits_verilog(self, capsys):
+        code = main(["afu", "fir", "--n", "16", "--nin", "4",
+                     "--nout", "2", "--ninstr", "1",
+                     "--limit", "100000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "module ise0" in out
+        assert "endmodule" in out
+
+
+class TestIr:
+    def test_dumps_ir(self, capsys):
+        code = main(["ir", "fir", "--n", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "func fir_filter" in out
+        assert "application fir" in out

@@ -1,0 +1,143 @@
+"""Tests for the IR interpreter and memory model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.interp import (
+    ExecutionLimitExceeded,
+    Interpreter,
+    Memory,
+    TrapError,
+    execute,
+    profile_module,
+)
+
+
+class TestExecution:
+    def test_return_value(self):
+        module = compile_source("int f() { return 41 + 1; }")
+        assert execute(module, "f").value == 42
+
+    def test_void_returns_none(self):
+        module = compile_source("int g; void f() { g = 1; }")
+        assert execute(module, "f").value is None
+
+    def test_arguments(self):
+        module = compile_source("int f(int a, int b) { return a * b; }")
+        assert execute(module, "f", [6, 7]).value == 42
+
+    def test_argument_wrapping(self):
+        module = compile_source("int f(int a) { return a; }")
+        assert execute(module, "f", [1 << 32]).value == 0
+
+    def test_wrong_arity(self):
+        module = compile_source("int f(int a) { return a; }")
+        with pytest.raises(TrapError):
+            execute(module, "f", [1, 2])
+
+    def test_unknown_function(self):
+        module = compile_source("int f() { return 0; }")
+        with pytest.raises(TrapError):
+            execute(module, "g")
+
+    def test_division_by_zero_traps(self):
+        module = compile_source("int f(int a) { return 10 / a; }")
+        with pytest.raises(TrapError):
+            execute(module, "f", [0])
+
+    def test_step_limit(self):
+        module = compile_source("void f() { while (1) { } }")
+        interp = Interpreter(module, max_steps=1000)
+        with pytest.raises(ExecutionLimitExceeded):
+            interp.run("f")
+
+    def test_deep_recursion_guard(self):
+        module = compile_source(
+            "int f(int n) { return f(n + 1); }")
+        with pytest.raises(TrapError):
+            execute(module, "f", [0])
+
+
+class TestMemory:
+    def test_globals_initialised(self):
+        module = compile_source("int a[3] = {7, 8, 9}; int g = 5;")
+        memory = Memory(module)
+        assert memory.read_array("a") == [7, 8, 9]
+        assert memory.scalar("g") == 5
+
+    def test_partial_initialiser_zero_fills(self):
+        module = compile_source("int a[4] = {1};")
+        assert Memory(module).read_array("a") == [1, 0, 0, 0]
+
+    def test_out_of_bounds_load_traps(self):
+        module = compile_source(
+            "int a[2]; int f(int i) { return a[i]; }")
+        with pytest.raises(TrapError):
+            execute(module, "f", [5])
+        with pytest.raises(TrapError):
+            execute(module, "f", [-1])
+
+    def test_out_of_bounds_store_traps(self):
+        module = compile_source(
+            "int a[2]; void f(int i) { a[i] = 1; }")
+        with pytest.raises(TrapError):
+            execute(module, "f", [2])
+
+    def test_memory_persists_across_calls(self):
+        module = compile_source("""
+            int g = 0;
+            void inc() { g += 1; }
+            int get() { return g; }
+        """)
+        memory = Memory(module)
+        interp = Interpreter(module, memory=memory)
+        interp.run("inc")
+        interp.run("inc")
+        assert interp.run("get").value == 2
+
+    def test_write_array_bounds(self):
+        module = compile_source("int a[2];")
+        memory = Memory(module)
+        with pytest.raises(TrapError):
+            memory.write_array("a", [1, 2, 3])
+
+
+class TestProfiling:
+    def test_block_counts(self):
+        module = compile_source("""
+            int f(int n) {
+              int s = 0;
+              int i;
+              for (i = 0; i < n; i++) { s += i; }
+              return s;
+            }
+        """)
+        profile = profile_module(module, "f", [10])
+        body = [label for (fn, label) in profile.counts
+                if label.startswith("for_body")]
+        assert body
+        assert profile.block_count("f", body[0]) == 10
+
+    def test_call_counts(self):
+        module = compile_source("""
+            int g(int x) { return x; }
+            int f() { return g(1) + g(2) + g(3); }
+        """)
+        profile = profile_module(module, "f")
+        assert profile.calls["g"] == 3
+        assert profile.calls["f"] == 1
+
+    def test_weights_for(self):
+        module = compile_source("int f() { return 1; }")
+        profile = profile_module(module, "f")
+        weights = profile.weights_for("f")
+        assert weights.get("entry") == 1.0
+
+    def test_merge(self):
+        module = compile_source("int f() { return 1; }")
+        a = profile_module(module, "f")
+        b = profile_module(module, "f")
+        a.merge(b)
+        assert a.block_count("f", "entry") == 2

@@ -1,0 +1,109 @@
+"""Property tests: the shared 32-bit evaluator vs. an independent oracle.
+
+``evaluate_pure_op`` is the single source of arithmetic truth for the
+constant folder, the interpreter and the AFU functional model — so it gets
+its own oracle: two's-complement semantics reconstructed through
+``struct`` packing (a mechanism entirely unlike the ``wrap32`` arithmetic
+in the implementation).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.opcodes import Opcode
+from repro.passes.constant_folding import evaluate_pure_op
+
+i32 = st.integers(-(2 ** 31), 2 ** 31 - 1)
+
+
+def pack32(value: int) -> int:
+    """Independent wrap: pack as unsigned 32-bit, unpack as signed."""
+    return struct.unpack("<i", struct.pack("<I", value & 0xFFFFFFFF))[0]
+
+
+def as_u32(value: int) -> int:
+    return value & 0xFFFFFFFF
+
+
+@given(i32, i32)
+def test_add_sub_mul(a, b):
+    assert evaluate_pure_op(Opcode.ADD, [a, b]) == pack32(a + b)
+    assert evaluate_pure_op(Opcode.SUB, [a, b]) == pack32(a - b)
+    assert evaluate_pure_op(Opcode.MUL, [a, b]) == pack32(a * b)
+
+
+@given(i32, i32)
+def test_division_truncates_toward_zero(a, b):
+    if b == 0:
+        assert evaluate_pure_op(Opcode.DIV, [a, b]) is None
+        assert evaluate_pure_op(Opcode.REM, [a, b]) is None
+        return
+    # C99 semantics: trunc division, remainder with dividend's sign.
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    remainder = a - quotient * b
+    assert evaluate_pure_op(Opcode.DIV, [a, b]) == pack32(quotient)
+    assert evaluate_pure_op(Opcode.REM, [a, b]) == pack32(remainder)
+    if a != -(2 ** 31) or b != -1:   # the only overflowing case
+        assert abs(remainder) < abs(b)
+
+
+@given(i32, i32)
+def test_bitwise(a, b):
+    assert evaluate_pure_op(Opcode.AND, [a, b]) == \
+        pack32(as_u32(a) & as_u32(b))
+    assert evaluate_pure_op(Opcode.OR, [a, b]) == \
+        pack32(as_u32(a) | as_u32(b))
+    assert evaluate_pure_op(Opcode.XOR, [a, b]) == \
+        pack32(as_u32(a) ^ as_u32(b))
+    assert evaluate_pure_op(Opcode.NOT, [a]) == pack32(~a)
+
+
+@given(i32, st.integers(0, 63))
+def test_shifts_mask_amount(a, amount):
+    eff = amount & 31
+    assert evaluate_pure_op(Opcode.SHL, [a, amount]) == \
+        pack32(as_u32(a) << eff)
+    assert evaluate_pure_op(Opcode.LSHR, [a, amount]) == \
+        pack32(as_u32(a) >> eff)
+    assert evaluate_pure_op(Opcode.ASHR, [a, amount]) == a >> eff
+
+
+@given(i32, i32)
+def test_comparisons(a, b):
+    assert evaluate_pure_op(Opcode.EQ, [a, b]) == int(a == b)
+    assert evaluate_pure_op(Opcode.NE, [a, b]) == int(a != b)
+    assert evaluate_pure_op(Opcode.SLT, [a, b]) == int(a < b)
+    assert evaluate_pure_op(Opcode.SLE, [a, b]) == int(a <= b)
+    assert evaluate_pure_op(Opcode.SGT, [a, b]) == int(a > b)
+    assert evaluate_pure_op(Opcode.SGE, [a, b]) == int(a >= b)
+
+
+@given(i32, i32, i32)
+def test_select(c, a, b):
+    expected = a if c != 0 else b
+    assert evaluate_pure_op(Opcode.SELECT, [c, a, b]) == expected
+
+
+@given(i32)
+def test_neg_copy(a):
+    assert evaluate_pure_op(Opcode.NEG, [a]) == pack32(-a)
+    assert evaluate_pure_op(Opcode.COPY, [a]) == a
+
+
+@given(i32, i32)
+def test_algebraic_identities(a, b):
+    """Sanity identities the folder's rewrites rely on."""
+    assert evaluate_pure_op(Opcode.ADD, [a, 0]) == a
+    assert evaluate_pure_op(Opcode.MUL, [a, 1]) == a
+    assert evaluate_pure_op(Opcode.AND, [a, -1]) == a
+    assert evaluate_pure_op(Opcode.XOR, [a, a]) == 0
+    assert evaluate_pure_op(Opcode.SUB, [a, a]) == 0
+    add_ab = evaluate_pure_op(Opcode.ADD, [a, b])
+    add_ba = evaluate_pure_op(Opcode.ADD, [b, a])
+    assert add_ab == add_ba

@@ -1,0 +1,99 @@
+"""Tests for IR instruction construction and structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import (
+    Const,
+    Instruction,
+    Opcode,
+    Reg,
+    binop,
+    br,
+    call,
+    copy_reg,
+    jmp,
+    load,
+    ret,
+    select,
+    store,
+    unop,
+)
+
+
+class TestConstruction:
+    def test_binop(self):
+        insn = binop(Opcode.ADD, "d", Reg("a"), Const(1))
+        assert insn.dest == "d"
+        assert insn.uses() == ["a"]
+        assert insn.defs() == ["d"]
+
+    def test_load_requires_array(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LOAD, "d", (Const(0),))
+
+    def test_store_has_no_dest(self):
+        insn = store("mem", Const(0), Reg("v"))
+        assert insn.dest is None
+        assert insn.defs() == []
+        assert insn.uses() == ["v"]
+
+    def test_br_requires_two_targets(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BR, operands=(Reg("c"),), targets=("a",))
+
+    def test_call_requires_callee(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.CALL, "d", ())
+
+    def test_missing_dest_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, None, (Const(1), Const(2)))
+
+
+class TestClassification:
+    def test_terminators(self):
+        assert br(Reg("c"), "a", "b").is_terminator
+        assert jmp("a").is_terminator
+        assert ret().is_terminator
+        assert not binop(Opcode.ADD, "d", Const(1), Const(2)).is_terminator
+
+    def test_memory(self):
+        assert load("d", "m", Const(0)).is_memory
+        assert store("m", Const(0), Const(1)).is_memory
+        assert not copy_reg("d", Const(0)).is_memory
+
+    def test_afu_legality(self):
+        assert binop(Opcode.MUL, "d", Reg("a"), Reg("b")).afu_legal
+        assert select("d", Reg("c"), Reg("a"), Reg("b")).afu_legal
+        assert not load("d", "m", Const(0)).afu_legal
+        assert not call("d", "f").afu_legal
+
+
+class TestRewriting:
+    def test_replace_uses(self):
+        insn = binop(Opcode.ADD, "d", Reg("a"), Reg("b"))
+        insn.replace_uses({"a": Const(7)})
+        assert insn.operands == (Const(7), Reg("b"))
+
+    def test_copy_is_independent(self):
+        insn = binop(Opcode.ADD, "d", Reg("a"), Reg("b"))
+        clone = insn.copy()
+        clone.dest = "e"
+        clone.replace_uses({"a": Const(1)})
+        assert insn.dest == "d"
+        assert insn.operands == (Reg("a"), Reg("b"))
+
+
+class TestDisplay:
+    @pytest.mark.parametrize("insn,expected", [
+        (binop(Opcode.ADD, "d", Reg("a"), Const(2)), "%d = add %a, 2"),
+        (load("d", "tab", Reg("i")), "%d = load tab[%i]"),
+        (store("tab", Const(0), Reg("v")), "store tab[0] = %v"),
+        (jmp("exit"), "jmp exit"),
+        (ret(Const(0)), "ret 0"),
+        (br(Reg("c"), "t", "f"), "br %c, t, f"),
+    ])
+    def test_str(self, insn, expected):
+        assert str(insn) == expected

@@ -1,0 +1,82 @@
+"""Round-trip tests for the textual IR format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.interp import Interpreter, Memory, execute
+from repro.ir.printer import IRParseError, parse_module, print_module, \
+    roundtrip
+from repro.passes import optimize_module
+from repro.pipeline import prepare_application
+from repro.workloads import WORKLOADS, get_workload
+
+
+def assert_equivalent(a, b):
+    """Two modules print identically => structurally identical."""
+    assert print_module(a) == print_module(b)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_workload_modules_roundtrip(self, name):
+        workload = get_workload(name)
+        module = compile_source(workload.source, name)
+        optimize_module(module)
+        assert_equivalent(module, roundtrip(module))
+
+    def test_roundtripped_module_executes_identically(self):
+        workload = get_workload("crc32")
+        module = compile_source(workload.source, "crc32")
+        optimize_module(module)
+        twin = roundtrip(module)
+
+        mem_a, mem_b = Memory(module), Memory(twin)
+        args = workload.driver(mem_a, 16)
+        workload.driver(mem_b, 16)
+        Interpreter(module, memory=mem_a).run(workload.entry, args)
+        Interpreter(twin, memory=mem_b).run(workload.entry, args)
+        assert mem_a.scalar("crc_out") == mem_b.scalar("crc_out")
+
+    def test_globals_with_initialisers(self):
+        module = compile_source("int a[3] = {1, -2, 3}; int g = 9;")
+        twin = roundtrip(module)
+        assert twin.globals["a"].init == [1, -2, 3]
+        assert twin.globals["g"].init == [9]
+
+    def test_all_instruction_forms(self):
+        source = """
+        int m[4];
+        int callee(int x) { return x; }
+        int f(int a, int b) {
+          int r = 0;
+          if (a < b) { r = m[a & 3]; } else { m[b & 3] = a; }
+          while (r > 0) { r = r - callee(b); }
+          return r;
+        }
+        """
+        module = compile_source(source)
+        assert_equivalent(module, roundtrip(module))
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(IRParseError):
+            parse_module("func f():\nentry:\n  %x = frobnicate %a\n")
+
+    def test_wrong_arity(self):
+        with pytest.raises(IRParseError):
+            parse_module("func f():\nentry:\n  %x = add %a\n")
+
+    def test_instruction_outside_block(self):
+        with pytest.raises(IRParseError):
+            parse_module("func f():\n  %x = add %a, %b\n")
+
+    def test_label_outside_function(self):
+        with pytest.raises(IRParseError):
+            parse_module("entry:\n")
+
+    def test_bad_operand(self):
+        with pytest.raises(IRParseError):
+            parse_module("func f():\nentry:\n  %x = add foo, %b\n")

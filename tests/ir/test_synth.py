@@ -1,0 +1,72 @@
+"""Tests for the synthetic DFG builders."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.opcodes import Opcode
+from repro.ir.synth import make_dfg, paper_figure4_dfg, random_dag_dfg
+
+
+class TestMakeDFG:
+    def test_renumbering_is_reverse_topological(self):
+        dfg = make_dfg([Opcode.ADD] * 4, [(0, 1), (0, 2), (1, 3), (2, 3)],
+                       live_out=[3])
+        for i in range(dfg.n):
+            assert all(s < i for s in dfg.succs[i])
+
+    def test_keep_order_validates(self):
+        with pytest.raises(ValueError):
+            make_dfg([Opcode.ADD, Opcode.ADD], [(0, 1)], keep_order=True)
+
+    def test_keep_order_preserves_ids(self):
+        dfg = make_dfg([Opcode.ADD, Opcode.ADD], [(1, 0)],
+                       live_out=[0], keep_order=True)
+        assert dfg.succs[1] == [0]
+
+    def test_cycle_detection(self):
+        with pytest.raises(ValueError):
+            make_dfg([Opcode.ADD, Opcode.ADD], [(0, 1), (1, 0)])
+
+    def test_default_input_padding(self):
+        # A binary op with no internal producers reads two input vars.
+        dfg = make_dfg([Opcode.ADD], [], live_out=[0])
+        assert len(dfg.node_inputs[0]) == 2
+
+    def test_extra_inputs_override(self):
+        dfg = make_dfg([Opcode.ADD], [], live_out=[0],
+                       extra_inputs={0: 1})
+        assert len(dfg.node_inputs[0]) == 1
+
+
+class TestRandomDAG:
+    def test_deterministic_for_seed(self):
+        a = random_dag_dfg(8, random.Random(42), edge_prob=0.4)
+        b = random_dag_dfg(8, random.Random(42), edge_prob=0.4)
+        assert a.succs == b.succs
+        assert [n.opcode for n in a.nodes] == [n.opcode for n in b.nodes]
+
+    def test_is_valid_dfg(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            dfg = random_dag_dfg(rng.randint(1, 15), rng,
+                                 edge_prob=rng.uniform(0, 0.7),
+                                 forbidden_prob=0.2)
+            assert isinstance(dfg, DataFlowGraph)   # invariants checked
+
+    def test_sinks_are_live_out(self):
+        rng = random.Random(5)
+        dfg = random_dag_dfg(10, rng, edge_prob=0.4, live_out_prob=0.0)
+        for i in range(dfg.n):
+            if not dfg.succs[i]:
+                assert dfg.nodes[i].forced_out
+
+
+class TestPaperFigure4:
+    def test_opcode_mix(self):
+        dfg = paper_figure4_dfg()
+        ops = sorted(n.opcode.value for n in dfg.nodes)
+        assert ops == ["add", "add", "lshr", "mul"]

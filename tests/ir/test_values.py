@@ -1,0 +1,77 @@
+"""Tests for 32-bit value semantics and operands."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import Const, Reg, is_const, is_reg
+from repro.ir.values import (
+    INT32_MAX,
+    INT32_MIN,
+    to_signed,
+    to_unsigned,
+    wrap32,
+)
+
+
+class TestWrap32:
+    @pytest.mark.parametrize("value,expected", [
+        (0, 0),
+        (1, 1),
+        (-1, -1),
+        (INT32_MAX, INT32_MAX),
+        (INT32_MIN, INT32_MIN),
+        (INT32_MAX + 1, INT32_MIN),
+        (INT32_MIN - 1, INT32_MAX),
+        (1 << 32, 0),
+        ((1 << 31), INT32_MIN),
+        (0xFFFFFFFF, -1),
+    ])
+    def test_known_values(self, value, expected):
+        assert wrap32(value) == expected
+
+    @given(st.integers(-2 ** 40, 2 ** 40))
+    def test_range_invariant(self, value):
+        wrapped = wrap32(value)
+        assert INT32_MIN <= wrapped <= INT32_MAX
+
+    @given(st.integers(-2 ** 40, 2 ** 40))
+    def test_congruence_mod_2_32(self, value):
+        assert (wrap32(value) - value) % (1 << 32) == 0
+
+    @given(st.integers(INT32_MIN, INT32_MAX))
+    def test_identity_in_range(self, value):
+        assert wrap32(value) == value
+
+
+class TestConversions:
+    @given(st.integers(INT32_MIN, INT32_MAX))
+    def test_signed_unsigned_roundtrip(self, value):
+        assert to_signed(to_unsigned(value)) == value
+
+    def test_to_unsigned_negative(self):
+        assert to_unsigned(-1) == 0xFFFFFFFF
+        assert to_unsigned(INT32_MIN) == 0x80000000
+
+
+class TestOperands:
+    def test_const_wraps(self):
+        assert Const(1 << 32).value == 0
+        assert Const(0xFFFFFFFF).value == -1
+
+    def test_const_equality(self):
+        assert Const(5) == Const(5)
+        assert Const(5) != Const(6)
+
+    def test_reg_identity(self):
+        assert Reg("a") == Reg("a")
+        assert Reg("a") != Reg("b")
+
+    def test_predicates(self):
+        assert is_reg(Reg("x")) and not is_const(Reg("x"))
+        assert is_const(Const(1)) and not is_reg(Const(1))
+
+    def test_str_forms(self):
+        assert str(Reg("x")) == "%x"
+        assert str(Const(-3)) == "-3"

@@ -1,0 +1,127 @@
+"""Tests for AST-level loop unrolling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import analyze, compile_source, lower_program, parse
+from repro.interp import execute
+from repro.passes import optimize_module, unroll_loops
+from repro.pipeline import prepare_application
+
+
+def run_unrolled(source, func, args, factor):
+    program = parse(source)
+    count = unroll_loops(program, factor)
+    module = lower_program(program, analyze(program))
+    optimize_module(module)
+    return execute(module, func, args).value, count
+
+
+SUM_SRC = """
+int f(int a) {
+  int s = a;
+  int i;
+  for (i = 0; i < 8; i++) { s += i * i; }
+  return s;
+}
+"""
+
+
+class TestUnrolling:
+    @pytest.mark.parametrize("factor", [2, 4, 8])
+    def test_semantics_preserved(self, factor):
+        expected = execute(compile_source(SUM_SRC), "f", [5]).value
+        value, count = run_unrolled(SUM_SRC, "f", [5], factor)
+        assert count == 1
+        assert value == expected
+
+    def test_indivisible_factor_skipped(self):
+        value, count = run_unrolled(SUM_SRC, "f", [0], 3)
+        assert count == 0   # 8 % 3 != 0
+
+    def test_non_constant_bound_skipped(self):
+        src = """
+        int f(int n) {
+          int s = 0;
+          int i;
+          for (i = 0; i < n; i++) { s += i; }
+          return s;
+        }
+        """
+        value, count = run_unrolled(src, "f", [5], 2)
+        assert count == 0
+        assert value == 10
+
+    def test_break_in_body_skipped(self):
+        src = """
+        int f(int a) {
+          int s = 0;
+          int i;
+          for (i = 0; i < 8; i++) { if (i == a) break; s += i; }
+          return s;
+        }
+        """
+        value, count = run_unrolled(src, "f", [3], 2)
+        assert count == 0
+        assert value == 3
+
+    def test_induction_write_in_body_skipped(self):
+        src = """
+        int f(int a) {
+          int s = 0;
+          int i;
+          for (i = 0; i < 8; i++) { i += a; s += 1; }
+          return s;
+        }
+        """
+        _, count = run_unrolled(src, "f", [0], 2)
+        assert count == 0
+
+    def test_le_bound_and_step(self):
+        src = """
+        int f() {
+          int s = 0;
+          int i;
+          for (i = 2; i <= 16; i += 2) { s += i; }
+          return s;
+        }
+        """
+        expected = sum(range(2, 17, 2))
+        value, count = run_unrolled(src, "f", [], 4)
+        assert count == 1
+        assert value == expected
+
+    def test_nested_loop_unrolls_inner(self):
+        src = """
+        int f() {
+          int s = 0;
+          int i; int j;
+          for (i = 0; i < 4; i++) {
+            for (j = 0; j < 4; j++) { s += i * j; }
+          }
+          return s;
+        }
+        """
+        value, count = run_unrolled(src, "f", [], 4)
+        # The outer loop unrolls first (1), creating four copies of the
+        # inner loop that each unroll in turn (4).
+        assert count == 5
+        assert value == sum(i * j for i in range(4) for j in range(4))
+
+    def test_factor_must_be_at_least_two(self):
+        with pytest.raises(ValueError):
+            unroll_loops(parse(SUM_SRC), 1)
+
+
+class TestUnrollGrowsBlocks:
+    def test_gsm_inner_loop_unrolled_gives_bigger_hot_block(self):
+        base = prepare_application("gsm", n=16)
+        unrolled = prepare_application("gsm", n=16, unroll=8)
+        assert unrolled.hot_dfg.n > base.hot_dfg.n * 3
+
+    def test_unrolled_output_still_correct(self):
+        # prepare_application verifies against the golden model already;
+        # reaching here without AssertionError is the test.
+        prepare_application("gsm", n=16, unroll=8, verify=True)
+        prepare_application("fir", n=16, unroll=4, verify=True)

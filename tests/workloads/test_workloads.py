@@ -1,0 +1,141 @@
+"""Bit-exactness and structure tests for the MiniC workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.interp import Interpreter, Memory
+from repro.passes import optimize_module
+from repro.pipeline import prepare_application
+from repro.workloads import WORKLOADS, get_workload, paper_benchmarks
+from repro.workloads import adpcm, crc, fir, gsm, mixer
+
+
+class TestGoldenModels:
+    """The golden models agree with hand-computed values."""
+
+    def test_adpcm_roundtrip_tracks_signal(self):
+        pcm = adpcm.make_pcm_input(200)
+        codes = adpcm.encode_golden(pcm)
+        decoded = adpcm.decode_golden(codes, 200)
+        assert len(codes) == 100
+        assert len(decoded) == 200
+        # ADPCM is lossy, but after convergence it tracks within a few
+        # step sizes; compare the tail loosely.
+        err = [abs(a - b) for a, b in zip(pcm[50:], decoded[50:])]
+        assert sum(err) / len(err) < 2000
+
+    def test_adpcm_encode_known_prefix(self):
+        # Constant zero input encodes to delta=0 nibbles.
+        codes = adpcm.encode_golden([0, 0, 0, 0])
+        assert codes == [0, 0]
+
+    def test_crc32_known_vector(self):
+        # CRC-32 of "123456789" is 0xCBF43926.
+        data = [ord(c) for c in "123456789"]
+        value = crc.crc32_golden(data) & 0xFFFFFFFF
+        assert value == 0xCBF43926
+
+    def test_fir_impulse_response(self):
+        # A Q15 unit impulse reproduces the coefficients: output k sees
+        # coeff[7-k] while the impulse is inside its window.
+        impulse = [0] * 7 + [1 << 15] + [0] * 16
+        out = fir.fir_golden(impulse)
+        assert out[:8] == list(reversed(fir.DEFAULT_COEFFS))
+        assert all(v == 0 for v in out[8:])
+
+    def test_gsm_zero_input_is_zero(self):
+        assert gsm.short_term_golden([0] * 16) == [0] * 16
+
+    def test_gsm_saturation_engages(self):
+        out = gsm.short_term_golden([32767] * 50)
+        assert all(-32768 <= v <= 32767 for v in out)
+
+    def test_mixer_deterministic(self):
+        a = mixer.mix_golden([1, 2, 3])
+        b = mixer.mix_golden([1, 2, 3])
+        assert a == b
+        assert a != mixer.mix_golden([1, 2, 4])
+
+
+class TestMiniCBitExactness:
+    """Compiled + optimised MiniC matches the golden models exactly.
+
+    ``prepare_application(verify=True)`` performs the comparison; these
+    tests also check a second, different problem size.
+    """
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_verify_at_default_and_alt_size(self, name):
+        prepare_application(name, n=48, verify=True)
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_verify_without_ifconversion(self, name):
+        # The optimisation pipeline must be semantics-preserving with and
+        # without if-conversion.
+        prepare_application(name, n=32, verify=True, if_convert=False)
+
+
+class TestRegistry:
+    def test_paper_benchmarks_are_three(self):
+        names = sorted(w.name for w in paper_benchmarks())
+        assert names == ["adpcm-decode", "adpcm-encode", "gsm"]
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            get_workload("nope")
+
+    def test_all_have_descriptions(self):
+        for workload in WORKLOADS.values():
+            assert workload.description
+            assert workload.default_n > 0
+
+
+class TestPaperStructure:
+    """Structural facts the paper relies on."""
+
+    def test_adpcm_decode_hot_block_is_select_rich(self, adpcm_decode_app):
+        from repro.ir import Opcode
+        hot = adpcm_decode_app.hot_dfg
+        selects = sum(1 for node in hot.nodes
+                      if node.opcode is Opcode.SELECT)
+        assert hot.n >= 30          # Fig. 3 scale
+        assert selects >= 8         # SEL nodes from if-conversion
+
+    def test_adpcm_decode_has_table_loads(self, adpcm_decode_app):
+        from repro.ir import Opcode
+        hot = adpcm_decode_app.hot_dfg
+        loads = [n for n in hot.nodes if n.opcode is Opcode.LOAD]
+        arrays = {n.insns[0].array for n in loads}
+        assert {"indexTable", "stepsizeTable"} <= arrays
+
+    def test_hot_block_dominates_profile(self, adpcm_decode_app):
+        hot = adpcm_decode_app.hot_dfg
+        total = sum(d.weight * d.n for d in adpcm_decode_app.dfgs)
+        assert hot.weight * hot.n / total > 0.8
+
+
+class TestG721:
+    def test_fmult_known_values(self):
+        from repro.workloads.g721 import _fmult
+        # fmult of zeros is zero; sign rule follows an ^ srn.
+        assert _fmult(0, 0) == 0
+        assert _fmult(100, 0) == 0
+        assert _fmult(-100, 50) <= 0
+        assert _fmult(100, 50) >= 0
+
+    def test_fmult_block_is_ise_candidate(self):
+        """The whole fmult body if-converts into one block — the classic
+        Tensilica-era ISE example — and yields a large 3-input cut."""
+        from repro.core import Constraints, SearchLimits, find_best_cut
+        from repro.pipeline import prepare_application
+
+        app = prepare_application("g721", n=32)
+        hot = app.hot_dfg
+        assert hot.name == "fmult/entry"
+        assert hot.n >= 25
+        res = find_best_cut(hot, Constraints(nin=3, nout=1),
+                            limits=SearchLimits(max_considered=500_000))
+        assert res.cut is not None
+        assert res.cut.size >= 15
