@@ -1,0 +1,222 @@
+"""Frozen copy of the seed's recursive single-cut search.
+
+This is the pre-engine implementation (recursive tree walk, per-edge
+Python loops, reference counting, exception-based budget), preserved
+verbatim as a benchmark fixture so ``bench_engine.py`` — and every later
+PR — can measure the bitset engine against a stable reference path.  Do
+not "improve" this file; its whole value is that it does not change.
+
+Kept self-contained on purpose: it only borrows the public result types
+from ``repro.core`` so its output is directly comparable.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from typing import Callable, List, Optional, Tuple
+
+from repro.core import SearchLimits, SearchResult, SearchStats, evaluate_cut
+from repro.core.cut import Constraints
+from repro.hwmodel.latency import CostModel
+from repro.ir.dfg import DataFlowGraph
+
+
+class _BudgetExhausted(Exception):
+    """Internal signal: stop the recursion, keep the incumbent."""
+
+
+class _ReferenceSingleCutSearch:
+    """One invocation of the Fig. 6 algorithm on one DFG (seed version)."""
+
+    def __init__(self, dfg: DataFlowGraph, constraints: Constraints,
+                 model: CostModel, limits: Optional[SearchLimits],
+                 on_feasible: Optional[Callable] = None) -> None:
+        self.dfg = dfg
+        self.constraints = constraints
+        self.model = model
+        self.limits = limits or SearchLimits()
+        self.on_feasible = on_feasible
+
+        n = dfg.n
+        self.n = n
+        self.succs = dfg.succs
+        self.forced_out = [node.forced_out for node in dfg.nodes]
+        self.forbidden = [node.forbidden for node in dfg.nodes]
+        self.sw = [0.0 if node.forbidden else model.sw(node)
+                   for node in dfg.nodes]
+        self.hw = [math.inf if node.forbidden else model.hw(node)
+                   for node in dfg.nodes]
+        # Unified producer ids: internal nodes keep their index, external
+        # input variable j becomes n + j.
+        self.producers = [dfg.producers_of(i) for i in range(n)]
+
+        # Mutable search state.
+        self.in_s = bytearray(n)
+        self.reach = bytearray(n)       # R bit
+        self.bad = bytearray(n)         # B bit
+        self.refs = [0] * (n + len(dfg.input_vars))
+        self.in_count = 0
+        self.out_count = 0
+        self.out_flag = bytearray(n)    # is node an output while included
+        self.cpl = [0.0] * n
+        self.cp_max = 0.0
+        self.cp_stack: List[float] = []
+        self.sw_sum = 0.0
+        self.included: List[int] = []
+
+        self.best_merit = 0.0           # only positive-merit cuts qualify
+        self.best_nodes: Optional[Tuple[int, ...]] = None
+        self.stats = SearchStats(graph_nodes=n)
+        self.complete = True
+
+    # ------------------------------------------------------------------
+    def _include(self, v: int) -> bool:
+        succs = self.succs[v]
+        in_s = self.in_s
+        reach = self.reach
+        bad = self.bad
+
+        is_bad = False
+        for s in succs:
+            if bad[s] or (not in_s[s] and reach[s]):
+                is_bad = True
+                break
+        reach[v] = 1
+        bad[v] = 1 if is_bad else 0
+
+        is_out = self.forced_out[v]
+        if not is_out:
+            for s in succs:
+                if not in_s[s]:
+                    is_out = True
+                    break
+        self.out_flag[v] = 1 if is_out else 0
+        if is_out:
+            self.out_count += 1
+
+        refs = self.refs
+        delta = 0
+        for p in self.producers[v]:
+            refs[p] += 1
+            if refs[p] == 1:
+                delta += 1
+        if refs[v] > 0:
+            delta -= 1
+        self.in_count += delta
+
+        best = 0.0
+        cpl = self.cpl
+        for s in succs:
+            if in_s[s] and cpl[s] > best:
+                best = cpl[s]
+        cpl[v] = self.hw[v] + best
+        self.cp_stack.append(self.cp_max)
+        if cpl[v] > self.cp_max:
+            self.cp_max = cpl[v]
+
+        self.sw_sum += self.sw[v]
+        in_s[v] = 1
+        self.included.append(v)
+
+        convex_ok = not is_bad
+        out_ok = self.out_count <= self.constraints.nout
+        return convex_ok and out_ok
+
+    def _undo_include(self, v: int) -> None:
+        self.included.pop()
+        self.in_s[v] = 0
+        self.sw_sum -= self.sw[v]
+        self.cp_max = self.cp_stack.pop()
+        refs = self.refs
+        for p in self.producers[v]:
+            refs[p] -= 1
+            if refs[p] == 0:
+                self.in_count -= 1
+        if refs[v] > 0:
+            self.in_count += 1
+        if self.out_flag[v]:
+            self.out_count -= 1
+            self.out_flag[v] = 0
+
+    def _decide_exclude(self, v: int) -> None:
+        succs = self.succs[v]
+        in_s = self.in_s
+        reach = self.reach
+        bad = self.bad
+        r = 0
+        b = 0
+        for s in succs:
+            if reach[s]:
+                r = 1
+                if bad[s] or not in_s[s]:
+                    b = 1
+                    break
+        reach[v] = r
+        bad[v] = b
+
+    def _maybe_update_best(self) -> None:
+        if self.in_count > self.constraints.nin:
+            return
+        merit = self.dfg.weight * (
+            self.sw_sum - _ceil_cycles(self.cp_max))
+        if self.on_feasible is not None:
+            self.on_feasible(tuple(self.included), merit)
+        if merit > self.best_merit:
+            self.best_merit = merit
+            self.best_nodes = tuple(self.included)
+            self.stats.best_updates += 1
+
+    def _search(self, i: int) -> None:
+        if i == self.n:
+            return
+        if not self.forbidden[i]:
+            self.stats.cuts_considered += 1
+            limit = self.limits.max_considered
+            if (limit is not None
+                    and self.stats.cuts_considered > limit):
+                self.complete = False
+                raise _BudgetExhausted()
+            ok = self._include(i)
+            if ok:
+                self.stats.cuts_feasible += 1
+                self._maybe_update_best()
+                self._search(i + 1)
+            else:
+                self.stats.cuts_infeasible += 1
+            self._undo_include(i)
+        self._decide_exclude(i)
+        self._search(i + 1)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SearchResult:
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 4 * self.n + 1000))
+        try:
+            self._search(0)
+        except _BudgetExhausted:
+            pass
+        finally:
+            sys.setrecursionlimit(old_limit)
+        cut = None
+        if self.best_nodes is not None:
+            cut = evaluate_cut(self.dfg, self.best_nodes, self.model)
+        return SearchResult(cut=cut, stats=self.stats,
+                            complete=self.complete)
+
+
+def _ceil_cycles(critical_path: float) -> int:
+    if critical_path <= 0.0:
+        return 1
+    return max(1, math.ceil(critical_path - 1e-9))
+
+
+def find_best_cut_reference(
+    dfg: DataFlowGraph,
+    constraints: Constraints,
+    model: Optional[CostModel] = None,
+    limits: Optional[SearchLimits] = None,
+) -> SearchResult:
+    """The seed's recursive find_best_cut, for engine benchmarking."""
+    model = model or CostModel()
+    return _ReferenceSingleCutSearch(dfg, constraints, model, limits).run()

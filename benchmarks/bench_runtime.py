@@ -40,7 +40,12 @@ def bench_runtime_tight_constraints(benchmark, paper_apps, nin, nout):
 
 
 def bench_runtime_loose_constraints_hit_budget(benchmark, paper_apps):
-    """Loose constraints blow past a small budget (the paper's 'hours')."""
+    """Loose constraints blow past a small budget (the paper's 'hours').
+
+    The merit upper bound must let the same 400k-cut budget decide
+    strictly more of the search space (pruned subtrees count as decided:
+    they provably hold nothing better than the incumbent).
+    """
     app = paper_apps["adpcm-decode"]
     cons = Constraints(nin=10_000, nout=6, ninstr=1)
     limits = SearchLimits(max_considered=400_000)
@@ -52,6 +57,17 @@ def bench_runtime_loose_constraints_hit_budget(benchmark, paper_apps):
     report("runtime", f"Iterative adpcm-decode unbounded-in/Nout=6: "
                       f"complete={result.complete} (budget 400k cuts)")
     assert not result.complete
+
+    bounded = select_iterative(
+        app.dfgs, cons, MODEL,
+        SearchLimits(max_considered=400_000, use_upper_bound=True))
+    report("runtime",
+           f"  same budget with merit upper bound: "
+           f"space covered {bounded.stats.space_covered:.4f} "
+           f"vs {result.stats.space_covered:.4f}, "
+           f"{bounded.stats.ub_pruned} subtrees pruned, "
+           f"complete={bounded.complete}")
+    assert bounded.stats.space_covered > result.stats.space_covered
 
 
 def bench_runtime_scaling_with_nout(benchmark, paper_apps):

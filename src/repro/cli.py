@@ -53,6 +53,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="max cuts considered per search")
 
 
+def _add_workers(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=None,
+                        help="processes for per-block searches "
+                             "(default: $REPRO_WORKERS, else serial; "
+                             "0 = one per CPU)")
+
+
 def _limits(args) -> Optional[SearchLimits]:
     if args.limit is None:
         return None
@@ -101,12 +108,17 @@ def cmd_select(args) -> int:
     if args.algo == "optimal":
         result = select_optimal(app.dfgs, constraints,
                                 limits=_limits(args),
-                                max_nodes=args.max_nodes)
+                                max_nodes=args.max_nodes,
+                                workers=args.workers)
     else:
         algo = _ALGORITHMS[args.algo]
         if args.algo == "iterative":
-            result = algo(app.dfgs, constraints, limits=_limits(args))
+            result = algo(app.dfgs, constraints, limits=_limits(args),
+                          workers=args.workers)
         else:
+            if args.workers is not None:
+                print(f"note: --workers has no effect for --algo "
+                      f"{args.algo}", file=sys.stderr)
             result = algo(app.dfgs, constraints)
     print(result.describe())
     return 0
@@ -119,7 +131,8 @@ def cmd_compare(args) -> int:
     limits = _limits(args) or SearchLimits(max_considered=2_000_000)
     rows = [
         ("Iterative", select_iterative(app.dfgs, constraints,
-                                       limits=limits)),
+                                       limits=limits,
+                                       workers=args.workers)),
         ("Clubbing", select_clubbing(app.dfgs, constraints)),
         ("MaxMISO", select_maxmiso(app.dfgs, constraints)),
     ]
@@ -137,7 +150,8 @@ def cmd_afu(args) -> int:
     app = prepare_application(args.workload, n=args.n, unroll=args.unroll)
     constraints = Constraints(nin=args.nin, nout=args.nout,
                               ninstr=args.ninstr)
-    result = select_iterative(app.dfgs, constraints, limits=_limits(args))
+    result = select_iterative(app.dfgs, constraints, limits=_limits(args),
+                              workers=args.workers)
     if not result.cuts:
         print("no instructions selected")
         return 1
@@ -169,6 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("select", help="select Ninstr cuts (Problem 2)")
     _add_common(p)
+    _add_workers(p)
     p.add_argument("--ninstr", type=int, default=16)
     p.add_argument("--algo", choices=["iterative", "optimal", "clubbing",
                                       "maxmiso"], default="iterative")
@@ -178,11 +193,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("compare", help="compare all algorithms")
     _add_common(p)
+    _add_workers(p)
     p.add_argument("--ninstr", type=int, default=16)
     p.set_defaults(fn=cmd_compare)
 
     p = sub.add_parser("afu", help="emit Verilog for selected AFUs")
     _add_common(p)
+    _add_workers(p)
     p.add_argument("--ninstr", type=int, default=2)
     p.set_defaults(fn=cmd_afu)
 

@@ -1,7 +1,26 @@
 """The paper's contribution: identification and selection of instruction-set
-extensions under microarchitectural constraints."""
+extensions under microarchitectural constraints.
+
+Both identification algorithms run on the shared bitset branch-and-bound
+engine (:mod:`repro.core.engine`): an iterative decision-tree walk whose
+incremental convexity/IO state is packed into Python-int bitsets, with
+the search budget as a plain loop condition.  On top of the paper's
+monotone output-port/convexity pruning, ``SearchLimits(use_upper_bound=
+True)`` enables an admissible merit upper bound that discards subtrees
+which cannot beat the incumbent — the same best cut, fewer cuts
+examined; the subtrees it removes are counted in ``SearchStats.
+ub_pruned`` and search progress in ``SearchStats.space_covered``.
+
+The per-block searches of the selection strategies are independent and
+can fan out across processes: pass ``workers=`` to ``select_iterative``
+/ ``select_optimal`` / ``select_area_constrained`` (or set the
+``REPRO_WORKERS`` environment variable; serial by default, with a
+silent serial fallback wherever process pools are unavailable).
+"""
 
 from .cut import Constraints, Cut, cut_is_feasible, evaluate_cut
+from .engine import run_multi_cut, run_single_cut
+from .parallel import parallel_map, resolve_workers
 from .single_cut import (
     SearchLimits,
     SearchResult,
@@ -33,6 +52,8 @@ __all__ = [
     "Constraints", "Cut", "evaluate_cut", "cut_is_feasible",
     "find_best_cut", "enumerate_feasible_cuts", "search_statistics",
     "SearchStats", "SearchLimits", "SearchResult",
+    "run_single_cut", "run_multi_cut",
+    "parallel_map", "resolve_workers",
     "find_best_cuts", "MultiCutResult",
     "SelectionResult", "make_result",
     "select_iterative", "select_optimal", "BlockTooLargeError",

@@ -2,26 +2,29 @@
 
 Generalises the single-cut search: the tree becomes ``(M+1)``-ary — at
 level ``i``, node ``i`` either stays in software (branch 0) or joins cut
-``k`` (branch ``k``).  Each cut maintains its own incremental state; the
-monotone output/convexity checks prune per cut exactly as in the single-cut
-algorithm.
+``k`` (branch ``k``).  Each cut maintains its own incremental bitset state;
+the monotone output/convexity checks prune per cut exactly as in the
+single-cut algorithm.
 
 Cuts are exchangeable, so the search canonicalises labels: a node may open
 cut ``k`` only when cuts ``1..k-1`` are already nonempty.  This removes a
 factorial symmetry factor without losing any solution.
+
+The tree walk is the multi-cut mode of :mod:`repro.core.engine`; this
+module provides the problem-level API.
 """
 
 from __future__ import annotations
 
-import math
-import sys
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..hwmodel.latency import CostModel
 from ..ir.dfg import DataFlowGraph
 from .cut import Constraints, Cut, evaluate_cut
-from .single_cut import SearchLimits, SearchStats, _ceil_cycles
+from .engine import SearchLimits, SearchStats, run_multi_cut
+
+__all__ = ["MultiCutResult", "find_best_cuts"]
 
 
 @dataclass
@@ -34,228 +37,6 @@ class MultiCutResult:
     complete: bool = True
 
 
-class _BudgetExhausted(Exception):
-    pass
-
-
-class _CutState:
-    """Incremental state of one of the M cuts being grown."""
-
-    __slots__ = ("dfg", "model", "n", "succs", "producers", "forced_out",
-                 "sw", "hw", "in_s", "reach", "bad", "refs", "in_count",
-                 "out_count", "out_flag", "cpl", "cp_max", "cp_stack",
-                 "sw_sum", "members")
-
-    def __init__(self, dfg: DataFlowGraph, model: CostModel,
-                 sw: List[float], hw: List[float],
-                 producers: List[List[int]]) -> None:
-        n = dfg.n
-        self.dfg = dfg
-        self.model = model
-        self.n = n
-        self.succs = dfg.succs
-        self.producers = producers
-        self.forced_out = [node.forced_out for node in dfg.nodes]
-        self.sw = sw
-        self.hw = hw
-        self.in_s = bytearray(n)
-        self.reach = bytearray(n)
-        self.bad = bytearray(n)
-        self.refs = [0] * (n + len(dfg.input_vars))
-        self.in_count = 0
-        self.out_count = 0
-        self.out_flag = bytearray(n)
-        self.cpl = [0.0] * n
-        self.cp_max = 0.0
-        self.cp_stack: List[float] = []
-        self.sw_sum = 0.0
-        self.members: List[int] = []
-
-    def include(self, v: int) -> bool:
-        succs = self.succs[v]
-        in_s = self.in_s
-        reach = self.reach
-        bad = self.bad
-        is_bad = False
-        for s in succs:
-            if bad[s] or (not in_s[s] and reach[s]):
-                is_bad = True
-                break
-        reach[v] = 1
-        bad[v] = 1 if is_bad else 0
-
-        is_out = self.forced_out[v]
-        if not is_out:
-            for s in succs:
-                if not in_s[s]:
-                    is_out = True
-                    break
-        self.out_flag[v] = 1 if is_out else 0
-        if is_out:
-            self.out_count += 1
-
-        refs = self.refs
-        delta = 0
-        for p in self.producers[v]:
-            refs[p] += 1
-            if refs[p] == 1:
-                delta += 1
-        if refs[v] > 0:
-            delta -= 1
-        self.in_count += delta
-
-        best = 0.0
-        cpl = self.cpl
-        for s in succs:
-            if in_s[s] and cpl[s] > best:
-                best = cpl[s]
-        cpl[v] = self.hw[v] + best
-        self.cp_stack.append(self.cp_max)
-        if cpl[v] > self.cp_max:
-            self.cp_max = cpl[v]
-
-        self.sw_sum += self.sw[v]
-        in_s[v] = 1
-        self.members.append(v)
-        return not is_bad
-
-    def undo_include(self, v: int) -> None:
-        self.members.pop()
-        self.in_s[v] = 0
-        self.sw_sum -= self.sw[v]
-        self.cp_max = self.cp_stack.pop()
-        refs = self.refs
-        for p in self.producers[v]:
-            refs[p] -= 1
-            if refs[p] == 0:
-                self.in_count -= 1
-        if refs[v] > 0:
-            self.in_count += 1
-        if self.out_flag[v]:
-            self.out_count -= 1
-            self.out_flag[v] = 0
-
-    def decide_exclude(self, v: int) -> None:
-        succs = self.succs[v]
-        in_s = self.in_s
-        reach = self.reach
-        bad = self.bad
-        r = 0
-        b = 0
-        for s in succs:
-            if reach[s]:
-                r = 1
-                if bad[s] or not in_s[s]:
-                    b = 1
-                    break
-        reach[v] = r
-        bad[v] = b
-
-    def merit(self) -> float:
-        return self.dfg.weight * (self.sw_sum - _ceil_cycles(self.cp_max))
-
-
-class _MultiCutSearch:
-    def __init__(self, dfg: DataFlowGraph, constraints: Constraints,
-                 num_cuts: int, model: CostModel,
-                 limits: Optional[SearchLimits]) -> None:
-        if num_cuts < 1:
-            raise ValueError("num_cuts must be >= 1")
-        self.dfg = dfg
-        self.constraints = constraints
-        self.m = num_cuts
-        self.model = model
-        self.limits = limits or SearchLimits()
-        self.forbidden = [node.forbidden for node in dfg.nodes]
-        sw = [0.0 if node.forbidden else model.sw(node)
-              for node in dfg.nodes]
-        hw = [math.inf if node.forbidden else model.hw(node)
-              for node in dfg.nodes]
-        producers = [dfg.producers_of(i) for i in range(dfg.n)]
-        self.states = [
-            _CutState(dfg, model, sw, hw, producers)
-            for _ in range(num_cuts)
-        ]
-        self.open_cuts = 0        # number of cuts that have a member
-        self.best_total = 0.0
-        self.best_sets: Optional[List[Tuple[int, ...]]] = None
-        self.stats = SearchStats(graph_nodes=dfg.n)
-        self.complete = True
-
-    def _maybe_update_best(self) -> None:
-        nin = self.constraints.nin
-        total = 0.0
-        for state in self.states:
-            if not state.members:
-                continue
-            if state.in_count > nin:
-                return
-            total += state.merit()
-        if total > self.best_total:
-            self.best_total = total
-            self.best_sets = [tuple(state.members)
-                              for state in self.states]
-            self.stats.best_updates += 1
-
-    def _search(self, i: int) -> None:
-        if i == self.dfg.n:
-            return
-        if not self.forbidden[i]:
-            # Branch k: node i joins cut k.  Canonical: only the first
-            # empty cut may be opened.
-            max_k = min(self.m, self.open_cuts + 1)
-            for k in range(max_k):
-                state = self.states[k]
-                self.stats.cuts_considered += 1
-                limit = self.limits.max_considered
-                if limit is not None and self.stats.cuts_considered > limit:
-                    self.complete = False
-                    raise _BudgetExhausted()
-                opened = not state.members
-                ok = state.include(i)
-                out_ok = state.out_count <= self.constraints.nout
-                if ok and out_ok:
-                    self.stats.cuts_feasible += 1
-                    if opened:
-                        self.open_cuts += 1
-                    for other_k, other in enumerate(self.states):
-                        if other_k != k:
-                            other.decide_exclude(i)
-                    self._maybe_update_best()
-                    self._search(i + 1)
-                    if opened:
-                        self.open_cuts -= 1
-                else:
-                    self.stats.cuts_infeasible += 1
-                state.undo_include(i)
-        # Branch 0: node i stays in software.
-        for state in self.states:
-            state.decide_exclude(i)
-        self._search(i + 1)
-
-    def run(self) -> MultiCutResult:
-        old_limit = sys.getrecursionlimit()
-        sys.setrecursionlimit(max(old_limit, 4 * self.dfg.n + 1000))
-        try:
-            self._search(0)
-        except _BudgetExhausted:
-            pass
-        finally:
-            sys.setrecursionlimit(old_limit)
-        cuts: List[Cut] = []
-        if self.best_sets is not None:
-            for members in self.best_sets:
-                if members:
-                    cuts.append(evaluate_cut(self.dfg, members, self.model))
-        cuts.sort(key=lambda c: -c.merit)
-        return MultiCutResult(
-            cuts=cuts,
-            total_merit=self.best_total,
-            stats=self.stats,
-            complete=self.complete,
-        )
-
-
 def find_best_cuts(
     dfg: DataFlowGraph,
     constraints: Constraints,
@@ -266,4 +47,17 @@ def find_best_cuts(
     """Find up to *num_cuts* disjoint cuts of *dfg* maximising the merit
     sum, each cut individually satisfying *constraints* (Section 6.2)."""
     model = model or CostModel()
-    return _MultiCutSearch(dfg, constraints, num_cuts, model, limits).run()
+    best_sets, best_total, stats, complete = run_multi_cut(
+        dfg, constraints, num_cuts, model, limits)
+    cuts: List[Cut] = []
+    if best_sets is not None:
+        for members in best_sets:
+            if members:
+                cuts.append(evaluate_cut(dfg, members, model))
+    cuts.sort(key=lambda c: -c.merit)
+    return MultiCutResult(
+        cuts=cuts,
+        total_merit=best_total,
+        stats=stats,
+        complete=complete,
+    )

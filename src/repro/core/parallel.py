@@ -1,0 +1,80 @@
+"""Process-parallel execution of independent per-block searches.
+
+The identification of the best cut in one basic block is completely
+independent of every other block, so the first round of each selection
+strategy (one exhaustive search per DFG) parallelises embarrassingly.
+This module provides the single primitive the strategies need — an
+ordered ``map`` over picklable work items — together with the knob that
+controls it:
+
+* ``workers=`` argument on ``select_iterative`` / ``select_optimal`` /
+  ``select_area_constrained`` (and ``--workers`` on the CLI);
+* the ``REPRO_WORKERS`` environment variable as the default when the
+  argument is omitted.
+
+The default is serial (``workers=1``): results are bit-identical either
+way, but forking has a real cost, so parallelism is opt-in.  Any failure
+to parallelise (no ``fork`` support, unpicklable payloads, sandboxed
+environments without semaphores) degrades silently to the serial path —
+parallelism is a performance knob, never a correctness requirement.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable consulted when ``workers`` is not given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Number of worker processes to use.
+
+    Precedence: explicit argument, then ``REPRO_WORKERS``, then 1
+    (serial).  ``0`` and negative values mean "one per CPU".
+    """
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if not env:
+            return 1
+        try:
+            workers = int(env)
+        except ValueError:
+            return 1
+    if workers <= 0:
+        workers = os.cpu_count() or 1
+    return max(1, workers)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    workers: Optional[int] = None,
+) -> List[R]:
+    """Ordered ``[fn(x) for x in items]``, fanned out across processes.
+
+    *fn* must be a module-level (picklable) callable and the items and
+    results must pickle.  With one worker, one item, or any executor
+    failure, the plain serial comprehension runs instead.
+    """
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(x) for x in items]
+    import pickle
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    try:
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(items))) as pool:
+            return list(pool.map(fn, items))
+    except (OSError, ImportError, NotImplementedError, PermissionError,
+            BrokenProcessPool, pickle.PicklingError):
+        # Environment/payload problems degrade to the serial path:
+        # identical results, just slower.  Exceptions raised by *fn*
+        # itself are real errors and propagate.
+        return [fn(x) for x in items]

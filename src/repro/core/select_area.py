@@ -29,6 +29,7 @@ from ..hwmodel.latency import CostModel
 from ..hwmodel.merit import cut_area
 from ..ir.dfg import DataFlowGraph
 from .cut import Constraints, Cut
+from .parallel import parallel_map
 from .selection import SelectionResult, make_result, merge_stats
 from .single_cut import SearchLimits, SearchStats, find_best_cut
 
@@ -52,6 +53,25 @@ class AreaCandidate:
         return self.merit / self.area
 
 
+def _block_candidates(job: Tuple) -> Tuple[List[AreaCandidate], SearchStats]:
+    """Module-level worker: exhaust one block's candidate pool
+    (picklable; independent of every other block)."""
+    dfg, constraints, model, limits, max_per_block = job
+    stats = SearchStats()
+    candidates: List[AreaCandidate] = []
+    current = dfg
+    for _ in range(max_per_block):
+        result = find_best_cut(current, constraints, model, limits)
+        merge_stats(stats, result.stats)
+        if result.cut is None or result.cut.merit <= 0:
+            break
+        area = cut_area(result.cut.dfg, result.cut.nodes, model)
+        candidates.append(AreaCandidate(cut=result.cut, area=area))
+        current = current.collapse(result.cut.nodes,
+                                   label=f"area{len(candidates)}")
+    return candidates, stats
+
+
 def enumerate_candidates(
     dfgs: Sequence[DataFlowGraph],
     constraints: Constraints,
@@ -59,25 +79,24 @@ def enumerate_candidates(
     limits: Optional[SearchLimits] = None,
     max_per_block: int = 32,
     stats: Optional[SearchStats] = None,
+    workers: Optional[int] = None,
 ) -> List[AreaCandidate]:
-    """Exhaust the iterative identifier on every block.
+    """Exhaust the iterative identifier on every block, optionally
+    fanning the independent per-block pools out over processes.
 
     Returns non-overlapping candidates (cuts from the same block never
     share operations, by construction of the collapse step).
     """
+    per_block = parallel_map(
+        _block_candidates,
+        [(dfg, constraints, model, limits, max_per_block) for dfg in dfgs],
+        workers=workers,
+    )
     candidates: List[AreaCandidate] = []
-    for dfg in dfgs:
-        current = dfg
-        for _ in range(max_per_block):
-            result = find_best_cut(current, constraints, model, limits)
-            if stats is not None:
-                merge_stats(stats, result.stats)
-            if result.cut is None or result.cut.merit <= 0:
-                break
-            area = cut_area(result.cut.dfg, result.cut.nodes, model)
-            candidates.append(AreaCandidate(cut=result.cut, area=area))
-            current = current.collapse(result.cut.nodes,
-                                       label=f"area{len(candidates)}")
+    for block_cands, block_stats in per_block:
+        if stats is not None:
+            merge_stats(stats, block_stats)
+        candidates.extend(block_cands)
     return candidates
 
 
@@ -139,6 +158,7 @@ def select_area_constrained(
     model: Optional[CostModel] = None,
     limits: Optional[SearchLimits] = None,
     method: str = "knapsack",
+    workers: Optional[int] = None,
 ) -> SelectionResult:
     """Select cuts maximising merit under both port and area budgets.
 
@@ -149,11 +169,13 @@ def select_area_constrained(
         area_budget: total silicon budget in MAC-equivalent units.
         method: ``"knapsack"`` (exact DP) or ``"greedy"`` (density
             heuristic).
+        workers: processes for the per-block candidate pools (default:
+            the ``REPRO_WORKERS`` environment variable, else serial).
     """
     model = model or CostModel()
     stats = SearchStats()
     pool = enumerate_candidates(dfgs, constraints, model, limits,
-                                stats=stats)
+                                stats=stats, workers=workers)
     if method == "knapsack":
         picked = knapsack_select(pool, area_budget)
     elif method == "greedy":

@@ -6,18 +6,29 @@ rounds can neither reuse its operations nor form cuts that would be
 non-convex through it.  Globally, at every round the block offering the
 largest merit improvement contributes the next instruction — the same
 greedy outer loop as optimal selection, but with the cheap identifier.
+
+The expensive first round (one exhaustive identification per block) is
+independent across blocks and fans out over processes when ``workers``
+(or ``REPRO_WORKERS``) asks for it; results are identical either way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..hwmodel.latency import CostModel
 from ..ir.dfg import DataFlowGraph
 from .cut import Constraints, Cut
+from .parallel import parallel_map
 from .selection import SelectionResult, make_result, merge_stats
 from .single_cut import SearchLimits, SearchResult, SearchStats, find_best_cut
+
+
+def _search_one_block(job: Tuple) -> SearchResult:
+    """Module-level worker: one per-block identification (picklable)."""
+    dfg, constraints, model, limits = job
+    return find_best_cut(dfg, constraints, model, limits)
 
 
 @dataclass
@@ -36,6 +47,7 @@ def select_iterative(
     constraints: Constraints,
     model: Optional[CostModel] = None,
     limits: Optional[SearchLimits] = None,
+    workers: Optional[int] = None,
 ) -> SelectionResult:
     """Choose up to ``constraints.ninstr`` cuts across all blocks.
 
@@ -44,14 +56,20 @@ def select_iterative(
         constraints: I/O port limits and the instruction budget.
         model: cost model for the merit function.
         limits: optional per-identification search budget.
+        workers: processes for the per-block first round (default: the
+            ``REPRO_WORKERS`` environment variable, else serial).
     """
     model = model or CostModel()
     stats = SearchStats()
     complete = True
 
+    first_round = parallel_map(
+        _search_one_block,
+        [(dfg, constraints, model, limits) for dfg in dfgs],
+        workers=workers,
+    )
     states: List[_BlockState] = []
-    for dfg in dfgs:
-        result = find_best_cut(dfg, constraints, model, limits)
+    for dfg, result in zip(dfgs, first_round):
         merge_stats(stats, result.stats)
         complete = complete and result.complete
         states.append(_BlockState(

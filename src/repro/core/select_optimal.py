@@ -16,14 +16,21 @@ of silently hanging.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..hwmodel.latency import CostModel
 from ..ir.dfg import DataFlowGraph
 from .cut import Constraints, Cut
 from .multi_cut import MultiCutResult, find_best_cuts
+from .parallel import parallel_map
 from .selection import SelectionResult, make_result, merge_stats
 from .single_cut import SearchLimits, SearchStats
+
+
+def _search_one_block(job: Tuple) -> MultiCutResult:
+    """Module-level worker: one per-block multi-cut search (picklable)."""
+    dfg, constraints, num_cuts, model, limits = job
+    return find_best_cuts(dfg, constraints, num_cuts, model, limits)
 
 
 class BlockTooLargeError(RuntimeError):
@@ -49,6 +56,7 @@ def select_optimal(
     model: Optional[CostModel] = None,
     limits: Optional[SearchLimits] = None,
     max_nodes: Optional[int] = 40,
+    workers: Optional[int] = None,
 ) -> SelectionResult:
     """Optimal selection of up to ``constraints.ninstr`` cuts.
 
@@ -59,6 +67,8 @@ def select_optimal(
         limits: optional search budget per identification call.
         max_nodes: refuse blocks larger than this (``None`` disables the
             guard).  Raises :class:`BlockTooLargeError`.
+        workers: processes for the per-block ``V_b(1)`` round (default:
+            the ``REPRO_WORKERS`` environment variable, else serial).
     """
     model = model or CostModel()
     if max_nodes is not None:
@@ -72,9 +82,13 @@ def select_optimal(
 
     stats = SearchStats()
     complete = True
+    first_round = parallel_map(
+        _search_one_block,
+        [(dfg, constraints, 1, model, limits) for dfg in dfgs],
+        workers=workers,
+    )
     states: List[_BlockState] = []
-    for dfg in dfgs:
-        result = find_best_cuts(dfg, constraints, 1, model, limits)
+    for dfg, result in zip(dfgs, first_round):
         merge_stats(stats, result.stats)
         complete = complete and result.complete
         states.append(_BlockState(

@@ -76,9 +76,13 @@ def make_result(
 
 def merge_stats(target: SearchStats, source: SearchStats) -> None:
     """Accumulate *source* counters into *target* (graph_nodes keeps the
-    maximum, the rest add up)."""
+    maximum, the rest add up; ``space_covered`` becomes a sum of
+    per-search fractions and is only meaningful as a relative progress
+    measure across identically structured runs)."""
     target.graph_nodes = max(target.graph_nodes, source.graph_nodes)
     target.cuts_considered += source.cuts_considered
     target.cuts_feasible += source.cuts_feasible
     target.cuts_infeasible += source.cuts_infeasible
     target.best_updates += source.best_updates
+    target.ub_pruned += source.ub_pruned
+    target.space_covered += source.space_covered

@@ -17,59 +17,29 @@ tree node, the entire subtree below it is pruned.  The input constraint is
 **not** monotone (adding a producer can remove inputs), so it only filters
 which cuts may become the incumbent best solution.
 
-All per-node work is O(degree): the implementation maintains, with an undo
-stack, the incremental state described in DESIGN.md §5 —
-
-* ``refs``: for every potential producer (internal node or external input
-  variable), how many cut members currently read it; ``IN(S)`` is the
-  number of producers with nonzero count that are not themselves in the cut;
-* ``out_count``: running ``OUT(S)``;
-* per-node reachability bits ``R`` (can reach a cut member) and ``B`` (can
-  reach a cut member through at least one excluded node) — fixed at
-  decision time because they only depend on already-decided descendants;
-  including a node whose ``B`` bit is set makes the cut non-convex;
-* ``cpl``: longest hardware-delay path from a member to any cut sink,
-  giving the running critical path for the merit function.
+The tree walk itself lives in :mod:`repro.core.engine`: an iterative
+branch-and-bound whose incremental state (the refs/reach/bad/cpl
+quantities described in DESIGN.md §5) is packed into Python-int bitsets,
+so every per-node check is a handful of word-parallel bitwise operations.
+This module provides the public problem-level API on top of it.
 """
 
 from __future__ import annotations
 
-import math
-import sys
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
 
 from ..hwmodel.latency import CostModel
 from ..ir.dfg import DataFlowGraph
 from .cut import Constraints, Cut, evaluate_cut
+from .engine import SearchLimits, SearchStats, ceil_cycles, run_single_cut
 
+_ceil_cycles = ceil_cycles      # backward-compatible alias
 
-@dataclass
-class SearchStats:
-    """Counters describing one identification run (cf. Figs. 7 and 8)."""
-
-    graph_nodes: int = 0
-    cuts_considered: int = 0   # tree nodes reached through a 1-branch
-    cuts_feasible: int = 0     # passed output-port AND convexity checks
-    cuts_infeasible: int = 0   # failed a monotone check (subtree pruned)
-    best_updates: int = 0
-
-    @property
-    def cuts_eliminated(self) -> int:
-        """Cuts never examined thanks to pruning (out of 2^n - 1)."""
-        total = (1 << self.graph_nodes) - 1
-        return total - self.cuts_considered
-
-
-@dataclass(frozen=True)
-class SearchLimits:
-    """Optional budget for the exponential search.
-
-    ``max_considered`` bounds the number of cuts examined; when exhausted
-    the search stops early and the result is flagged incomplete.
-    """
-
-    max_considered: Optional[int] = None
+__all__ = [
+    "SearchLimits", "SearchStats", "SearchResult",
+    "find_best_cut", "enumerate_feasible_cuts", "search_statistics",
+]
 
 
 @dataclass
@@ -83,212 +53,6 @@ class SearchResult:
     @property
     def merit(self) -> float:
         return self.cut.merit if self.cut is not None else 0.0
-
-
-class _BudgetExhausted(Exception):
-    """Internal signal: stop the recursion, keep the incumbent."""
-
-
-class _SingleCutSearch:
-    """One invocation of the Fig. 6 algorithm on one DFG."""
-
-    def __init__(self, dfg: DataFlowGraph, constraints: Constraints,
-                 model: CostModel, limits: Optional[SearchLimits],
-                 on_feasible: Optional[Callable] = None) -> None:
-        self.dfg = dfg
-        self.constraints = constraints
-        self.model = model
-        self.limits = limits or SearchLimits()
-        self.on_feasible = on_feasible
-
-        n = dfg.n
-        self.n = n
-        self.succs = dfg.succs
-        self.forced_out = [node.forced_out for node in dfg.nodes]
-        self.forbidden = [node.forbidden for node in dfg.nodes]
-        self.sw = [0.0 if node.forbidden else model.sw(node)
-                   for node in dfg.nodes]
-        self.hw = [math.inf if node.forbidden else model.hw(node)
-                   for node in dfg.nodes]
-        # Unified producer ids: internal nodes keep their index, external
-        # input variable j becomes n + j.
-        self.producers = [dfg.producers_of(i) for i in range(n)]
-
-        # Mutable search state.
-        self.in_s = bytearray(n)
-        self.reach = bytearray(n)       # R bit
-        self.bad = bytearray(n)         # B bit
-        self.refs = [0] * (n + len(dfg.input_vars))
-        self.in_count = 0
-        self.out_count = 0
-        self.out_flag = bytearray(n)    # is node an output while included
-        self.cpl = [0.0] * n
-        self.cp_max = 0.0
-        self.cp_stack: List[float] = []
-        self.sw_sum = 0.0
-        self.included: List[int] = []
-
-        self.best_merit = 0.0           # only positive-merit cuts qualify
-        self.best_nodes: Optional[Tuple[int, ...]] = None
-        self.stats = SearchStats(graph_nodes=n)
-        self.complete = True
-
-    # ------------------------------------------------------------------
-    # Incremental updates.
-    # ------------------------------------------------------------------
-    def _include(self, v: int) -> bool:
-        """Insert node *v*; return True when the monotone checks (output
-        ports, convexity) still hold."""
-        succs = self.succs[v]
-        in_s = self.in_s
-        reach = self.reach
-        bad = self.bad
-
-        # Convexity bits (descendants of v are all decided).
-        is_bad = False
-        for s in succs:
-            if bad[s] or (not in_s[s] and reach[s]):
-                is_bad = True
-                break
-        reach[v] = 1
-        bad[v] = 1 if is_bad else 0
-
-        # Output count.
-        is_out = self.forced_out[v]
-        if not is_out:
-            for s in succs:
-                if not in_s[s]:
-                    is_out = True
-                    break
-        self.out_flag[v] = 1 if is_out else 0
-        if is_out:
-            self.out_count += 1
-
-        # Input count via producer reference counting.
-        refs = self.refs
-        delta = 0
-        for p in self.producers[v]:
-            refs[p] += 1
-            if refs[p] == 1:
-                delta += 1
-        if refs[v] > 0:
-            delta -= 1      # v itself is no longer an external producer
-        self.in_count += delta
-
-        # Hardware critical path.
-        best = 0.0
-        cpl = self.cpl
-        for s in succs:
-            if in_s[s] and cpl[s] > best:
-                best = cpl[s]
-        cpl[v] = self.hw[v] + best
-        self.cp_stack.append(self.cp_max)
-        if cpl[v] > self.cp_max:
-            self.cp_max = cpl[v]
-
-        self.sw_sum += self.sw[v]
-        in_s[v] = 1
-        self.included.append(v)
-
-        convex_ok = not is_bad
-        out_ok = self.out_count <= self.constraints.nout
-        return convex_ok and out_ok
-
-    def _undo_include(self, v: int) -> None:
-        self.included.pop()
-        self.in_s[v] = 0
-        self.sw_sum -= self.sw[v]
-        self.cp_max = self.cp_stack.pop()
-        refs = self.refs
-        # Exact inverse of the forward update: every producer whose count
-        # drops to zero had contributed +1; a still-referenced v had
-        # contributed -1.
-        for p in self.producers[v]:
-            refs[p] -= 1
-            if refs[p] == 0:
-                self.in_count -= 1
-        if refs[v] > 0:
-            self.in_count += 1
-        if self.out_flag[v]:
-            self.out_count -= 1
-            self.out_flag[v] = 0
-
-    def _decide_exclude(self, v: int) -> None:
-        succs = self.succs[v]
-        in_s = self.in_s
-        reach = self.reach
-        bad = self.bad
-        r = 0
-        b = 0
-        # Invariant: bad[s] implies reach[s], so r is always set before an
-        # early break on b.
-        for s in succs:
-            if reach[s]:
-                r = 1
-                if bad[s] or not in_s[s]:
-                    b = 1
-                    break
-        reach[v] = r
-        bad[v] = b
-
-    # ------------------------------------------------------------------
-    def _maybe_update_best(self) -> None:
-        if self.in_count > self.constraints.nin:
-            return
-        merit = self.dfg.weight * (
-            self.sw_sum - _ceil_cycles(self.cp_max))
-        if self.on_feasible is not None:
-            self.on_feasible(tuple(self.included), merit)
-        if merit > self.best_merit:
-            self.best_merit = merit
-            self.best_nodes = tuple(self.included)
-            self.stats.best_updates += 1
-
-    def _search(self, i: int) -> None:
-        if i == self.n:
-            return
-        if not self.forbidden[i]:
-            self.stats.cuts_considered += 1
-            limit = self.limits.max_considered
-            if (limit is not None
-                    and self.stats.cuts_considered > limit):
-                self.complete = False
-                raise _BudgetExhausted()
-            ok = self._include(i)
-            if ok:
-                self.stats.cuts_feasible += 1
-                self._maybe_update_best()
-                self._search(i + 1)
-            else:
-                self.stats.cuts_infeasible += 1
-            self._undo_include(i)
-        self._decide_exclude(i)
-        self._search(i + 1)
-        # Excluded state needs no undo: R/B are recomputed at next decision.
-
-    # ------------------------------------------------------------------
-    def run(self) -> SearchResult:
-        old_limit = sys.getrecursionlimit()
-        sys.setrecursionlimit(max(old_limit, 4 * self.n + 1000))
-        try:
-            self._search(0)
-        except _BudgetExhausted:
-            pass
-        finally:
-            sys.setrecursionlimit(old_limit)
-        cut = None
-        if self.best_nodes is not None:
-            cut = evaluate_cut(self.dfg, self.best_nodes, self.model)
-        return SearchResult(cut=cut, stats=self.stats,
-                            complete=self.complete)
-
-
-def _ceil_cycles(critical_path: float) -> int:
-    """Cycles of a *nonempty* cut: at least one (the issue slot), else the
-    ceiling of the critical path."""
-    if critical_path <= 0.0:
-        return 1
-    return max(1, math.ceil(critical_path - 1e-9))
 
 
 def find_best_cut(
@@ -305,8 +69,12 @@ def find_best_cut(
     when no profitable feasible cut exists.
     """
     model = model or CostModel()
-    search = _SingleCutSearch(dfg, constraints, model, limits)
-    return search.run()
+    best_nodes, _, stats, complete = run_single_cut(
+        dfg, constraints, model, limits)
+    cut = None
+    if best_nodes is not None:
+        cut = evaluate_cut(dfg, best_nodes, model)
+    return SearchResult(cut=cut, stats=stats, complete=complete)
 
 
 def enumerate_feasible_cuts(
@@ -323,11 +91,9 @@ def enumerate_feasible_cuts(
     collected: List[Tuple[Tuple[int, ...], float]] = []
 
     def on_feasible(nodes: Tuple[int, ...], merit: float) -> None:
-        collected.append((tuple(sorted(nodes)), merit))
+        collected.append((nodes, merit))
 
-    search = _SingleCutSearch(dfg, constraints, model, None,
-                              on_feasible=on_feasible)
-    search.run()
+    run_single_cut(dfg, constraints, model, None, on_feasible=on_feasible)
     return iter(collected)
 
 

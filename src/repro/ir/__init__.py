@@ -48,7 +48,7 @@ from .cfg import (
     successors,
     verify_function,
 )
-from .dfg import DataFlowGraph, DFGNode, build_dfg, function_dfgs
+from .dfg import DataFlowGraph, DFGMasks, DFGNode, build_dfg, function_dfgs
 from .printer import IRParseError, parse_module, print_module, roundtrip
 
 __all__ = [
@@ -62,6 +62,6 @@ __all__ = [
     "count_real_instructions",
     "Liveness", "successors", "predecessors", "reachable_blocks",
     "reverse_postorder", "verify_function",
-    "DataFlowGraph", "DFGNode", "build_dfg", "function_dfgs",
+    "DataFlowGraph", "DFGMasks", "DFGNode", "build_dfg", "function_dfgs",
     "print_module", "parse_module", "roundtrip", "IRParseError",
 ]

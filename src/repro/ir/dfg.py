@@ -22,6 +22,7 @@ still participate in convexity and I/O accounting.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -54,6 +55,52 @@ class DFGNode:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<DFGNode {self.index}:{self.label}>"
+
+
+class DFGMasks:
+    """Bitset encoding of a :class:`DataFlowGraph`, shared by the search
+    engine (see DESIGN.md §5).
+
+    Node ``i`` owns bit ``1 << i``; external input variable ``j`` owns bit
+    ``1 << (n + j)``.  All masks are plain Python ints, so the per-node
+    constraint checks of the branch-and-bound search become O(1)
+    word-parallel bitwise operations instead of per-edge loops.
+
+    Attributes:
+        succ: ``succ[i]`` — bits of the internal consumers of node ``i``
+            (all strictly below bit ``i`` by reverse topological order).
+        pred: ``pred[i]`` — bits of the internal producers of node ``i``.
+        producer: ``producer[i]`` — unified producer bits of node ``i``:
+            internal producers plus its external input variables shifted
+            by ``n``.
+        forced_out: bits of nodes whose value is live out of the block.
+        forbidden: bits of nodes that can never join a cut.
+        all_nodes: ``(1 << n) - 1``.
+    """
+
+    __slots__ = ("succ", "pred", "producer", "forced_out", "forbidden",
+                 "all_nodes")
+
+    def __init__(self, dfg: "DataFlowGraph") -> None:
+        n = dfg.n
+        self.succ = [_bits(row) for row in dfg.succs]
+        self.pred = [_bits(row) for row in dfg.preds]
+        self.producer = [
+            self.pred[i] | _bits(j + n for j in dfg.node_inputs[i])
+            for i in range(n)
+        ]
+        self.forced_out = _bits(
+            i for i in range(n) if dfg.nodes[i].forced_out)
+        self.forbidden = _bits(
+            i for i in range(n) if dfg.nodes[i].forbidden)
+        self.all_nodes = (1 << n) - 1
+
+
+def _bits(indices: Iterable[int]) -> int:
+    mask = 0
+    for i in indices:
+        mask |= 1 << i
+    return mask
 
 
 class DataFlowGraph:
@@ -99,12 +146,51 @@ class DataFlowGraph:
         self.operand_sources: List[Tuple] = (
             operand_sources if operand_sources is not None
             else [() for _ in nodes])
+        # Caches (a DFG is immutable once built; collapse returns a new
+        # graph, so these never need invalidation).
+        self._masks: Optional[DFGMasks] = None
+        self._producers: Optional[List[List[int]]] = None
+        self._cost_cache: Dict[int, Tuple] = {}
         self._check_invariants()
 
     # ------------------------------------------------------------------
     @property
     def n(self) -> int:
         return len(self.nodes)
+
+    @property
+    def masks(self) -> DFGMasks:
+        """Cached bitset encoding of the graph (built on first use)."""
+        if self._masks is None:
+            self._masks = DFGMasks(self)
+        return self._masks
+
+    @property
+    def producers(self) -> List[List[int]]:
+        """Cached ``[producers_of(i) for i in range(n)]``."""
+        if self._producers is None:
+            self._producers = [self.producers_of(i) for i in range(self.n)]
+        return self._producers
+
+    def cost_vectors(self, model) -> Tuple[List[float], List[float]]:
+        """Per-node ``(sw, hw)`` cost vectors under *model*, cached.
+
+        Forbidden nodes cost 0 software cycles (they can never be part of
+        a cut's software mass) and infinite hardware delay.  The cache is
+        keyed by model identity and holds a reference to the model so a
+        recycled ``id()`` can never alias a different model.
+        """
+        entry = self._cost_cache.get(id(model))
+        if entry is not None and entry[0] is model:
+            return entry[1], entry[2]
+        sw = [0.0 if node.forbidden else model.sw(node)
+              for node in self.nodes]
+        hw = [math.inf if node.forbidden else model.hw(node)
+              for node in self.nodes]
+        if len(self._cost_cache) >= 8:     # throwaway models: stay bounded
+            self._cost_cache.clear()
+        self._cost_cache[id(model)] = (model, sw, hw)
+        return sw, hw
 
     def _check_invariants(self) -> None:
         n = self.n

@@ -1,0 +1,269 @@
+"""Equivalence of the bitset branch-and-bound engine with the naive
+reference semantics.
+
+The engine (``repro.core.engine``) encodes the search state in Python-int
+bitsets; these tests pin it, property-style, against the from-scratch
+oracles (``dfg.is_convex`` / ``cut_inputs`` / ``cut_outputs`` /
+``evaluate_cut``), against brute-force enumeration, and — for the
+upper-bound pruning mode, which must never change the returned optimum —
+against the engine's own exhaustive default on randomized DFGs and on
+every registered workload.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Constraints,
+    SearchLimits,
+    enumerate_feasible_cuts,
+    evaluate_cut,
+    find_best_cut,
+    find_best_cuts,
+    parallel_map,
+    resolve_workers,
+    select_iterative,
+)
+from repro.core.bruteforce import best_cut_bruteforce
+from repro.hwmodel import CostModel
+from repro.ir.synth import make_dfg, random_dag_dfg
+from repro.ir.opcodes import Opcode
+from repro.pipeline import prepare_application
+from repro.workloads import WORKLOADS
+
+MODEL = CostModel()
+
+#: Session fixtures from tests/conftest.py where one exists; other
+#: registered workloads are compiled on demand at a small problem size.
+APP_FIXTURES = {
+    "adpcm-decode": "adpcm_decode_app",
+    "adpcm-encode": "adpcm_encode_app",
+    "gsm": "gsm_app",
+    "fir": "fir_app",
+    "crc32": "crc_app",
+    "mixer": "mixer_app",
+}
+
+_APP_CACHE = {}
+
+
+def _workload_app(name, request):
+    fixture = APP_FIXTURES.get(name)
+    if fixture is not None:
+        return request.getfixturevalue(fixture)
+    if name not in _APP_CACHE:
+        _APP_CACHE[name] = prepare_application(name, n=16)
+    return _APP_CACHE[name]
+
+
+@st.composite
+def dag_and_constraints(draw):
+    seed = draw(st.integers(0, 2 ** 31))
+    n = draw(st.integers(1, 12))
+    edge_prob = draw(st.floats(0.05, 0.7))
+    forbidden_prob = draw(st.sampled_from([0.0, 0.1, 0.3]))
+    rng = random.Random(seed)
+    dfg = random_dag_dfg(n, rng, edge_prob=edge_prob,
+                         forbidden_prob=forbidden_prob)
+    nin = draw(st.integers(1, 6))
+    nout = draw(st.integers(1, 4))
+    return dfg, Constraints(nin=nin, nout=nout)
+
+
+class TestMasks:
+    """The cached bitset encoding must mirror the adjacency lists."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 2 ** 31), st.integers(1, 14))
+    def test_masks_match_adjacency(self, seed, n):
+        rng = random.Random(seed)
+        dfg = random_dag_dfg(n, rng, edge_prob=0.4, forbidden_prob=0.2)
+        masks = dfg.masks
+        assert masks is dfg.masks          # cached, built once
+        for i in range(dfg.n):
+            assert masks.succ[i] == sum(1 << s for s in dfg.succs[i])
+            assert masks.pred[i] == sum(1 << p for p in dfg.preds[i])
+            assert masks.producer[i] == sum(
+                1 << p for p in dfg.producers_of(i))
+            assert bool(masks.forced_out >> i & 1) == dfg.nodes[i].forced_out
+            assert bool(masks.forbidden >> i & 1) == dfg.nodes[i].forbidden
+        assert masks.all_nodes == (1 << dfg.n) - 1
+
+    def test_producers_cached(self):
+        dfg = make_dfg([Opcode.MUL, Opcode.ADD], [(0, 1)], live_out=[1])
+        assert dfg.producers is dfg.producers
+        assert dfg.producers == [dfg.producers_of(i) for i in range(dfg.n)]
+
+    def test_cost_vectors_cached_per_model(self):
+        dfg = make_dfg([Opcode.MUL, Opcode.LOAD], [(0, 1)], live_out=[1])
+        sw, hw = dfg.cost_vectors(MODEL)
+        assert dfg.cost_vectors(MODEL)[0] is sw
+        forbidden = [i for i in range(dfg.n) if dfg.nodes[i].forbidden]
+        assert forbidden, "fixture must contain a forbidden node"
+        for i in forbidden:
+            assert sw[i] == 0.0
+            assert hw[i] == float("inf")
+        other = CostModel()
+        assert dfg.cost_vectors(other)[0] is not sw
+
+
+class TestAgainstNaiveOracles:
+    """Every cut the engine reports feasible must satisfy the from-scratch
+    definitions; the engine's incremental merit must match evaluate_cut."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(dag_and_constraints())
+    def test_feasible_cuts_satisfy_oracles(self, case):
+        dfg, cons = case
+        for nodes, merit in enumerate_feasible_cuts(dfg, cons, MODEL):
+            members = set(nodes)
+            assert dfg.is_convex(members)
+            assert len(dfg.cut_inputs(members)) <= cons.nin
+            assert len(dfg.cut_outputs(members)) <= cons.nout
+            ref = evaluate_cut(dfg, members, MODEL)
+            assert merit == pytest.approx(ref.merit)
+
+    @settings(max_examples=60, deadline=None)
+    @given(dag_and_constraints())
+    def test_best_cut_matches_bruteforce(self, case):
+        dfg, cons = case
+        fast = find_best_cut(dfg, cons, MODEL)
+        slow = best_cut_bruteforce(dfg, cons, MODEL)
+        fast_merit = fast.cut.merit if fast.cut else 0.0
+        slow_merit = slow.merit if slow else 0.0
+        assert fast_merit == pytest.approx(slow_merit)
+        if fast.cut is not None:
+            members = set(fast.cut.nodes)
+            assert dfg.is_convex(members)
+            assert len(dfg.cut_inputs(members)) <= cons.nin
+            assert len(dfg.cut_outputs(members)) <= cons.nout
+
+
+class TestUpperBoundPruning:
+    """The admissible bound may only discard subtrees that cannot beat
+    the incumbent: identical best cut, never more work."""
+
+    UB = SearchLimits(use_upper_bound=True)
+
+    @settings(max_examples=80, deadline=None)
+    @given(dag_and_constraints())
+    def test_same_best_cut_fewer_cuts(self, case):
+        dfg, cons = case
+        plain = find_best_cut(dfg, cons, MODEL)
+        pruned = find_best_cut(dfg, cons, MODEL, limits=self.UB)
+        plain_nodes = plain.cut.nodes if plain.cut else None
+        pruned_nodes = pruned.cut.nodes if pruned.cut else None
+        assert plain_nodes == pruned_nodes
+        assert plain.merit == pruned.merit
+        assert pruned.stats.cuts_considered <= plain.stats.cuts_considered
+        assert plain.stats.ub_pruned == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2 ** 31))
+    def test_space_covered_complete_search(self, seed):
+        rng = random.Random(seed)
+        dfg = random_dag_dfg(rng.randint(1, 10), rng, edge_prob=0.3)
+        res = find_best_cut(dfg, Constraints(nin=4, nout=2), MODEL)
+        assert res.complete
+        assert res.stats.space_covered == pytest.approx(1.0)
+
+    def test_budget_is_a_loop_condition(self):
+        # Long chains used to need recursion-limit games; the iterative
+        # engine walks a 500-node graph without any.
+        ops = [Opcode.ADD] * 500
+        edges = [(i, i + 1) for i in range(499)]
+        dfg = make_dfg(ops, edges, live_out=[499])
+        res = find_best_cut(dfg, Constraints(nin=8, nout=1), MODEL,
+                            limits=SearchLimits(max_considered=5_000))
+        assert not res.complete
+        assert res.stats.cuts_considered <= 5_001
+        assert 0.0 < res.stats.space_covered < 1.0
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("nin,nout", [(4, 2), (2, 1)])
+def test_workload_blocks_ub_equivalence(workload, nin, nout, request):
+    """On every registered workload, the pruned search returns the exact
+    optimum of the default search on every (tractable) block, and the
+    optimum passes the naive oracles."""
+    app = _workload_app(workload, request)
+    cons = Constraints(nin=nin, nout=nout)
+    limits = SearchLimits(max_considered=300_000, use_upper_bound=True)
+    checked = 0
+    for dfg in app.dfgs:
+        if dfg.n > 40:
+            continue
+        plain = find_best_cut(dfg, cons, MODEL,
+                              SearchLimits(max_considered=300_000))
+        pruned = find_best_cut(dfg, cons, MODEL, limits)
+        if not plain.complete:
+            continue
+        plain_nodes = plain.cut.nodes if plain.cut else None
+        pruned_nodes = pruned.cut.nodes if pruned.cut else None
+        assert plain_nodes == pruned_nodes
+        assert plain.merit == pruned.merit
+        if plain.cut is not None:
+            members = set(plain.cut.nodes)
+            assert dfg.is_convex(members)
+            assert len(dfg.cut_inputs(members)) == plain.cut.num_inputs
+            assert len(dfg.cut_outputs(members)) == plain.cut.num_outputs
+        checked += 1
+    assert checked > 0, f"no tractable blocks checked in {workload}"
+
+
+class TestMultiCutEngine:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2 ** 31), st.integers(2, 7), st.integers(1, 3))
+    def test_multi_cut_members_pass_oracles(self, seed, n, m):
+        rng = random.Random(seed)
+        dfg = random_dag_dfg(n, rng, edge_prob=0.4, forbidden_prob=0.1)
+        cons = Constraints(nin=3, nout=2)
+        result = find_best_cuts(dfg, cons, m, MODEL)
+        used = set()
+        for cut in result.cuts:
+            members = set(cut.nodes)
+            assert not members & used
+            used |= members
+            assert dfg.is_convex(members)
+            assert len(dfg.cut_inputs(members)) <= cons.nin
+            assert len(dfg.cut_outputs(members)) <= cons.nout
+
+
+class TestParallelSelection:
+    def _dfgs(self):
+        rng = random.Random(7)
+        return [random_dag_dfg(8, rng, edge_prob=0.35, name=f"b{k}")
+                for k in range(3)]
+
+    def test_workers_do_not_change_selection(self):
+        dfgs = self._dfgs()
+        cons = Constraints(nin=3, nout=2, ninstr=4)
+        serial = select_iterative(dfgs, cons, MODEL, workers=1)
+        forked = select_iterative(dfgs, cons, MODEL, workers=2)
+        assert ([sorted(c.nodes) for c in serial.cuts]
+                == [sorted(c.nodes) for c in forked.cuts])
+        assert serial.total_merit == forked.total_merit
+        assert serial.stats.cuts_considered == forked.stats.cuts_considered
+
+    def test_parallel_map_matches_serial(self):
+        items = list(range(7))
+        assert parallel_map(_square, items, workers=2) == \
+            [x * x for x in items]
+
+    def test_resolve_workers(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) >= 1
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers(None) == 5
+        monkeypatch.setenv("REPRO_WORKERS", "junk")
+        assert resolve_workers(None) == 1
+
+
+def _square(x: int) -> int:
+    return x * x
