@@ -38,11 +38,12 @@ from .core import (
     select_maxmiso,
     select_optimal,
 )
+from .explore import SearchCache, SweepOutcome, SweepSpec, run_sweep
 from .hwmodel import CostModel, estimated_speedup, uniform_cost_model
 from .pipeline import Application, compile_workload, prepare_application
 from .workloads import WORKLOADS, Workload, get_workload, paper_benchmarks
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Constraints", "Cut", "evaluate_cut",
@@ -52,6 +53,7 @@ __all__ = [
     "select_area_constrained",
     "select_clubbing", "select_maxmiso", "BlockTooLargeError",
     "CostModel", "uniform_cost_model", "estimated_speedup",
+    "SweepSpec", "SweepOutcome", "SearchCache", "run_sweep",
     "Application", "prepare_application", "compile_workload",
     "WORKLOADS", "Workload", "get_workload", "paper_benchmarks",
     "__version__",

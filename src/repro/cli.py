@@ -6,8 +6,11 @@ Subcommands:
 * ``ir`` — dump the optimised IR of a workload;
 * ``identify`` — best single cut of the hottest block (Problem 1);
 * ``select`` — choose up to Ninstr instructions with any algorithm
-  (Problem 2);
+  (Problem 2), including area-constrained selection (Section 9);
 * ``compare`` — one Fig. 11-style row: all four algorithms side by side;
+* ``sweep`` — a whole design-space grid (workloads x ports x Ninstr x
+  algorithms x cost models) in one invocation, with memoized per-block
+  identification and JSON/CSV artifacts;
 * ``afu`` — generate Verilog for the selected custom instructions.
 """
 
@@ -16,13 +19,15 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from .afu import build_datapath, emit_verilog
 from .core import (
+    BlockTooLargeError,
     Constraints,
     SearchLimits,
     find_best_cut,
+    select_area_constrained,
     select_clubbing,
     select_iterative,
     select_maxmiso,
@@ -110,6 +115,11 @@ def cmd_select(args) -> int:
                                 limits=_limits(args),
                                 max_nodes=args.max_nodes,
                                 workers=args.workers)
+    elif args.algo == "area":
+        result = select_area_constrained(
+            app.dfgs, constraints, args.area_budget,
+            limits=_limits(args), method=args.area_method,
+            workers=args.workers)
     else:
         algo = _ALGORITHMS[args.algo]
         if args.algo == "iterative":
@@ -129,7 +139,19 @@ def cmd_compare(args) -> int:
     constraints = Constraints(nin=args.nin, nout=args.nout,
                               ninstr=args.ninstr)
     limits = _limits(args) or SearchLimits(max_considered=2_000_000)
+    try:
+        optimal = select_optimal(app.dfgs, constraints, limits=limits,
+                                 max_nodes=args.max_nodes,
+                                 workers=args.workers)
+        optimal_note = ""
+    except BlockTooLargeError as exc:
+        # Degrade like the paper's own Fig. 11 note (Optimal could not
+        # be run on the largest adpcm-decode block) instead of crashing
+        # the whole comparison.
+        optimal = None
+        optimal_note = str(exc)
     rows = [
+        ("Optimal", optimal),
         ("Iterative", select_iterative(app.dfgs, constraints,
                                        limits=limits,
                                        workers=args.workers)),
@@ -139,10 +161,84 @@ def cmd_compare(args) -> int:
     print(f"{args.workload}  Nin={args.nin} Nout={args.nout} "
           f"Ninstr={args.ninstr}")
     for name, result in rows:
+        if result is None:
+            print(f"  {name:10s} n/a ({optimal_note})")
+            continue
         flag = "" if result.complete else " (budget hit)"
         print(f"  {name:10s} speedup {result.speedup:6.3f}x  "
               f"merit {result.total_merit:10.0f}  "
               f"instrs {result.num_instructions:2d}{flag}")
+    return 0
+
+
+def _csv_list(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _csv_ints(text: str) -> List[int]:
+    try:
+        return [int(item) for item in _csv_list(text)]
+    except ValueError:
+        raise SystemExit(f"bad integer list {text!r} (expected e.g. 2,4)")
+
+
+def _parse_ports(args) -> List[Tuple[int, int]]:
+    """Port pairs: explicit ``--ports 2x1,4x2`` wins over the cross
+    product of ``--nins`` and ``--nouts``."""
+    if args.ports:
+        pairs = []
+        for token in _csv_list(args.ports):
+            try:
+                nin, nout = token.lower().split("x")
+                pairs.append((int(nin), int(nout)))
+            except ValueError:
+                raise SystemExit(
+                    f"bad --ports entry {token!r} (expected NINxNOUT, "
+                    f"e.g. 4x2)")
+        return pairs
+    return [(nin, nout)
+            for nin in _csv_ints(args.nins)
+            for nout in _csv_ints(args.nouts)]
+
+
+def cmd_sweep(args) -> int:
+    from .explore import (
+        SweepSpec, format_table, run_sweep, write_csv, write_json,
+    )
+
+    try:
+        spec = SweepSpec(
+            workloads=tuple(_csv_list(args.workloads)),
+            ports=tuple(_parse_ports(args)),
+            ninstrs=tuple(_csv_ints(args.ninstr)),
+            algorithms=tuple(_csv_list(args.algos)),
+            models=tuple(_csv_list(args.models)),
+            n=args.n,
+            unroll=args.unroll,
+            limit=args.limit,
+            max_nodes=args.max_nodes,
+            area_budget=args.area_budget,
+        )
+    except ValueError as exc:
+        # A typo'd axis is a usage error, not a crash.
+        raise SystemExit(f"sweep: {exc}")
+    echo = (lambda line: print(line, file=sys.stderr)) \
+        if not args.quiet else None
+    outcome = run_sweep(spec, use_cache=not args.no_cache,
+                        workers=args.workers, echo=echo)
+    print(format_table(outcome.rows))
+    cache_note = ""
+    if outcome.cache_stats is not None:
+        cache_note = (f", cache {outcome.cache_stats['hits']} hit(s) / "
+                      f"{outcome.cache_stats['misses']} miss(es)")
+    print(f"\n{len(outcome.rows)} grid points in {outcome.sweep_s:.2f}s "
+          f"({outcome.points_per_second:.2f} points/s{cache_note})")
+    if args.json:
+        write_json(outcome, args.json)
+        print(f"wrote {args.json}")
+    if args.csv:
+        write_csv(outcome, args.csv)
+        print(f"wrote {args.csv}")
     return 0
 
 
@@ -186,16 +282,68 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers(p)
     p.add_argument("--ninstr", type=int, default=16)
     p.add_argument("--algo", choices=["iterative", "optimal", "clubbing",
-                                      "maxmiso"], default="iterative")
+                                      "maxmiso", "area"],
+                   default="iterative")
     p.add_argument("--max-nodes", type=int, default=40,
                    help="node guard for the optimal algorithm")
+    p.add_argument("--area-budget", type=float, default=2.0,
+                   help="silicon budget in MAC units for --algo area "
+                        "(default 2.0)")
+    p.add_argument("--area-method", choices=["knapsack", "greedy"],
+                   default="knapsack",
+                   help="area selector: exact DP or density greedy")
     p.set_defaults(fn=cmd_select)
 
-    p = sub.add_parser("compare", help="compare all algorithms")
+    p = sub.add_parser("compare", help="compare all four algorithms")
     _add_common(p)
     _add_workers(p)
     p.add_argument("--ninstr", type=int, default=16)
+    p.add_argument("--max-nodes", type=int, default=40,
+                   help="node guard for the Optimal row (oversized "
+                        "blocks report n/a, like the paper)")
     p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a design-space grid in one invocation "
+             "(memoized identification, JSON/CSV artifacts)")
+    p.add_argument("--workloads", required=True,
+                   help="comma-separated registry names")
+    p.add_argument("--ports", default=None,
+                   help="comma-separated NINxNOUT pairs, e.g. 2x1,4x2 "
+                        "(overrides --nins/--nouts)")
+    p.add_argument("--nins", default="4",
+                   help="comma-separated Nin values (crossed with "
+                        "--nouts; default 4)")
+    p.add_argument("--nouts", default="2",
+                   help="comma-separated Nout values (default 2)")
+    p.add_argument("--ninstr", default="16",
+                   help="comma-separated instruction budgets (default 16)")
+    p.add_argument("--algos", default="iterative,clubbing,maxmiso",
+                   help="comma-separated algorithms out of iterative,"
+                        "optimal,clubbing,maxmiso,area")
+    p.add_argument("--models", default="default",
+                   help="comma-separated cost models (default,uniform)")
+    p.add_argument("--n", type=int, default=None,
+                   help="profiling run size shared by all workloads")
+    p.add_argument("--unroll", type=int, default=None)
+    p.add_argument("--limit", type=int, default=None,
+                   help="max cuts considered per identification")
+    p.add_argument("--max-nodes", type=int, default=40,
+                   help="Optimal node guard (oversized -> n/a)")
+    p.add_argument("--area-budget", type=float, default=2.0,
+                   help="silicon budget for area rows (MAC units)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the identification memo (cold "
+                        "baseline; results are identical, just slower)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the machine-readable sweep record here")
+    p.add_argument("--csv", default=None, metavar="PATH",
+                   help="write the flat per-point table here")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress progress lines on stderr")
+    _add_workers(p)
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("afu", help="emit Verilog for selected AFUs")
     _add_common(p)

@@ -16,11 +16,17 @@ can fan out across processes: pass ``workers=`` to ``select_iterative``
 / ``select_optimal`` / ``select_area_constrained`` (or set the
 ``REPRO_WORKERS`` environment variable; serial by default, with a
 silent serial fallback wherever process pools are unavailable).
+
+Identification calls additionally accept a duck-typed ``cache=`` memo
+(``repro.explore.SearchCache``): hits skip the exponential searches
+with bit-identical results, which is what makes whole design-space
+sweeps (``repro sweep``) an order of magnitude cheaper than one CLI
+invocation per grid point (DESIGN.md §8).
 """
 
 from .cut import Constraints, Cut, cut_is_feasible, evaluate_cut
 from .engine import run_multi_cut, run_single_cut
-from .parallel import parallel_map, resolve_workers
+from .parallel import cached_parallel_map, parallel_map, resolve_workers
 from .single_cut import (
     SearchLimits,
     SearchResult,
@@ -53,7 +59,7 @@ __all__ = [
     "find_best_cut", "enumerate_feasible_cuts", "search_statistics",
     "SearchStats", "SearchLimits", "SearchResult",
     "run_single_cut", "run_multi_cut",
-    "parallel_map", "resolve_workers",
+    "parallel_map", "cached_parallel_map", "resolve_workers",
     "find_best_cuts", "MultiCutResult",
     "SelectionResult", "make_result",
     "select_iterative", "select_optimal", "BlockTooLargeError",

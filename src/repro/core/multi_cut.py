@@ -43,10 +43,20 @@ def find_best_cuts(
     num_cuts: int,
     model: Optional[CostModel] = None,
     limits: Optional[SearchLimits] = None,
+    cache=None,
 ) -> MultiCutResult:
     """Find up to *num_cuts* disjoint cuts of *dfg* maximising the merit
-    sum, each cut individually satisfying *constraints* (Section 6.2)."""
+    sum, each cut individually satisfying *constraints* (Section 6.2).
+
+    *cache* is an optional memo (duck-typed ``get_multi``/``put_multi``,
+    e.g. :class:`repro.explore.cache.SearchCache`); a hit skips the
+    search and returns the identical result.
+    """
     model = model or CostModel()
+    if cache is not None:
+        hit = cache.get_multi(dfg, constraints, num_cuts, model, limits)
+        if hit is not None:
+            return hit
     best_sets, best_total, stats, complete = run_multi_cut(
         dfg, constraints, num_cuts, model, limits)
     cuts: List[Cut] = []
@@ -55,9 +65,12 @@ def find_best_cuts(
             if members:
                 cuts.append(evaluate_cut(dfg, members, model))
     cuts.sort(key=lambda c: -c.merit)
-    return MultiCutResult(
+    result = MultiCutResult(
         cuts=cuts,
         total_merit=best_total,
         stats=stats,
         complete=complete,
     )
+    if cache is not None:
+        cache.put_multi(dfg, constraints, num_cuts, model, limits, result)
+    return result

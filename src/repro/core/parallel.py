@@ -54,12 +54,16 @@ def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
     workers: Optional[int] = None,
+    chunksize: int = 1,
 ) -> List[R]:
     """Ordered ``[fn(x) for x in items]``, fanned out across processes.
 
     *fn* must be a module-level (picklable) callable and the items and
     results must pickle.  With one worker, one item, or any executor
-    failure, the plain serial comprehension runs instead.
+    failure, the plain serial comprehension runs instead.  *chunksize*
+    batches items per inter-process message — worth raising when there
+    are many small items (e.g. the sweep runner's (block, constraint)
+    units).
     """
     workers = resolve_workers(workers)
     if workers <= 1 or len(items) <= 1:
@@ -71,10 +75,45 @@ def parallel_map(
     try:
         with ProcessPoolExecutor(
                 max_workers=min(workers, len(items))) as pool:
-            return list(pool.map(fn, items))
+            return list(pool.map(fn, items, chunksize=max(1, chunksize)))
     except (OSError, ImportError, NotImplementedError, PermissionError,
             BrokenProcessPool, pickle.PicklingError):
         # Environment/payload problems degrade to the serial path:
         # identical results, just slower.  Exceptions raised by *fn*
         # itself are real errors and propagate.
         return [fn(x) for x in items]
+
+
+def cached_parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    workers: Optional[int] = None,
+    lookup: Optional[Callable[[T], Optional[R]]] = None,
+    store: Optional[Callable[[T, R], None]] = None,
+) -> List[R]:
+    """:func:`parallel_map` with a memo in front of the fan-out.
+
+    Pool workers cannot mutate a parent-process memo, so every caller
+    with a cache needs the same dance: resolve hits in-process, fan
+    only the misses out, store the computed results afterwards.  This
+    helper is that dance — *lookup* returns a cached result or ``None``
+    (``lookup=None`` disables the memo entirely), *store* records a
+    freshly computed one.  Results are identical to the uncached path.
+    """
+    if lookup is None:
+        return parallel_map(fn, items, workers=workers)
+    results: List[Optional[R]] = [None] * len(items)
+    miss_indices: List[int] = []
+    for i, item in enumerate(items):
+        hit = lookup(item)
+        if hit is not None:
+            results[i] = hit
+        else:
+            miss_indices.append(i)
+    computed = parallel_map(fn, [items[i] for i in miss_indices],
+                            workers=workers)
+    for i, result in zip(miss_indices, computed):
+        if store is not None:
+            store(items[i], result)
+        results[i] = result
+    return results

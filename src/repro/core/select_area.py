@@ -29,7 +29,7 @@ from ..hwmodel.latency import CostModel
 from ..hwmodel.merit import cut_area
 from ..ir.dfg import DataFlowGraph
 from .cut import Constraints, Cut
-from .parallel import parallel_map
+from .parallel import cached_parallel_map
 from .selection import SelectionResult, make_result, merge_stats
 from .single_cut import SearchLimits, SearchStats, find_best_cut
 
@@ -55,13 +55,20 @@ class AreaCandidate:
 
 def _block_candidates(job: Tuple) -> Tuple[List[AreaCandidate], SearchStats]:
     """Module-level worker: exhaust one block's candidate pool
-    (picklable; independent of every other block)."""
-    dfg, constraints, model, limits, max_per_block = job
+    (picklable; independent of every other block).
+
+    An optional sixth job element is an identification memo threaded
+    into the per-round searches — the sweep warm phase uses it so the
+    chain it computes here also serves the iterative algorithm.
+    """
+    dfg, constraints, model, limits, max_per_block = job[:5]
+    cache = job[5] if len(job) > 5 else None
     stats = SearchStats()
     candidates: List[AreaCandidate] = []
     current = dfg
     for _ in range(max_per_block):
-        result = find_best_cut(current, constraints, model, limits)
+        result = find_best_cut(current, constraints, model, limits,
+                               cache=cache)
         merge_stats(stats, result.stats)
         if result.cut is None or result.cut.merit <= 0:
             break
@@ -80,17 +87,26 @@ def enumerate_candidates(
     max_per_block: int = 32,
     stats: Optional[SearchStats] = None,
     workers: Optional[int] = None,
+    cache=None,
 ) -> List[AreaCandidate]:
     """Exhaust the iterative identifier on every block, optionally
     fanning the independent per-block pools out over processes.
 
     Returns non-overlapping candidates (cuts from the same block never
-    share operations, by construction of the collapse step).
+    share operations, by construction of the collapse step).  *cache*
+    is an optional memo (duck-typed ``get_pool``/``put_pool``); hits
+    skip a block's searches entirely, with identical results.
     """
-    per_block = parallel_map(
+    per_block = cached_parallel_map(
         _block_candidates,
         [(dfg, constraints, model, limits, max_per_block) for dfg in dfgs],
         workers=workers,
+        lookup=(lambda job: cache.get_pool(job[0], constraints, model,
+                                           limits, max_per_block))
+        if cache is not None else None,
+        store=lambda job, result: cache.put_pool(
+            job[0], constraints, model, limits, max_per_block,
+            result[0], result[1]),
     )
     candidates: List[AreaCandidate] = []
     for block_cands, block_stats in per_block:
@@ -104,6 +120,7 @@ def knapsack_select(
     candidates: Sequence[AreaCandidate],
     area_budget: float,
     resolution: float = 0.01,
+    max_count: Optional[int] = None,
 ) -> List[AreaCandidate]:
     """Exact 0/1 knapsack over the candidates (DP on discretised area).
 
@@ -112,37 +129,75 @@ def knapsack_select(
         area_budget: maximum total area, in MAC-equivalents.
         resolution: area discretisation step (MACs); areas round *up* so
             the budget is never exceeded.
+        max_count: optional cardinality cap (``Ninstr``), enforced
+            *inside* the DP state — truncating the unconstrained
+            solution afterwards can be arbitrarily suboptimal (it keeps
+            the highest-merit members of the wrong set).
     """
     if area_budget < 0:
         raise ValueError("area budget must be non-negative")
     capacity = int(math.floor(area_budget / resolution + 1e-9))
     weights = [max(0, int(math.ceil(c.area / resolution - 1e-9)))
                for c in candidates]
+    # States beyond the summed item weight are unreachable; trimming
+    # them keeps the DP small when the budget is effectively unlimited.
+    capacity = min(capacity, sum(weights))
 
-    # dp[w] = (best merit, chosen indices as immutable tuple)
-    best = [0.0] * (capacity + 1)
-    chosen: List[Tuple[int, ...]] = [()] * (capacity + 1)
+    profitable = sum(1 for c in candidates if c.merit > 0)
+    if max_count is None or max_count >= profitable:
+        # Cardinality cap vacuous: classic one-dimensional DP.
+        best = [0.0] * (capacity + 1)
+        chosen: List[Tuple[int, ...]] = [()] * (capacity + 1)
+        for idx, cand in enumerate(candidates):
+            weight = weights[idx]
+            if cand.merit <= 0:
+                continue
+            for w in range(capacity, weight - 1, -1):
+                alternative = best[w - weight] + cand.merit
+                if alternative > best[w]:
+                    best[w] = alternative
+                    chosen[w] = chosen[w - weight] + (idx,)
+        top = max(range(capacity + 1), key=lambda w: best[w])
+        return [candidates[i] for i in chosen[top]]
+
+    # dp[k][w] = best merit of exactly <= k items within weight w; the
+    # count is a DP dimension so the optimum under *both* budgets is
+    # exact.
+    best2 = [[0.0] * (capacity + 1) for _ in range(max_count + 1)]
+    chosen2: List[List[Tuple[int, ...]]] = [
+        [()] * (capacity + 1) for _ in range(max_count + 1)]
     for idx, cand in enumerate(candidates):
         weight = weights[idx]
         if cand.merit <= 0:
             continue
-        for w in range(capacity, weight - 1, -1):
-            alternative = best[w - weight] + cand.merit
-            if alternative > best[w]:
-                best[w] = alternative
-                chosen[w] = chosen[w - weight] + (idx,)
-    top = max(range(capacity + 1), key=lambda w: best[w])
-    return [candidates[i] for i in chosen[top]]
+        for k in range(max_count, 0, -1):
+            row, prev = best2[k], best2[k - 1]
+            crow, cprev = chosen2[k], chosen2[k - 1]
+            for w in range(capacity, weight - 1, -1):
+                alternative = prev[w - weight] + cand.merit
+                if alternative > row[w]:
+                    row[w] = alternative
+                    crow[w] = cprev[w - weight] + (idx,)
+    best_k, best_w = 0, 0
+    for k in range(max_count + 1):
+        for w in range(capacity + 1):
+            if best2[k][w] > best2[best_k][best_w]:
+                best_k, best_w = k, w
+    return [candidates[i] for i in chosen2[best_k][best_w]]
 
 
 def greedy_select(
     candidates: Sequence[AreaCandidate],
     area_budget: float,
+    max_count: Optional[int] = None,
 ) -> List[AreaCandidate]:
-    """Merit-density greedy: cheap, and a useful baseline for the DP."""
+    """Merit-density greedy: cheap, and a useful baseline for the DP.
+    ``max_count`` stops the scan once that many candidates are picked."""
     remaining = area_budget
     picked: List[AreaCandidate] = []
     for cand in sorted(candidates, key=lambda c: -c.density):
+        if max_count is not None and len(picked) >= max_count:
+            break
         if cand.merit <= 0:
             continue
         if cand.area <= remaining + 1e-12:
@@ -158,7 +213,9 @@ def select_area_constrained(
     model: Optional[CostModel] = None,
     limits: Optional[SearchLimits] = None,
     method: str = "knapsack",
+    max_per_block: int = 32,
     workers: Optional[int] = None,
+    cache=None,
 ) -> SelectionResult:
     """Select cuts maximising merit under both port and area budgets.
 
@@ -169,22 +226,32 @@ def select_area_constrained(
         area_budget: total silicon budget in MAC-equivalent units.
         method: ``"knapsack"`` (exact DP) or ``"greedy"`` (density
             heuristic).
+        max_per_block: candidate-pool depth per basic block.
         workers: processes for the per-block candidate pools (default:
             the ``REPRO_WORKERS`` environment variable, else serial).
+        cache: optional identification memo (e.g. ``repro.explore.
+            SearchCache``) for the candidate pools.
+
+    The ``ninstr`` cardinality cap is enforced *inside* the knapsack DP
+    (and as a stop condition of the greedy scan) — never by truncating
+    an unconstrained solution afterwards, which can be arbitrarily
+    suboptimal.
     """
     model = model or CostModel()
     stats = SearchStats()
     pool = enumerate_candidates(dfgs, constraints, model, limits,
-                                stats=stats, workers=workers)
+                                max_per_block=max_per_block,
+                                stats=stats, workers=workers, cache=cache)
     if method == "knapsack":
-        picked = knapsack_select(pool, area_budget)
+        picked = knapsack_select(pool, area_budget,
+                                 max_count=constraints.ninstr)
     elif method == "greedy":
-        picked = greedy_select(pool, area_budget)
+        picked = greedy_select(pool, area_budget,
+                               max_count=constraints.ninstr)
     else:
         raise ValueError(f"unknown method {method!r}")
 
     picked.sort(key=lambda c: -c.merit)
-    picked = picked[:constraints.ninstr]
     return make_result(
         algorithm=f"AreaConstrained({method}, {area_budget:g} MAC)",
         constraints=constraints,

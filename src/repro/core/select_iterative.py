@@ -20,7 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..hwmodel.latency import CostModel
 from ..ir.dfg import DataFlowGraph
 from .cut import Constraints, Cut
-from .parallel import parallel_map
+from .parallel import cached_parallel_map
 from .selection import SelectionResult, make_result, merge_stats
 from .single_cut import SearchLimits, SearchResult, SearchStats, find_best_cut
 
@@ -29,6 +29,28 @@ def _search_one_block(job: Tuple) -> SearchResult:
     """Module-level worker: one per-block identification (picklable)."""
     dfg, constraints, model, limits = job
     return find_best_cut(dfg, constraints, model, limits)
+
+
+def _cached_first_round(
+    dfgs: Sequence[DataFlowGraph],
+    constraints: Constraints,
+    model: CostModel,
+    limits: Optional[SearchLimits],
+    workers: Optional[int],
+    cache,
+) -> List[SearchResult]:
+    """One identification per block: cache hits in-process, misses
+    fanned out (results identical to the uncached path)."""
+    return cached_parallel_map(
+        _search_one_block,
+        [(dfg, constraints, model, limits) for dfg in dfgs],
+        workers=workers,
+        lookup=(lambda job: cache.get_single(job[0], constraints, model,
+                                             limits))
+        if cache is not None else None,
+        store=lambda job, result: cache.put_single(
+            job[0], constraints, model, limits, result),
+    )
 
 
 @dataclass
@@ -48,6 +70,7 @@ def select_iterative(
     model: Optional[CostModel] = None,
     limits: Optional[SearchLimits] = None,
     workers: Optional[int] = None,
+    cache=None,
 ) -> SelectionResult:
     """Choose up to ``constraints.ninstr`` cuts across all blocks.
 
@@ -58,16 +81,16 @@ def select_iterative(
         limits: optional per-identification search budget.
         workers: processes for the per-block first round (default: the
             ``REPRO_WORKERS`` environment variable, else serial).
+        cache: optional identification memo (e.g. ``repro.explore.
+            SearchCache``); hits skip per-block searches, results are
+            bit-identical either way.
     """
     model = model or CostModel()
     stats = SearchStats()
     complete = True
 
-    first_round = parallel_map(
-        _search_one_block,
-        [(dfg, constraints, model, limits) for dfg in dfgs],
-        workers=workers,
-    )
+    first_round = _cached_first_round(dfgs, constraints, model, limits,
+                                      workers, cache)
     states: List[_BlockState] = []
     for dfg, result in zip(dfgs, first_round):
         merge_stats(stats, result.stats)
@@ -93,12 +116,16 @@ def select_iterative(
         cut = best_state.candidate
         chosen.append(cut)
         best_state.rounds += 1
+        if len(chosen) >= constraints.ninstr:
+            break       # budget filled: a replacement candidate would
+            #             never be read, so don't search for one
 
         # Collapse the chosen cut and look for the next one in this block.
         collapsed = best_state.current.collapse(
             cut.nodes, label=f"ise{best_state.rounds}")
         best_state.current = collapsed
-        result = find_best_cut(collapsed, constraints, model, limits)
+        result = find_best_cut(collapsed, constraints, model, limits,
+                               cache=cache)
         merge_stats(stats, result.stats)
         complete = complete and result.complete
         best_state.candidate = result.cut

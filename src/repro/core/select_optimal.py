@@ -22,7 +22,7 @@ from ..hwmodel.latency import CostModel
 from ..ir.dfg import DataFlowGraph
 from .cut import Constraints, Cut
 from .multi_cut import MultiCutResult, find_best_cuts
-from .parallel import parallel_map
+from .parallel import cached_parallel_map
 from .selection import SelectionResult, make_result, merge_stats
 from .single_cut import SearchLimits, SearchStats
 
@@ -57,6 +57,7 @@ def select_optimal(
     limits: Optional[SearchLimits] = None,
     max_nodes: Optional[int] = 40,
     workers: Optional[int] = None,
+    cache=None,
 ) -> SelectionResult:
     """Optimal selection of up to ``constraints.ninstr`` cuts.
 
@@ -69,6 +70,9 @@ def select_optimal(
             guard).  Raises :class:`BlockTooLargeError`.
         workers: processes for the per-block ``V_b(1)`` round (default:
             the ``REPRO_WORKERS`` environment variable, else serial).
+        cache: optional identification memo (e.g. ``repro.explore.
+            SearchCache``); hits skip multi-cut searches, results are
+            bit-identical either way.
     """
     model = model or CostModel()
     if max_nodes is not None:
@@ -82,10 +86,15 @@ def select_optimal(
 
     stats = SearchStats()
     complete = True
-    first_round = parallel_map(
+    first_round = cached_parallel_map(
         _search_one_block,
         [(dfg, constraints, 1, model, limits) for dfg in dfgs],
         workers=workers,
+        lookup=(lambda job: cache.get_multi(job[0], constraints, 1, model,
+                                            limits))
+        if cache is not None else None,
+        store=lambda job, result: cache.put_multi(
+            job[0], constraints, 1, model, limits, result),
     )
     states: List[_BlockState] = []
     for dfg, result in zip(dfgs, first_round):
@@ -110,7 +119,8 @@ def select_optimal(
         if granted >= constraints.ninstr:
             break
         result = find_best_cuts(
-            best.dfg, constraints, best.committed + 1, model, limits)
+            best.dfg, constraints, best.committed + 1, model, limits,
+            cache=cache)
         merge_stats(stats, result.stats)
         complete = complete and result.complete
         best.next_value = result.total_merit
@@ -122,7 +132,8 @@ def select_optimal(
         if state.committed == 0:
             continue
         result = find_best_cuts(
-            state.dfg, constraints, state.committed, model, limits)
+            state.dfg, constraints, state.committed, model, limits,
+            cache=cache)
         merge_stats(stats, result.stats)
         complete = complete and result.complete
         cuts.extend(result.cuts)

@@ -1,0 +1,289 @@
+"""Digest-keyed memoisation of identification results.
+
+The exponential per-block searches dominate every sweep; everything on
+top of them (selection, reporting) is polynomial.  A sweep that varies
+only ``Ninstr``, the algorithm, or the workload mix therefore re-runs
+*identical* identification work at every grid point — exactly what this
+cache removes.
+
+**Key.**  A cache key is ``(kind, dfg_digest, nin, nout, model_digest,
+limits, extra)`` where
+
+* ``dfg_digest`` is a SHA-256 over the *search-relevant structure* of
+  the graph: per-node opcodes (member opcodes for collapsed supernodes),
+  ``forbidden``/``forced_out`` flags, adjacency, external-input wiring,
+  operand sources (which carry the constant shift amounts the cost
+  model prices) and the block weight.  Node *labels* and the graph
+  *name* are cosmetic and excluded, so the ``ise1``/``area1`` collapse
+  chains of different callers share entries;
+* ``nin``/``nout`` come from :class:`~repro.core.cut.Constraints`;
+  ``ninstr`` is deliberately **excluded** — a single-cut search does not
+  depend on it, which is what lets an Ninstr sweep reuse every search;
+* ``model_digest`` hashes the cost tables, not the object identity, so
+  workers can rebuild an equal model and still hit;
+* ``extra`` carries the per-kind parameter (``num_cuts`` for multi-cut
+  searches, ``max_per_block`` for candidate pools).
+
+**Values** are self-contained picklable payloads: node-index tuples
+plus the :class:`~repro.core.engine.SearchStats` counters.  Cuts are
+*rebuilt* on lookup with :func:`~repro.core.cut.evaluate_cut` (and, for
+candidate pools, by replaying the deterministic collapse chain), so a
+hit returns exactly what the search would have — the cache can never
+change a result, only skip recomputing it.
+
+The cache object itself is the duck-typed ``cache=`` hook accepted by
+:func:`~repro.core.single_cut.find_best_cut`,
+:func:`~repro.core.multi_cut.find_best_cuts` and the selection
+strategies; :mod:`repro.explore.runner` shares one across processes by
+warming per-``(block, constraint)`` entries in workers and merging the
+returned entries into the parent's store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.cut import Constraints, evaluate_cut
+from ..core.engine import SearchLimits, SearchStats
+from ..core.multi_cut import MultiCutResult
+from ..core.select_area import AreaCandidate
+from ..core.single_cut import SearchResult
+from ..hwmodel.latency import CostModel
+from ..hwmodel.merit import cut_area
+from ..ir.dfg import DataFlowGraph
+
+_DIGEST_ATTR = "_explore_digest"
+
+
+def dfg_digest(dfg: DataFlowGraph) -> str:
+    """SHA-256 of the search-relevant structure of *dfg* (memoised on
+    the graph object — a DataFlowGraph is immutable once built)."""
+    cached = getattr(dfg, _DIGEST_ATTR, None)
+    if cached is not None:
+        return cached
+    nodes = []
+    for node in dfg.nodes:
+        if node.opcode is None:     # collapsed supernode
+            op = ("super",) + tuple(i.opcode.value for i in node.insns)
+        else:
+            op = node.opcode.value
+        nodes.append((op, node.forbidden, node.forced_out))
+    canonical = (
+        "dfg-v1",
+        dfg.weight,
+        tuple(nodes),
+        tuple(tuple(row) for row in dfg.succs),
+        tuple(tuple(row) for row in dfg.node_inputs),
+        tuple(tuple(src) for src in dfg.operand_sources),
+    )
+    digest = hashlib.sha256(repr(canonical).encode()).hexdigest()
+    setattr(dfg, _DIGEST_ATTR, digest)
+    return digest
+
+
+def model_digest(model: CostModel) -> str:
+    """SHA-256 of the cost tables (content, not object identity)."""
+    canonical = (
+        "model-v1",
+        tuple(sorted((op.value, v) for op, v in model.sw_latency.items())),
+        tuple(sorted((op.value, v) for op, v in model.hw_delay.items())),
+        tuple(sorted((op.value, v) for op, v in model.area.items())),
+        model.const_shift_free,
+    )
+    return hashlib.sha256(repr(canonical).encode()).hexdigest()
+
+
+def _limits_key(limits: Optional[SearchLimits]) -> Tuple:
+    if limits is None:
+        return (None, False)
+    return (limits.max_considered, limits.use_upper_bound)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`SearchCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+class SearchCache:
+    """Process-shared memo of identification results (see module doc).
+
+    The backing ``store`` is any mutable mapping; the default is a plain
+    dict.  :meth:`entries`/:meth:`merge` move entries between caches —
+    the sweep runner's workers each fill a local cache and the parent
+    merges what they return, which shares the memo across processes
+    without requiring OS-level shared memory (unavailable in some
+    sandboxes; cf. the silent serial fallback of ``core/parallel.py``).
+    """
+
+    def __init__(self, store: Optional[dict] = None) -> None:
+        self.store: dict = store if store is not None else {}
+        self.stats = CacheStats()
+        # Per-model digest memo with an identity guard (recycled id()s
+        # must never alias a different model), as in dfg.cost_vectors.
+        self._model_digests: Dict[int, Tuple[CostModel, str]] = {}
+
+    # ------------------------------------------------------------------
+    def _model_digest(self, model: CostModel) -> str:
+        entry = self._model_digests.get(id(model))
+        if entry is not None and entry[0] is model:
+            return entry[1]
+        digest = model_digest(model)
+        if len(self._model_digests) >= 8:
+            self._model_digests.clear()
+        self._model_digests[id(model)] = (model, digest)
+        return digest
+
+    def _key(self, kind: str, dfg: DataFlowGraph, constraints: Constraints,
+             model: CostModel, limits: Optional[SearchLimits],
+             extra: Optional[int] = None) -> Tuple:
+        # ninstr is excluded on purpose: identification never depends
+        # on the instruction budget.
+        return (kind, dfg_digest(dfg), constraints.nin, constraints.nout,
+                self._model_digest(model), _limits_key(limits), extra)
+
+    def _get(self, key: Tuple):
+        value = self.store.get(key)
+        if value is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return value
+
+    def _put(self, key: Tuple, value) -> None:
+        self.store[key] = value
+        self.stats.puts += 1
+
+    # ------------------------------------------------------------------
+    # Single-cut searches (find_best_cut).
+    # ------------------------------------------------------------------
+    def get_single(self, dfg: DataFlowGraph, constraints: Constraints,
+                   model: CostModel,
+                   limits: Optional[SearchLimits]) -> Optional[SearchResult]:
+        value = self._get(self._key("single", dfg, constraints, model,
+                                    limits))
+        if value is None:
+            return None
+        nodes, stats_dict, complete = value
+        cut = (evaluate_cut(dfg, frozenset(nodes), model)
+               if nodes is not None else None)
+        return SearchResult(cut=cut, stats=SearchStats(**stats_dict),
+                            complete=complete)
+
+    def put_single(self, dfg: DataFlowGraph, constraints: Constraints,
+                   model: CostModel, limits: Optional[SearchLimits],
+                   result: SearchResult) -> None:
+        nodes = (tuple(sorted(result.cut.nodes))
+                 if result.cut is not None else None)
+        self._put(self._key("single", dfg, constraints, model, limits),
+                  (nodes, asdict(result.stats), result.complete))
+
+    # ------------------------------------------------------------------
+    # Multi-cut searches (find_best_cuts).
+    # ------------------------------------------------------------------
+    def get_multi(self, dfg: DataFlowGraph, constraints: Constraints,
+                  num_cuts: int, model: CostModel,
+                  limits: Optional[SearchLimits]) -> Optional[MultiCutResult]:
+        value = self._get(self._key("multi", dfg, constraints, model,
+                                    limits, num_cuts))
+        if value is None:
+            return None
+        node_sets, total_merit, stats_dict, complete = value
+        cuts = [evaluate_cut(dfg, frozenset(nodes), model)
+                for nodes in node_sets]
+        return MultiCutResult(cuts=cuts, total_merit=total_merit,
+                              stats=SearchStats(**stats_dict),
+                              complete=complete)
+
+    def put_multi(self, dfg: DataFlowGraph, constraints: Constraints,
+                  num_cuts: int, model: CostModel,
+                  limits: Optional[SearchLimits],
+                  result: MultiCutResult) -> None:
+        # Cuts are stored in the result's (merit-sorted) order, so the
+        # decoded list is identical without re-sorting.
+        node_sets = tuple(tuple(sorted(c.nodes)) for c in result.cuts)
+        self._put(self._key("multi", dfg, constraints, model, limits,
+                            num_cuts),
+                  (node_sets, result.total_merit, asdict(result.stats),
+                   result.complete))
+
+    # ------------------------------------------------------------------
+    # Candidate pools (select_area.enumerate_candidates).
+    # ------------------------------------------------------------------
+    def get_pool(self, dfg: DataFlowGraph, constraints: Constraints,
+                 model: CostModel, limits: Optional[SearchLimits],
+                 max_per_block: int,
+                 ) -> Optional[Tuple[List[AreaCandidate], SearchStats]]:
+        value = self._get(self._key("pool", dfg, constraints, model,
+                                    limits, max_per_block))
+        if value is None:
+            return None
+        node_sets, stats_dict = value
+        # Replay the deterministic collapse chain of _block_candidates:
+        # candidate k lives in the k-times-collapsed graph.
+        candidates: List[AreaCandidate] = []
+        current = dfg
+        for nodes in node_sets:
+            cut = evaluate_cut(current, frozenset(nodes), model)
+            area = cut_area(current, cut.nodes, model)
+            candidates.append(AreaCandidate(cut=cut, area=area))
+            current = current.collapse(cut.nodes,
+                                       label=f"area{len(candidates)}")
+        return candidates, SearchStats(**stats_dict)
+
+    def put_pool(self, dfg: DataFlowGraph, constraints: Constraints,
+                 model: CostModel, limits: Optional[SearchLimits],
+                 max_per_block: int, candidates: List[AreaCandidate],
+                 stats: SearchStats) -> None:
+        node_sets = tuple(tuple(sorted(c.cut.nodes)) for c in candidates)
+        self._put(self._key("pool", dfg, constraints, model, limits,
+                            max_per_block),
+                  (node_sets, asdict(stats)))
+
+    # ------------------------------------------------------------------
+    # Presence checks: no decoding, no hit/miss accounting.  Used by
+    # the sweep planner to skip warm jobs a pre-warmed cache already
+    # covers.
+    # ------------------------------------------------------------------
+    def has_single(self, dfg: DataFlowGraph, constraints: Constraints,
+                   model: CostModel,
+                   limits: Optional[SearchLimits]) -> bool:
+        return self._key("single", dfg, constraints, model, limits) \
+            in self.store
+
+    def has_multi(self, dfg: DataFlowGraph, constraints: Constraints,
+                  num_cuts: int, model: CostModel,
+                  limits: Optional[SearchLimits]) -> bool:
+        return self._key("multi", dfg, constraints, model, limits,
+                         num_cuts) in self.store
+
+    def has_pool(self, dfg: DataFlowGraph, constraints: Constraints,
+                 model: CostModel, limits: Optional[SearchLimits],
+                 max_per_block: int) -> bool:
+        return self._key("pool", dfg, constraints, model, limits,
+                         max_per_block) in self.store
+
+    # ------------------------------------------------------------------
+    # Cross-process sharing.
+    # ------------------------------------------------------------------
+    def entries(self) -> List[Tuple[Tuple, object]]:
+        """All (key, value) pairs, picklable, for :meth:`merge`."""
+        return list(self.store.items())
+
+    def merge(self, entries) -> None:
+        """Adopt entries computed elsewhere (first writer wins)."""
+        for key, value in entries:
+            if key not in self.store:
+                self.store[key] = value
+                self.stats.puts += 1
+
+    def __len__(self) -> int:
+        return len(self.store)

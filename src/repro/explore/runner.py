@@ -1,0 +1,324 @@
+"""The sweep engine: one process invocation, a whole design-space grid.
+
+``run_sweep`` executes a :class:`~repro.explore.grid.SweepSpec` in three
+phases:
+
+1. **Prepare** — each workload is compiled, profiled and verified
+   exactly once (the seed CLI re-did this per grid point);
+2. **Warm** — the unique identification obligations implied by the grid
+   are planned at *(block, constraint)* granularity, deduplicated by
+   cache key, and fanned out over :func:`repro.core.parallel.
+   parallel_map`.  Each worker fills a local
+   :class:`~repro.explore.cache.SearchCache` and returns its entries;
+   the parent merges them, which shares the memo across processes
+   without OS-level shared memory.  A worker warms a *chain* (the
+   find-best/collapse sequence the iterative algorithm replays), a
+   candidate *pool* (for area-constrained rows) or a *multi*-cut seed
+   (for Optimal rows);
+3. **Evaluate** — every grid point runs through the ordinary selection
+   algorithms with the shared cache.  Identification is a hit by then,
+   and everything on top is polynomial — this is where a sweep over
+   ``Ninstr`` or over algorithms gains its order of magnitude.
+
+The cache is a pure memo (DESIGN.md §8): rows of a cached sweep are
+bit-identical to a cold one, which ``tests/explore/test_sweep.py``
+asserts and ``benchmarks/bench_sweep.py`` measures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core import (
+    BlockTooLargeError,
+    Constraints,
+    find_best_cut,
+    find_best_cuts,
+    select_clubbing,
+    select_iterative,
+    select_maxmiso,
+    select_optimal,
+)
+from ..core.parallel import parallel_map
+from ..core.select_area import _block_candidates, select_area_constrained
+from ..core.selection import SelectionResult
+from ..hwmodel.merit import cut_area
+from ..pipeline import Application, prepare_application
+from .cache import SearchCache, dfg_digest
+from .grid import SweepPoint, SweepSpec, resolve_model
+
+#: A warm task: ("chain", depth) | ("pool", max_per_block) | ("multi", m).
+_WarmTask = Tuple[str, int]
+
+
+def _warm_unit(job: Tuple) -> List[Tuple[Tuple, object]]:
+    """Module-level worker: compute one (block, constraint) unit's
+    identification obligations into a local cache and return its
+    entries (picklable) for the parent to merge."""
+    dfg, nin, nout, model_name, limits, tasks = job
+    cache = SearchCache()
+    model = resolve_model(model_name)
+    cons = Constraints(nin=nin, nout=nout)
+    for kind, arg in tasks:
+        if kind == "pool":
+            # The pool chain is the real _block_candidates, with the
+            # cache threaded into its per-round searches: collapse
+            # labels are excluded from cache digests, so the single-cut
+            # entries it warms serve the iterative algorithm too.
+            candidates, stats = _block_candidates(
+                (dfg, cons, model, limits, arg, cache))
+            cache.put_pool(dfg, cons, model, limits, arg, candidates, stats)
+        elif kind == "chain":
+            current = dfg
+            for k in range(arg):
+                result = find_best_cut(current, cons, model, limits,
+                                       cache=cache)
+                if result.cut is None or result.cut.merit <= 0:
+                    break
+                current = current.collapse(result.cut.nodes,
+                                           label=f"warm{k + 1}")
+        elif kind == "multi":
+            find_best_cuts(dfg, cons, arg, model, limits, cache=cache)
+    return cache.entries()
+
+
+def _task_covered(task: _WarmTask, cache: SearchCache, dfg, cons,
+                  model, limits) -> bool:
+    """True when a pre-warmed cache already holds this task's entries.
+    The root single-cut entry is a sound proxy for a whole chain: the
+    warm phase is the only bulk producer and always completes its
+    chain, and anything deeper is filled on demand during evaluation."""
+    kind, arg = task
+    if kind == "pool":
+        return cache.has_pool(dfg, cons, model, limits, arg)
+    if kind == "chain":
+        return cache.has_single(dfg, cons, model, limits)
+    return cache.has_multi(dfg, cons, arg, model, limits)
+
+
+def _plan_units(
+    spec: SweepSpec,
+    apps: Dict[str, Application],
+    cache: SearchCache,
+) -> List[Tuple]:
+    """The unique (block, constraint) warm jobs the grid implies,
+    deduplicated by (graph digest, ports, model) and filtered down to
+    what *cache* does not already cover."""
+    chain_depth = (max(spec.ninstrs)
+                   if "iterative" in spec.algorithms else 0)
+    # (digest, ports, model) -> [dfg, nin, nout, model_name, task set];
+    # digest-identical blocks from different workloads merge their task
+    # sets (they may disagree, e.g. on optimal_ok) instead of keeping
+    # only the first workload's.
+    planned: Dict[Tuple, list] = {}
+    models = {name: resolve_model(name) for name in spec.models}
+    for model_name in spec.models:
+        for workload in spec.workloads:
+            app = apps[workload]
+            optimal_ok = ("optimal" in spec.algorithms
+                          and all(d.n <= spec.max_nodes for d in app.dfgs))
+            for dfg in app.dfgs:
+                for nin, nout in spec.ports:
+                    tasks: List[_WarmTask] = []
+                    has_pool = "area" in spec.algorithms
+                    if has_pool:
+                        tasks.append(("pool", spec.max_per_block))
+                    # A pool task already warms the single-cut chain up
+                    # to max_per_block collapses; a separate chain task
+                    # is only needed beyond that (or without area rows).
+                    if chain_depth and (not has_pool
+                                        or chain_depth > spec.max_per_block):
+                        tasks.append(("chain", chain_depth))
+                    if optimal_ok:
+                        tasks.append(("multi", 1))
+                    cons = Constraints(nin=nin, nout=nout)
+                    tasks = [t for t in tasks
+                             if not _task_covered(t, cache, dfg, cons,
+                                                  models[model_name],
+                                                  spec.limits)]
+                    if not tasks:
+                        continue
+                    key = (dfg_digest(dfg), nin, nout, model_name)
+                    entry = planned.get(key)
+                    if entry is None:
+                        planned[key] = [dfg, nin, nout, model_name,
+                                        list(tasks)]
+                    else:
+                        entry[4].extend(t for t in tasks
+                                        if t not in entry[4])
+    return [(dfg, nin, nout, model_name, spec.limits, tuple(tasks))
+            for dfg, nin, nout, model_name, tasks in planned.values()]
+
+
+@dataclass
+class SweepOutcome:
+    """Everything one sweep produced: rows plus engine telemetry."""
+
+    spec: SweepSpec
+    rows: List[dict] = field(default_factory=list)
+    prepare_s: float = 0.0
+    warm_s: float = 0.0
+    points_s: float = 0.0
+    warm_units: int = 0
+    cache_stats: Optional[dict] = None
+    cache_entries: int = 0
+
+    @property
+    def sweep_s(self) -> float:
+        """Grid time excluding workload preparation (warm + evaluate)."""
+        return self.warm_s + self.points_s
+
+    @property
+    def points_per_second(self) -> float:
+        return len(self.rows) / max(self.sweep_s, 1e-9)
+
+
+def _run_point(
+    point: SweepPoint,
+    app: Application,
+    spec: SweepSpec,
+    model,
+    cache: Optional[SearchCache],
+    workers: Optional[int],
+) -> dict:
+    """Evaluate one grid point through the ordinary algorithms."""
+    limits = spec.limits
+    cons = point.constraints
+    row = {
+        "workload": point.workload,
+        "nin": point.nin,
+        "nout": point.nout,
+        "ninstr": point.ninstr,
+        "algorithm": point.algorithm,
+        "model": point.model,
+        "status": "ok",
+    }
+    start = time.perf_counter()
+    try:
+        if point.algorithm == "iterative":
+            result = select_iterative(app.dfgs, cons, model, limits,
+                                      workers=workers, cache=cache)
+        elif point.algorithm == "clubbing":
+            result = select_clubbing(app.dfgs, cons, model)
+        elif point.algorithm == "maxmiso":
+            result = select_maxmiso(app.dfgs, cons, model)
+        elif point.algorithm == "optimal":
+            result = select_optimal(app.dfgs, cons, model, limits,
+                                    max_nodes=spec.max_nodes,
+                                    workers=workers, cache=cache)
+        elif point.algorithm == "area":
+            result = select_area_constrained(
+                app.dfgs, cons, spec.area_budget, model, limits,
+                max_per_block=spec.max_per_block,
+                workers=workers, cache=cache)
+        else:  # unreachable: SweepSpec validates algorithms
+            raise ValueError(f"unknown algorithm {point.algorithm!r}")
+    except BlockTooLargeError as exc:
+        # The paper's own note: Optimal could not run on the largest
+        # adpcm-decode block.  The grid point reports n/a, the sweep
+        # continues.
+        row.update({
+            "status": "n/a",
+            "error": str(exc),
+            "speedup": None,
+            "total_merit": None,
+            "num_instructions": None,
+            "complete": None,
+            "elapsed_s": time.perf_counter() - start,
+        })
+        return row
+    row.update(_result_fields(result, point, spec, model))
+    row["elapsed_s"] = time.perf_counter() - start
+    return row
+
+
+def _result_fields(result: SelectionResult, point: SweepPoint,
+                   spec: SweepSpec, model) -> dict:
+    fields_: dict = {
+        "algorithm_label": result.algorithm,
+        "speedup": result.speedup,
+        "total_merit": result.total_merit,
+        "num_instructions": result.num_instructions,
+        "complete": result.complete,
+        "cuts_considered": result.stats.cuts_considered,
+        "cuts": [
+            {
+                "block": cut.dfg.name,
+                "nodes": sorted(cut.nodes),
+                "size": cut.size,
+                "merit": cut.merit,
+                "num_inputs": cut.num_inputs,
+                "num_outputs": cut.num_outputs,
+            }
+            for cut in result.cuts
+        ],
+    }
+    if point.algorithm == "area":
+        fields_["area_budget"] = spec.area_budget
+        fields_["total_area"] = sum(
+            cut_area(cut.dfg, cut.nodes, model) for cut in result.cuts)
+    return fields_
+
+
+def run_sweep(
+    spec: SweepSpec,
+    use_cache: bool = True,
+    cache: Optional[SearchCache] = None,
+    workers: Optional[int] = None,
+    echo: Optional[Callable[[str], None]] = None,
+) -> SweepOutcome:
+    """Execute the whole grid; see the module docstring for the phases.
+
+    Args:
+        spec: the declarative grid.
+        use_cache: disable to measure the cold baseline (every point
+            recomputes identification from scratch, as separate CLI
+            invocations would).
+        cache: optional pre-warmed cache to reuse across sweeps; a
+            fresh one is created when omitted and ``use_cache`` is on.
+        workers: process fan-out for the warm phase and for cache-miss
+            identification (default: ``REPRO_WORKERS``, else serial).
+        echo: optional progress sink (e.g. ``print``).
+    """
+    say = echo or (lambda _line: None)
+    outcome = SweepOutcome(spec=spec)
+
+    start = time.perf_counter()
+    apps: Dict[str, Application] = {}
+    for name in spec.workloads:
+        apps[name] = prepare_application(name, n=spec.n, unroll=spec.unroll)
+        say(f"prepared {name}: {len(apps[name].dfgs)} profiled block(s)")
+    outcome.prepare_s = time.perf_counter() - start
+
+    if use_cache and cache is None:
+        cache = SearchCache()
+    elif not use_cache:
+        cache = None
+
+    if cache is not None:
+        start = time.perf_counter()
+        jobs = _plan_units(spec, apps, cache)
+        outcome.warm_units = len(jobs)
+        for entries in parallel_map(_warm_unit, jobs, workers=workers,
+                                    chunksize=4):
+            cache.merge(entries)
+        outcome.warm_s = time.perf_counter() - start
+        say(f"warmed {len(jobs)} (block, constraint) unit(s) -> "
+            f"{len(cache)} cache entries in {outcome.warm_s:.2f}s")
+
+    models = {name: resolve_model(name) for name in spec.models}
+    start = time.perf_counter()
+    for point in spec.expand():
+        row = _run_point(point, apps[point.workload], spec,
+                         models[point.model], cache, workers)
+        outcome.rows.append(row)
+    outcome.points_s = time.perf_counter() - start
+
+    if cache is not None:
+        outcome.cache_stats = cache.stats.as_dict()
+        outcome.cache_entries = len(cache)
+    say(f"{len(outcome.rows)} grid point(s) in {outcome.sweep_s:.2f}s "
+        f"({outcome.points_per_second:.2f} points/s)")
+    return outcome

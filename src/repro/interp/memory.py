@@ -24,19 +24,23 @@ class Memory:
             g.name: list(g.init) for g in module.globals.values()
         }
 
-    def load(self, array: str, index: int) -> int:
+    def _row(self, array: str, what: str) -> List[int]:
+        """Look up a global array, trapping (never ``KeyError``) on an
+        unknown name — all access paths fault consistently."""
         row = self.arrays.get(array)
         if row is None:
-            raise TrapError(f"load from unknown array {array!r}")
+            raise TrapError(f"{what} unknown array {array!r}")
+        return row
+
+    def load(self, array: str, index: int) -> int:
+        row = self._row(array, "load from")
         if not 0 <= index < len(row):
             raise TrapError(
                 f"load {array}[{index}] out of bounds (size {len(row)})")
         return row[index]
 
     def store(self, array: str, index: int, value: int) -> None:
-        row = self.arrays.get(array)
-        if row is None:
-            raise TrapError(f"store to unknown array {array!r}")
+        row = self._row(array, "store to")
         if not 0 <= index < len(row):
             raise TrapError(
                 f"store {array}[{index}] out of bounds (size {len(row)})")
@@ -48,7 +52,7 @@ class Memory:
     def write_array(self, array: str, values: Iterable[int],
                     offset: int = 0) -> None:
         """Bulk-fill an array (used by workload drivers)."""
-        row = self.arrays[array]
+        row = self._row(array, "write_array to")
         for i, value in enumerate(values):
             if offset + i >= len(row):
                 raise TrapError(f"write_array overflows {array!r}")
@@ -56,14 +60,14 @@ class Memory:
 
     def read_array(self, array: str, length: int = -1,
                    offset: int = 0) -> List[int]:
-        row = self.arrays[array]
+        row = self._row(array, "read_array from")
         if length < 0:
             length = len(row) - offset
         return list(row[offset:offset + length])
 
     def scalar(self, name: str) -> int:
         """Value of a global scalar (size-1 array)."""
-        return self.arrays[name][0]
+        return self._row(name, "scalar read of")[0]
 
     def set_scalar(self, name: str, value: int) -> None:
-        self.arrays[name][0] = wrap32(value)
+        self._row(name, "scalar write of")[0] = wrap32(value)

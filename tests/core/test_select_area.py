@@ -96,6 +96,70 @@ class TestKnapsack:
                         best = max(best, sum(c.merit for c in combo))
             assert exact == pytest.approx(best)
 
+    def test_cardinality_cap_inside_dp_beats_post_truncation(self):
+        """Regression: truncating the unconstrained DP solution to
+        Ninstr afterwards can be arbitrarily suboptimal.  Two small
+        candidates beat one big one on *total* merit, but under a
+        one-instruction cap the big one is the optimum — post-truncation
+        keeps the wrong set."""
+        from dataclasses import replace
+
+        from repro.core import evaluate_cut
+        dfg = make_dfg([Opcode.MUL], [], live_out=[0])
+        base = evaluate_cut(dfg, {0}, MODEL)
+        pool = [
+            AreaCandidate(cut=replace(base, merit=10.0), area=0.5),
+            AreaCandidate(cut=replace(base, merit=10.0), area=0.5),
+            AreaCandidate(cut=replace(base, merit=15.0), area=1.0),
+        ]
+        unconstrained = knapsack_select(pool, 1.0)
+        assert sum(c.merit for c in unconstrained) == 20.0
+        # The old code truncated `unconstrained` to the cap: merit 10.
+        truncated_merit = sum(
+            c.merit for c in
+            sorted(unconstrained, key=lambda c: -c.merit)[:1])
+        assert truncated_merit == 10.0
+        capped = knapsack_select(pool, 1.0, max_count=1)
+        assert len(capped) == 1
+        assert sum(c.merit for c in capped) == 15.0
+
+    def test_cardinality_matches_bruteforce(self):
+        rng = random.Random(42)
+        from dataclasses import replace
+
+        from repro.core import evaluate_cut
+        dfg = make_dfg([Opcode.MUL], [], live_out=[0])
+        base = evaluate_cut(dfg, {0}, MODEL)
+        for trial in range(25):
+            pool = [
+                AreaCandidate(cut=replace(base,
+                                          merit=float(rng.randint(1, 30))),
+                              area=rng.randint(1, 8) * 0.25)
+                for _ in range(rng.randint(1, 7))
+            ]
+            budget = rng.randint(1, 10) * 0.25
+            max_count = rng.randint(1, 4)
+            picked = knapsack_select(pool, budget, max_count=max_count)
+            assert len(picked) <= max_count
+            assert sum(c.area for c in picked) <= budget + 0.01 + 1e-9
+            best = 0.0
+            for r in range(min(len(pool), max_count) + 1):
+                for combo in itertools.combinations(pool, r):
+                    if sum(c.area for c in combo) <= budget + 1e-9:
+                        best = max(best, sum(c.merit for c in combo))
+            assert sum(c.merit for c in picked) == pytest.approx(best)
+
+    def test_greedy_respects_cap(self):
+        from dataclasses import replace
+
+        from repro.core import evaluate_cut
+        dfg = make_dfg([Opcode.MUL], [], live_out=[0])
+        base = evaluate_cut(dfg, {0}, MODEL)
+        pool = [AreaCandidate(cut=replace(base, merit=float(m)), area=0.1)
+                for m in (5, 4, 3, 2)]
+        picked = greedy_select(pool, 10.0, max_count=2)
+        assert [c.merit for c in picked] == [5.0, 4.0]
+
     def test_zero_budget_selects_nothing_with_area(self):
         from dataclasses import replace
 
@@ -134,6 +198,16 @@ class TestEndToEnd:
         res = select_area_constrained(gsm_app.dfgs, CONS, 2.0, MODEL,
                                       method="greedy")
         assert res.algorithm.startswith("AreaConstrained(greedy")
+
+    def test_ninstr_cap_respected(self, gsm_app):
+        cons = Constraints(nin=4, nout=2, ninstr=2)
+        res = select_area_constrained(gsm_app.dfgs, cons, 1000.0, MODEL)
+        assert res.num_instructions <= 2
+        # With an unlimited area budget the capped optimum is simply the
+        # top-ninstr merits of the pool.
+        pool = enumerate_candidates(gsm_app.dfgs, cons, MODEL)
+        best_two = sum(sorted((c.merit for c in pool), reverse=True)[:2])
+        assert res.total_merit == pytest.approx(best_two)
 
     def test_unknown_method(self, gsm_app):
         with pytest.raises(ValueError):

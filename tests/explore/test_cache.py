@@ -1,0 +1,223 @@
+"""Tests for the digest-keyed identification cache."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict
+
+import pytest
+
+from repro.core import (
+    Constraints,
+    SearchLimits,
+    find_best_cut,
+    find_best_cuts,
+    select_iterative,
+    select_optimal,
+)
+from repro.core.select_area import enumerate_candidates
+from repro.explore import SearchCache, dfg_digest, model_digest
+from repro.hwmodel import CostModel, uniform_cost_model
+from repro.ir.opcodes import Opcode
+from repro.ir.synth import make_dfg, random_dag_dfg
+
+MODEL = CostModel()
+CONS = Constraints(nin=4, nout=2)
+
+
+def chain_dfg():
+    """mul feeding add feeding xor, one value escaping."""
+    return make_dfg([Opcode.MUL, Opcode.ADD, Opcode.XOR],
+                    [(0, 1), (1, 2)], live_out=[2])
+
+
+class TestDigests:
+    def test_structurally_equal_graphs_share_digest(self):
+        assert dfg_digest(chain_dfg()) == dfg_digest(chain_dfg())
+
+    def test_name_is_cosmetic(self):
+        a = make_dfg([Opcode.ADD], [], live_out=[0], name="a")
+        b = make_dfg([Opcode.ADD], [], live_out=[0], name="b")
+        assert dfg_digest(a) == dfg_digest(b)
+
+    def test_opcode_changes_digest(self):
+        a = make_dfg([Opcode.ADD], [], live_out=[0])
+        b = make_dfg([Opcode.MUL], [], live_out=[0])
+        assert dfg_digest(a) != dfg_digest(b)
+
+    def test_weight_changes_digest(self):
+        a = make_dfg([Opcode.ADD], [], live_out=[0], weight=1.0)
+        b = make_dfg([Opcode.ADD], [], live_out=[0], weight=2.0)
+        assert dfg_digest(a) != dfg_digest(b)
+
+    def test_collapse_label_is_cosmetic(self):
+        base = chain_dfg()
+        result = find_best_cut(base, CONS, MODEL)
+        one = base.collapse(result.cut.nodes, label="ise1")
+        two = base.collapse(result.cut.nodes, label="area1")
+        assert dfg_digest(one) == dfg_digest(two)
+
+    def test_model_digest_tracks_content(self):
+        assert model_digest(CostModel()) == model_digest(CostModel())
+        assert model_digest(CostModel()) != model_digest(
+            uniform_cost_model())
+
+
+class TestSingleCut:
+    def test_hit_is_identical(self):
+        cache = SearchCache()
+        dfg = chain_dfg()
+        cold = find_best_cut(dfg, CONS, MODEL, cache=cache)
+        hit = find_best_cut(dfg, CONS, MODEL, cache=cache)
+        assert cache.stats.hits == 1
+        assert hit.cut.nodes == cold.cut.nodes
+        assert hit.cut.merit == cold.cut.merit
+        assert asdict(hit.stats) == asdict(cold.stats)
+        assert hit.complete == cold.complete
+
+    def test_hit_across_equal_objects(self):
+        cache = SearchCache()
+        find_best_cut(chain_dfg(), CONS, MODEL, cache=cache)
+        find_best_cut(chain_dfg(), CONS, MODEL, cache=cache)
+        assert cache.stats.hits == 1
+
+    def test_ninstr_does_not_split_the_key(self):
+        cache = SearchCache()
+        dfg = chain_dfg()
+        find_best_cut(dfg, Constraints(nin=4, nout=2, ninstr=2),
+                      MODEL, cache=cache)
+        find_best_cut(dfg, Constraints(nin=4, nout=2, ninstr=16),
+                      MODEL, cache=cache)
+        assert cache.stats.hits == 1
+
+    def test_ports_split_the_key(self):
+        cache = SearchCache()
+        dfg = chain_dfg()
+        find_best_cut(dfg, Constraints(nin=4, nout=2), MODEL, cache=cache)
+        find_best_cut(dfg, Constraints(nin=2, nout=1), MODEL, cache=cache)
+        assert cache.stats.hits == 0
+
+    def test_model_splits_the_key(self):
+        cache = SearchCache()
+        dfg = chain_dfg()
+        find_best_cut(dfg, CONS, CostModel(), cache=cache)
+        find_best_cut(dfg, CONS, uniform_cost_model(), cache=cache)
+        assert cache.stats.hits == 0
+
+    def test_limits_split_the_key(self):
+        cache = SearchCache()
+        dfg = chain_dfg()
+        find_best_cut(dfg, CONS, MODEL, cache=cache)
+        find_best_cut(dfg, CONS, MODEL,
+                      SearchLimits(max_considered=10), cache=cache)
+        assert cache.stats.hits == 0
+
+    def test_no_profitable_cut_is_cached(self):
+        cache = SearchCache()
+        dfg = make_dfg([Opcode.LOAD], [], live_out=[0])
+        cold = find_best_cut(dfg, CONS, MODEL, cache=cache)
+        hit = find_best_cut(dfg, CONS, MODEL, cache=cache)
+        assert cold.cut is None and hit.cut is None
+        assert cache.stats.hits == 1
+
+    def test_random_graphs_roundtrip(self):
+        rng = random.Random(11)
+        cache = SearchCache()
+        for _ in range(10):
+            dfg = random_dag_dfg(rng.randint(2, 12), rng,
+                                 forbidden_prob=0.1)
+            cold = find_best_cut(dfg, CONS, MODEL, cache=cache)
+            hit = find_best_cut(dfg, CONS, MODEL, cache=cache)
+            assert (cold.cut is None) == (hit.cut is None)
+            if cold.cut is not None:
+                assert hit.cut.nodes == cold.cut.nodes
+                assert hit.cut.merit == cold.cut.merit
+            assert asdict(hit.stats) == asdict(cold.stats)
+
+
+class TestMultiCut:
+    def test_hit_is_identical(self):
+        cache = SearchCache()
+        dfg = random_dag_dfg(8, random.Random(3))
+        cold = find_best_cuts(dfg, CONS, 2, MODEL, cache=cache)
+        hit = find_best_cuts(dfg, CONS, 2, MODEL, cache=cache)
+        assert cache.stats.hits == 1
+        assert [c.nodes for c in hit.cuts] == [c.nodes for c in cold.cuts]
+        assert hit.total_merit == cold.total_merit
+        assert asdict(hit.stats) == asdict(cold.stats)
+
+    def test_num_cuts_splits_the_key(self):
+        cache = SearchCache()
+        dfg = random_dag_dfg(8, random.Random(3))
+        find_best_cuts(dfg, CONS, 1, MODEL, cache=cache)
+        find_best_cuts(dfg, CONS, 2, MODEL, cache=cache)
+        assert cache.stats.hits == 0
+
+
+class TestPool:
+    def test_pool_roundtrip(self, gsm_app):
+        cache = SearchCache()
+        cold = enumerate_candidates(gsm_app.dfgs, CONS, MODEL, cache=cache)
+        hit = enumerate_candidates(gsm_app.dfgs, CONS, MODEL, cache=cache)
+        assert len(hit) == len(cold) > 0
+        for a, b in zip(cold, hit):
+            assert a.cut.nodes == b.cut.nodes
+            assert a.area == b.area
+            assert a.merit == b.merit
+
+
+class TestSelectionEquivalence:
+    def test_iterative_with_cache_is_identical(self, gsm_app):
+        cons = Constraints(nin=4, nout=2, ninstr=8)
+        cache = SearchCache()
+        cold = select_iterative(gsm_app.dfgs, cons, MODEL)
+        warm_fill = select_iterative(gsm_app.dfgs, cons, MODEL, cache=cache)
+        warm = select_iterative(gsm_app.dfgs, cons, MODEL, cache=cache)
+        for other in (warm_fill, warm):
+            assert [c.nodes for c in other.cuts] == \
+                [c.nodes for c in cold.cuts]
+            assert other.total_merit == cold.total_merit
+            assert asdict(other.stats) == asdict(cold.stats)
+            assert other.complete == cold.complete
+
+    def test_optimal_with_cache_is_identical(self, fir_app):
+        cons = Constraints(nin=3, nout=1, ninstr=2)
+        limits = SearchLimits(max_considered=200_000)
+        cache = SearchCache()
+        cold = select_optimal(fir_app.dfgs, cons, MODEL, limits)
+        select_optimal(fir_app.dfgs, cons, MODEL, limits, cache=cache)
+        warm = select_optimal(fir_app.dfgs, cons, MODEL, limits,
+                              cache=cache)
+        assert cache.stats.hits > 0
+        assert [c.nodes for c in warm.cuts] == [c.nodes for c in cold.cuts]
+        assert warm.total_merit == cold.total_merit
+        assert asdict(warm.stats) == asdict(cold.stats)
+
+
+class TestSharing:
+    def test_entries_merge_between_caches(self):
+        a = SearchCache()
+        dfg = chain_dfg()
+        find_best_cut(dfg, CONS, MODEL, cache=a)
+        b = SearchCache()
+        b.merge(a.entries())
+        hit = b.get_single(chain_dfg(), CONS, MODEL, None)
+        assert hit is not None and hit.cut is not None
+
+    def test_merge_first_writer_wins(self):
+        a = SearchCache()
+        find_best_cut(chain_dfg(), CONS, MODEL, cache=a)
+        b = SearchCache()
+        b.merge(a.entries())
+        before = dict(b.store)
+        b.merge(a.entries())
+        assert b.store == before
+
+    def test_entries_are_picklable(self):
+        import pickle
+
+        cache = SearchCache()
+        find_best_cut(chain_dfg(), CONS, MODEL, cache=cache)
+        restored = SearchCache()
+        restored.merge(pickle.loads(pickle.dumps(cache.entries())))
+        assert len(restored) == len(cache)

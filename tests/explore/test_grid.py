@@ -1,0 +1,89 @@
+"""Tests for the declarative sweep grid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Constraints
+from repro.explore import SweepSpec, resolve_model
+from repro.explore.grid import ALGORITHMS, MODELS
+
+
+def small_spec(**overrides):
+    kwargs = dict(
+        workloads=("fir",),
+        ports=((2, 1), (4, 2)),
+        ninstrs=(2, 4),
+        algorithms=("iterative", "maxmiso"),
+    )
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+class TestExpansion:
+    def test_cartesian_size(self):
+        spec = small_spec(workloads=("fir", "crc32"), models=("default",
+                                                              "uniform"))
+        points = spec.expand()
+        assert len(points) == 2 * 2 * 2 * 2 * 2
+
+    def test_point_constraints(self):
+        point = small_spec().expand()[0]
+        assert point.constraints == Constraints(nin=point.nin,
+                                                nout=point.nout,
+                                                ninstr=point.ninstr)
+
+    def test_deterministic_order(self):
+        assert small_spec().expand() == small_spec().expand()
+
+    def test_describe_counts_points(self):
+        spec = small_spec()
+        assert str(len(spec.expand())) in spec.describe()
+
+    def test_to_dict_roundtrips(self):
+        spec = small_spec()
+        assert SweepSpec(**spec.to_dict()) == spec
+
+
+class TestValidation:
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            small_spec(workloads=("nope",))
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            small_spec(algorithms=("magic",))
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError, match="unknown cost model"):
+            small_spec(models=("quantum",))
+
+    def test_empty_axis(self):
+        with pytest.raises(ValueError, match="at least one"):
+            small_spec(ports=())
+
+    def test_bad_ports(self):
+        with pytest.raises(ValueError, match="positive"):
+            small_spec(ports=((0, 1),))
+
+    def test_bad_ninstr(self):
+        with pytest.raises(ValueError, match="positive"):
+            small_spec(ninstrs=(0,))
+
+    def test_all_algorithms_are_known(self):
+        assert set(small_spec(algorithms=ALGORITHMS).algorithms) \
+            == set(ALGORITHMS)
+
+
+class TestModels:
+    def test_resolve_known(self):
+        for name in MODELS:
+            model = resolve_model(name)
+            assert model.sw_latency
+
+    def test_resolve_unknown(self):
+        with pytest.raises(ValueError, match="unknown cost model"):
+            resolve_model("nope")
+
+    def test_factories_build_fresh_instances(self):
+        assert resolve_model("default") is not resolve_model("default")

@@ -50,16 +50,43 @@ class TestSelect:
         assert code == 0
         assert "Optimal" in capsys.readouterr().out
 
+    def test_area_constrained_roundtrip(self, capsys):
+        code = main(["select", "fir", "--n", "16", "--algo", "area",
+                     "--nin", "4", "--nout", "2", "--ninstr", "4",
+                     "--area-budget", "2.0", "--limit", "100000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AreaConstrained(knapsack, 2 MAC)" in out
+        assert "speedup" in out
+
+    def test_area_greedy_method(self, capsys):
+        code = main(["select", "fir", "--n", "16", "--algo", "area",
+                     "--area-method", "greedy", "--limit", "100000"])
+        assert code == 0
+        assert "AreaConstrained(greedy" in capsys.readouterr().out
+
 
 class TestCompare:
-    def test_compare_row(self, capsys):
+    def test_compare_row_has_all_four_algorithms(self, capsys):
         code = main(["compare", "crc32", "--n", "16",
                      "--nin", "4", "--nout", "2", "--ninstr", "8",
                      "--limit", "200000"])
         assert code == 0
         out = capsys.readouterr().out
-        for name in ("Iterative", "Clubbing", "MaxMISO"):
+        for name in ("Optimal", "Iterative", "Clubbing", "MaxMISO"):
             assert name in out
+        # Every algorithm actually reported a result on this workload.
+        assert out.count("speedup") == 4
+
+    def test_compare_degrades_optimal_to_na_on_big_blocks(self, capsys):
+        code = main(["compare", "fir", "--n", "16", "--max-nodes", "2",
+                     "--nin", "3", "--nout", "1", "--ninstr", "2",
+                     "--limit", "100000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Optimal" in out
+        assert "n/a" in out                      # the guarded row
+        assert out.count("speedup") == 3         # the other three ran
 
 
 class TestAfu:
@@ -80,3 +107,55 @@ class TestIr:
         out = capsys.readouterr().out
         assert "func fir_filter" in out
         assert "application fir" in out
+
+
+class TestSweep:
+    def test_grid_with_artifacts(self, capsys, tmp_path):
+        json_path = tmp_path / "sweep.json"
+        csv_path = tmp_path / "sweep.csv"
+        code = main(["sweep", "--workloads", "fir",
+                     "--ports", "2x1,4x2", "--ninstr", "2,4",
+                     "--algos", "iterative,maxmiso",
+                     "--limit", "100000", "--n", "16", "--quiet",
+                     "--json", str(json_path), "--csv", str(csv_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Ninstr=2" in out and "Ninstr=4" in out
+        assert "iterative" in out and "maxmiso" in out
+        assert "grid points in" in out
+        assert "cache" in out
+
+        import json as jsonlib
+        data = jsonlib.loads(json_path.read_text())
+        assert data["meta"]["points"] == 2 * 2 * 2
+        assert csv_path.read_text().startswith("workload,")
+
+    def test_nin_nout_cross_product(self, capsys):
+        code = main(["sweep", "--workloads", "fir",
+                     "--nins", "2,3", "--nouts", "1",
+                     "--ninstr", "2", "--algos", "maxmiso",
+                     "--n", "16", "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2    1" in out and "3    1" in out
+
+    def test_no_cache_flag(self, capsys):
+        code = main(["sweep", "--workloads", "fir", "--ports", "2x1",
+                     "--ninstr", "2", "--algos", "maxmiso",
+                     "--n", "16", "--quiet", "--no-cache"])
+        assert code == 0
+        assert "cache" not in capsys.readouterr().out
+
+    def test_bad_ports_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--workloads", "fir", "--ports", "whoops",
+                  "--quiet"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["sweep", "--workloads", "nope", "--quiet"])
+
+    def test_bad_ninstr_list_rejected(self):
+        with pytest.raises(SystemExit, match="bad integer list"):
+            main(["sweep", "--workloads", "fir", "--ninstr", "2;4",
+                  "--quiet"])

@@ -1,0 +1,64 @@
+"""Unknown-global accesses must *trap*, never leak a bare ``KeyError``:
+``load``/``store`` always did, but the harness conveniences
+(``scalar``/``set_scalar``/``write_array``/``read_array``) used to
+differ.  All six paths now fault consistently."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.interp import Memory, TrapError
+
+
+@pytest.fixture
+def memory():
+    return Memory(compile_source("int a[3] = {1, 2, 3}; int g = 5;"))
+
+
+class TestUnknownGlobalTraps:
+    def test_load(self, memory):
+        with pytest.raises(TrapError, match="unknown array 'nope'"):
+            memory.load("nope", 0)
+
+    def test_store(self, memory):
+        with pytest.raises(TrapError, match="unknown array 'nope'"):
+            memory.store("nope", 0, 1)
+
+    def test_scalar(self, memory):
+        with pytest.raises(TrapError, match="unknown array 'nope'"):
+            memory.scalar("nope")
+
+    def test_set_scalar(self, memory):
+        with pytest.raises(TrapError, match="unknown array 'nope'"):
+            memory.set_scalar("nope", 1)
+
+    def test_write_array(self, memory):
+        with pytest.raises(TrapError, match="unknown array 'nope'"):
+            memory.write_array("nope", [1, 2])
+
+    def test_read_array(self, memory):
+        with pytest.raises(TrapError, match="unknown array 'nope'"):
+            memory.read_array("nope")
+
+    def test_never_a_bare_keyerror(self, memory):
+        for fault in (lambda: memory.load("x", 0),
+                      lambda: memory.store("x", 0, 0),
+                      lambda: memory.scalar("x"),
+                      lambda: memory.set_scalar("x", 0),
+                      lambda: memory.write_array("x", [0]),
+                      lambda: memory.read_array("x")):
+            try:
+                fault()
+            except TrapError:
+                pass
+            else:  # pragma: no cover - the point of the test
+                pytest.fail("expected a TrapError")
+
+
+class TestKnownGlobalsStillWork:
+    def test_roundtrip(self, memory):
+        memory.set_scalar("g", 9)
+        assert memory.scalar("g") == 9
+        memory.write_array("a", [4, 5], offset=1)
+        assert memory.read_array("a") == [1, 4, 5]
