@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""End-to-end ISE speedup benchmark (the paper's Fig. 9/10 experiment).
+
+For every registered workload: compile, profile, select custom
+instructions (Iterative, Nin=4/Nout=2, Ninstr=16), rewrite the program to
+*execute* the selected AFUs, run baseline and rewritten programs on the
+same input, and record measured cycle counts.
+
+This doubles as a correctness gate: the run **fails** (exit 1) if any
+rewritten program is not bit-identical to its baseline or if any measured
+speedup falls below 1.0.  CI runs it on every push and uploads
+``benchmarks/results/BENCH_speedup.json``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_speedup.py
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro import WORKLOADS, SearchLimits
+from repro.exec import format_speedup_table, run_speedup
+
+try:
+    from _bench_utils import RESULTS_DIR, report
+except ImportError:  # standalone run: benchmarks/ not on sys.path
+    sys.path.insert(0, str(Path(__file__).parent))
+    from _bench_utils import RESULTS_DIR, report
+
+NIN, NOUT, NINSTR = 4, 2, 16
+LIMIT = SearchLimits(max_considered=2_000_000)
+
+
+def main() -> int:
+    start = time.perf_counter()
+    rows = run_speedup(sorted(WORKLOADS), nin=NIN, nout=NOUT,
+                       ninstr=NINSTR, algorithm="iterative", limits=LIMIT)
+    elapsed = time.perf_counter() - start
+
+    report("speedup", format_speedup_table(rows))
+    report("speedup", f"({len(rows)} workloads in {elapsed:.2f}s)")
+
+    payload = {
+        "config": {"nin": NIN, "nout": NOUT, "ninstr": NINSTR,
+                   "algorithm": "iterative",
+                   "limit": LIMIT.max_considered},
+        "elapsed_s": elapsed,
+        "rows": [row.as_dict() for row in rows],
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_speedup.json"
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+
+    failures = []
+    for row in rows:
+        if row.status != "ok":
+            continue        # n/a rows (Optimal refusals) are not failures
+        if not row.identical:
+            failures.append(f"{row.workload}: rewritten output diverged "
+                            f"from the baseline")
+        if row.measured_speedup < 1.0:
+            failures.append(f"{row.workload}: measured speedup "
+                            f"{row.measured_speedup:.3f}x < 1.0")
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

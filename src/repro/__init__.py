@@ -5,18 +5,24 @@ A complete reproduction of Atasu, Pozzi & Ienne (DAC 2003 / IJPP 31(6),
 2003): exact identification of maximal-merit convex dataflow subgraphs
 under register-file port constraints, optimal and iterative selection of
 up to ``Ninstr`` custom instructions, the Clubbing and MaxMISO baselines,
-and everything underneath — a MiniC compiler, an IR with CFG/DFG
-analyses, if-conversion, an interpreter/profiler, hardware cost models and
-AFU datapath generation.
+an execution layer that rewrites programs to *run* the selected
+instructions and measures end-to-end cycle-count speedups, and everything
+underneath — a MiniC compiler, an IR with CFG/DFG analyses,
+if-conversion, an interpreter/profiler, hardware cost models and AFU
+datapath generation.
 
 Quickstart::
 
-    from repro import prepare_application, Constraints, select_iterative
+    from repro import (Constraints, measure_selection,
+                       prepare_application, select_iterative)
 
     app = prepare_application("adpcm-decode")
     result = select_iterative(app.dfgs, Constraints(nin=4, nout=2,
                                                     ninstr=16))
     print(result.describe())
+    measured = measure_selection(app, result)   # rewrite + execute
+    print(f"measured speedup {measured.speedup:.3f}x "
+          f"(bit-exact: {measured.identical})")
 """
 
 from .core import (
@@ -38,12 +44,21 @@ from .core import (
     select_maxmiso,
     select_optimal,
 )
+from .exec import (
+    FusedAFU,
+    MeasuredSpeedup,
+    RewriteResult,
+    SpeedupRow,
+    measure_selection,
+    rewrite_module,
+    run_speedup,
+)
 from .explore import SearchCache, SweepOutcome, SweepSpec, run_sweep
 from .hwmodel import CostModel, estimated_speedup, uniform_cost_model
 from .pipeline import Application, compile_workload, prepare_application
 from .workloads import WORKLOADS, Workload, get_workload, paper_benchmarks
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Constraints", "Cut", "evaluate_cut",
@@ -54,6 +69,8 @@ __all__ = [
     "select_clubbing", "select_maxmiso", "BlockTooLargeError",
     "CostModel", "uniform_cost_model", "estimated_speedup",
     "SweepSpec", "SweepOutcome", "SearchCache", "run_sweep",
+    "FusedAFU", "RewriteResult", "rewrite_module",
+    "MeasuredSpeedup", "SpeedupRow", "measure_selection", "run_speedup",
     "Application", "prepare_application", "compile_workload",
     "WORKLOADS", "Workload", "get_workload", "paper_benchmarks",
     "__version__",

@@ -12,6 +12,14 @@ run rather than the profile the selection was made from.  When the
 simulation run matches the profiling run, the dynamic speedup equals the
 static estimate exactly — a strong internal-consistency check; running with
 a different input size shows how well a profile generalises.
+
+Scope note: this simulator charges cut costs *without* rewriting the
+program — the original module executes and cuts are priced analytically
+per block.  For the real thing (programs rewritten to issue fused ISE
+nodes, executed through functional AFU models, outputs compared
+bit-for-bit), use :mod:`repro.exec`; its cycle accountant
+(:func:`repro.exec.cycles.run_with_cycles`) is the measured counterpart
+of this module and must stay in agreement with it on covered blocks.
 """
 
 from __future__ import annotations
@@ -39,6 +47,8 @@ class SimulationResult:
 
     @property
     def speedup(self) -> float:
+        """Dynamic speedup ``baseline / specialized`` of this run
+        (``inf`` when specialisation removed every charged cycle)."""
         if self.specialized_cycles <= 0:
             return float("inf")
         return self.baseline_cycles / self.specialized_cycles

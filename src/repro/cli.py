@@ -10,7 +10,12 @@ Subcommands:
 * ``compare`` — one Fig. 11-style row: all four algorithms side by side;
 * ``sweep`` — a whole design-space grid (workloads x ports x Ninstr x
   algorithms x cost models) in one invocation, with memoized per-block
-  identification and JSON/CSV artifacts;
+  identification and JSON/CSV artifacts (``--measure`` adds executed
+  speedups per grid point);
+* ``speedup`` — measure end-to-end speedup by actually executing the
+  selected instructions: rewrite each workload, run baseline and
+  rewritten programs, check outputs bit-for-bit, report cycle counts
+  (the paper's Fig. 9/10 numbers);
 * ``afu`` — generate Verilog for the selected custom instructions.
 """
 
@@ -218,6 +223,7 @@ def cmd_sweep(args) -> int:
             limit=args.limit,
             max_nodes=args.max_nodes,
             area_budget=args.area_budget,
+            measure=args.measure,
         )
     except ValueError as exc:
         # A typo'd axis is a usage error, not a crash.
@@ -239,6 +245,46 @@ def cmd_sweep(args) -> int:
     if args.csv:
         write_csv(outcome, args.csv)
         print(f"wrote {args.csv}")
+    return 0
+
+
+def cmd_speedup(args) -> int:
+    import json
+
+    from .exec import format_speedup_table, run_speedup
+
+    if args.workloads.strip().lower() == "all":
+        names = sorted(WORKLOADS)
+    else:
+        names = _csv_list(args.workloads)
+    try:
+        rows = run_speedup(
+            names,
+            nin=args.nin,
+            nout=args.nout,
+            ninstr=args.ninstr,
+            algorithm=args.algo,
+            limits=_limits(args),
+            n=args.n,
+            unroll=args.unroll,
+            workers=args.workers,
+            max_nodes=args.max_nodes,
+            area_budget=args.area_budget,
+        )
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"speedup: {exc}")
+    print(format_speedup_table(rows))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"rows": [row.as_dict() for row in rows]}, fh,
+                      indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.json}")
+    broken = [row.workload for row in rows if not row.identical]
+    if broken:
+        print(f"\nFAIL: rewritten output diverged for "
+              f"{', '.join(broken)}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -333,6 +379,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Optimal node guard (oversized -> n/a)")
     p.add_argument("--area-budget", type=float, default=2.0,
                    help="silicon budget for area rows (MAC units)")
+    p.add_argument("--measure", action="store_true",
+                   help="additionally execute each grid point's "
+                        "selection (rewrite + run) and report the "
+                        "measured speedup next to the estimate")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the identification memo (cold "
                         "baseline; results are identical, just slower)")
@@ -344,6 +394,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="suppress progress lines on stderr")
     _add_workers(p)
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "speedup",
+        help="measure end-to-end speedup by executing selected AFUs "
+             "(bit-exactness enforced)")
+    p.add_argument("--workloads", default="all",
+                   help="comma-separated registry names, or 'all' "
+                        "(default)")
+    p.add_argument("--n", type=int, default=None,
+                   help="run size for profiling AND measurement "
+                        "(default: each workload's)")
+    p.add_argument("--unroll", type=int, default=None,
+                   help="loop unroll factor (Section 9 extension)")
+    p.add_argument("--nin", type=int, default=4,
+                   help="register-file read ports (default 4)")
+    p.add_argument("--nout", type=int, default=2,
+                   help="register-file write ports (default 2)")
+    p.add_argument("--ninstr", type=int, default=16)
+    p.add_argument("--limit", type=int, default=None,
+                   help="max cuts considered per search")
+    p.add_argument("--algo", choices=["iterative", "optimal", "clubbing",
+                                      "maxmiso", "area"],
+                   default="iterative")
+    p.add_argument("--max-nodes", type=int, default=40,
+                   help="node guard for --algo optimal")
+    p.add_argument("--area-budget", type=float, default=2.0,
+                   help="silicon budget in MAC units for --algo area "
+                        "(default 2.0)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the machine-readable rows here")
+    _add_workers(p)
+    p.set_defaults(fn=cmd_speedup)
 
     p = sub.add_parser("afu", help="emit Verilog for selected AFUs")
     _add_common(p)

@@ -44,6 +44,7 @@ class Constraints:
             raise ValueError("constraints must be positive")
 
     def describe(self) -> str:
+        """Human-readable one-liner used by every report header."""
         return f"Nin={self.nin}, Nout={self.nout}, Ninstr={self.ninstr}"
 
 
@@ -62,14 +63,18 @@ class Cut:
 
     @property
     def size(self) -> int:
+        """Number of DFG nodes (operations) inside the cut."""
         return len(self.nodes)
 
     def satisfies(self, constraints: Constraints) -> bool:
+        """True when the cut is convex and fits the register-file port
+        budget (``IN(S) <= Nin`` and ``OUT(S) <= Nout``)."""
         return (self.convex
                 and self.num_inputs <= constraints.nin
                 and self.num_outputs <= constraints.nout)
 
     def node_labels(self) -> List[str]:
+        """Labels of the member nodes in index order (for reports)."""
         return [self.dfg.nodes[i].label for i in sorted(self.nodes)]
 
     def is_connected(self) -> bool:
@@ -89,6 +94,7 @@ class Cut:
         return seen == members
 
     def describe(self) -> str:
+        """One-line summary: size, connectivity, I/O counts and merit."""
         kind = "connected" if self.is_connected() else "disconnected"
         return (f"cut of {self.size} nodes in {self.dfg.name} "
                 f"({kind}; IN={self.num_inputs}, OUT={self.num_outputs}, "

@@ -38,9 +38,12 @@ class SelectionResult:
 
     @property
     def num_instructions(self) -> int:
+        """Number of custom instructions the algorithm selected."""
         return len(self.cuts)
 
     def describe(self) -> str:
+        """Multi-line report: header (algorithm, constraints, merit,
+        speedup) followed by one line per selected cut."""
         lines = [
             f"{self.algorithm} ({self.constraints.describe()}): "
             f"{self.num_instructions} instruction(s), "

@@ -52,6 +52,7 @@ class SearchResult:
 
     @property
     def merit(self) -> float:
+        """Merit (estimated saved cycles) of the best cut, 0 if none."""
         return self.cut.merit if self.cut is not None else 0.0
 
 

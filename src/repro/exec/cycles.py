@@ -1,0 +1,109 @@
+"""Dynamic cycle accounting for baseline and ISE-rewritten programs.
+
+The static merit model (:mod:`repro.hwmodel.merit`) estimates saved cycles
+from the profile the selection was made from.  This module measures the
+same quantity *dynamically*: it executes a program in the interpreter and
+charges, per basic-block visit,
+
+* the execution-stage software latency of every ordinary operation, and
+* ``latency_cycles`` of the bound AFU for every ISE instruction,
+
+so cycle counts reflect the real block frequencies of the run.  Register
+copy-backs introduced by the rewriter cost nothing (they model direct
+register-file writes of a real ISE; see :mod:`repro.exec.rewrite`), which
+the rewriter communicates through its ``block_costs`` overrides.
+
+Invariant (tested): running the original and the rewritten program on the
+*same* input gives ``baseline.cycles - rewritten.cycles ==
+selection.total_merit`` exactly, because both runs visit blocks with the
+frequencies the merit was weighted by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..hwmodel.latency import CostModel
+from ..interp.interpreter import Interpreter
+from ..interp.memory import Memory
+from ..ir.function import Module
+from ..ir.opcodes import Opcode
+
+
+@dataclass(frozen=True)
+class CycleReport:
+    """Cycle accounting of one execution.
+
+    Attributes:
+        cycles: total charged cycles (floats only because cost models may
+            be fractional; the default model charges whole cycles).
+        steps: instructions the interpreter executed (dynamic count).
+        value: return value of the entry function (``None`` for void).
+    """
+
+    cycles: float
+    steps: int
+    value: Optional[int]
+
+
+def module_block_costs(
+    module: Module,
+    model: Optional[CostModel] = None,
+) -> Dict[Tuple[str, str], float]:
+    """Per-block cycle cost of *module* under *model*.
+
+    Ordinary operations charge their software latency; ISE instructions
+    charge their AFU's ``latency_cycles``.  For rewritten modules prefer
+    the rewriter's ``block_costs`` overrides (they exclude the zero-cost
+    architectural copy-backs); this function is the baseline fallback.
+    """
+    model = model or CostModel()
+    costs: Dict[Tuple[str, str], float] = {}
+    for func in module.functions.values():
+        for block in func.blocks:
+            cost = 0.0
+            for insn in block.body:
+                if insn.opcode is Opcode.ISE:
+                    cost += insn.afu.latency_cycles
+                else:
+                    cost += model.sw_latency.get(insn.opcode, 1)
+            costs[(func.name, block.label)] = cost
+    return costs
+
+
+def run_with_cycles(
+    module: Module,
+    entry: str,
+    args: Sequence[int] = (),
+    memory: Optional[Memory] = None,
+    model: Optional[CostModel] = None,
+    cost_overrides: Optional[Dict[Tuple[str, str], float]] = None,
+) -> CycleReport:
+    """Execute ``entry(*args)`` and account cycles per executed block.
+
+    Args:
+        module: program to run (baseline or ISE-rewritten).
+        entry: entry function name.
+        args: entry arguments (32-bit wrapped by the interpreter).
+        memory: memory image; pass the driver-filled image of a workload
+            run (a fresh one is created otherwise).
+        model: cost model; must match the selection's model for measured
+            and estimated speedups to be comparable.
+        cost_overrides: per-block cost replacements, e.g.
+            ``RewriteResult.block_costs``.
+
+    Returns:
+        A :class:`CycleReport` with total cycles, dynamic instruction
+        count and the entry's return value.
+    """
+    costs = module_block_costs(module, model)
+    if cost_overrides:
+        costs.update(cost_overrides)
+    interp = Interpreter(module, memory=memory)
+    outcome = interp.run(entry, args)
+    cycles = 0.0
+    for key, count in interp.profile.counts.items():
+        cycles += count * costs.get(key, 0.0)
+    return CycleReport(cycles=cycles, steps=outcome.steps,
+                       value=outcome.value)

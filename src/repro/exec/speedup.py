@@ -1,0 +1,301 @@
+"""End-to-end speedup measurement — the paper's Fig. 9/10 numbers, run.
+
+``measure_selection`` takes a prepared application plus a selection
+result, rewrites the program (:mod:`repro.exec.rewrite`), executes the
+original and the rewritten module on identical driver inputs, checks the
+outputs bit-for-bit, and returns measured cycle counts next to the static
+estimate.  ``run_speedup`` is the whole-table driver behind the
+``repro speedup`` CLI verb and ``benchmarks/bench_speedup.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from typing import List, Optional, Sequence
+
+from ..core import (
+    BlockTooLargeError,
+    Constraints,
+    SearchLimits,
+    select_area_constrained,
+    select_clubbing,
+    select_iterative,
+    select_maxmiso,
+    select_optimal,
+)
+from ..core.selection import SelectionResult
+from ..hwmodel.latency import CostModel
+from ..interp.memory import Memory
+from ..pipeline import Application, prepare_application
+from ..workloads.registry import get_workload
+from .cycles import run_with_cycles
+from .rewrite import rewrite_module
+
+
+@dataclass
+class SpeedupRow:
+    """One measured workload: the unit of the Fig. 9/10-style table.
+
+    ``measured_speedup`` is ``baseline_cycles / ise_cycles`` from actual
+    execution; ``estimated_speedup`` is the selection's static estimate
+    (identical when the measurement input matches the profiling input);
+    ``identical`` asserts that every memory word and the return value of
+    the rewritten run matched the baseline bit-for-bit.  ``status`` is
+    ``"ok"`` normally and ``"n/a"`` when the selection itself refused
+    the workload (Optimal on an oversized block — the paper's own
+    Fig. 11 note); ``n/a`` rows carry zeros and the refusal in
+    ``error``.
+    """
+
+    workload: str
+    algorithm: str
+    nin: int
+    nout: int
+    ninstr: int
+    n: int
+    num_instructions: int
+    rewritten_blocks: int
+    skipped_cuts: int
+    baseline_cycles: float
+    ise_cycles: float
+    measured_speedup: float
+    estimated_speedup: float
+    total_merit: float
+    identical: bool
+    steps_baseline: int
+    steps_ise: int
+    status: str = "ok"
+    error: str = ""
+
+    def as_dict(self) -> dict:
+        """Flat JSON-ready record (benchmark artifact rows); non-finite
+        speedups become ``None`` so artifacts stay strict JSON."""
+        record = asdict(self)
+        for key in ("measured_speedup", "estimated_speedup"):
+            if not math.isfinite(record[key]):
+                record[key] = None
+        return record
+
+
+@dataclass
+class MeasuredSpeedup:
+    """Raw measurement of one (application, selection) pair."""
+
+    baseline_cycles: float
+    ise_cycles: float
+    identical: bool
+    num_instructions: int
+    rewritten_blocks: int
+    skipped_cuts: int
+    steps_baseline: int
+    steps_ise: int
+
+    @property
+    def speedup(self) -> float:
+        """Measured cycles ratio (inf when the rewritten run is free)."""
+        if self.ise_cycles <= 0:
+            return math.inf
+        return self.baseline_cycles / self.ise_cycles
+
+
+def measure_baseline(app: Application, model: Optional[CostModel] = None,
+                     n: Optional[int] = None):
+    """Run the *unmodified* program once and return its accounting.
+
+    Returns ``(CycleReport, Memory)`` — the baseline cycles plus the
+    final memory image the rewritten run is compared against.  Baseline
+    execution depends only on (workload, n, model), never on ports or
+    algorithms, so sweeps measuring many grid points per workload
+    compute this once and pass it to :func:`measure_selection`.
+    """
+    workload = get_workload(app.name)
+    model = model or CostModel()
+    size = n if n is not None else workload.default_n
+    memory = Memory(app.module)
+    args = workload.driver(memory, size)
+    report = run_with_cycles(app.module, app.entry, args,
+                             memory=memory, model=model)
+    return report, memory
+
+
+def measure_selection(
+    app: Application,
+    selection: SelectionResult,
+    model: Optional[CostModel] = None,
+    n: Optional[int] = None,
+    baseline=None,
+) -> MeasuredSpeedup:
+    """Rewrite *app* with *selection* and measure both programs.
+
+    Args:
+        app: prepared application (its module is left untouched; the
+            rewrite happens on a clone).
+        selection: any ``SelectionResult`` over ``app.dfgs``.
+        model: cost model — pass the one the selection used.
+        n: measurement input size (default: the workload's); choosing a
+            different size than the profiling run shows how well the
+            profile generalises.
+        baseline: optional precomputed ``(CycleReport, Memory)`` from
+            :func:`measure_baseline` with the *same* model and n; the
+            baseline run is repeated otherwise.
+
+    Returns:
+        A :class:`MeasuredSpeedup`; ``identical`` is True iff the
+        rewritten program's return value and every memory word matched
+        the baseline and the workload's golden model accepted the output.
+    """
+    workload = get_workload(app.name)
+    model = model or CostModel()
+    size = n if n is not None else workload.default_n
+
+    rewritten = rewrite_module(app.module, selection.cuts, model)
+
+    if baseline is None:
+        baseline = measure_baseline(app, model, size)
+    base, base_memory = baseline
+
+    ise_memory = Memory(rewritten.module)
+    ise_args = workload.driver(ise_memory, size)
+    ise = run_with_cycles(rewritten.module, app.entry, ise_args,
+                          memory=ise_memory, model=model,
+                          cost_overrides=rewritten.block_costs)
+
+    identical = (base.value == ise.value
+                 and base_memory.arrays == ise_memory.arrays)
+    if identical:
+        try:
+            workload.verify(ise_memory, size)
+        except AssertionError:
+            identical = False
+
+    return MeasuredSpeedup(
+        baseline_cycles=base.cycles,
+        ise_cycles=ise.cycles,
+        identical=identical,
+        num_instructions=rewritten.num_instructions,
+        rewritten_blocks=rewritten.rewritten_blocks,
+        skipped_cuts=len(rewritten.skipped),
+        steps_baseline=base.steps,
+        steps_ise=ise.steps,
+    )
+
+
+#: Algorithm dispatch shared with the CLI (`repro speedup --algo`).
+ALGORITHMS = ("iterative", "optimal", "clubbing", "maxmiso", "area")
+
+
+def _select(algorithm, dfgs, cons, model, limits, workers, max_nodes,
+            area_budget):
+    """Run one selection algorithm by name (all five families)."""
+    if algorithm == "iterative":
+        return select_iterative(dfgs, cons, model, limits, workers=workers)
+    if algorithm == "optimal":
+        return select_optimal(dfgs, cons, model, limits,
+                              max_nodes=max_nodes, workers=workers)
+    if algorithm == "clubbing":
+        return select_clubbing(dfgs, cons, model)
+    if algorithm == "maxmiso":
+        return select_maxmiso(dfgs, cons, model)
+    if algorithm == "area":
+        return select_area_constrained(dfgs, cons, area_budget, model,
+                                       limits, workers=workers)
+    known = ", ".join(ALGORITHMS)
+    raise ValueError(f"unknown algorithm {algorithm!r}; known: {known}")
+
+
+def run_speedup(
+    workloads: Sequence[str],
+    nin: int = 4,
+    nout: int = 2,
+    ninstr: int = 16,
+    algorithm: str = "iterative",
+    model: Optional[CostModel] = None,
+    limits: Optional[SearchLimits] = None,
+    n: Optional[int] = None,
+    unroll: Optional[int] = None,
+    workers: Optional[int] = None,
+    max_nodes: int = 40,
+    area_budget: float = 2.0,
+) -> List[SpeedupRow]:
+    """Measure end-to-end speedup for every workload in *workloads*.
+
+    For each workload: prepare (compile, profile, verify), select with
+    *algorithm* under ``(nin, nout, ninstr)``, rewrite, execute both
+    programs on the same input, and assemble a :class:`SpeedupRow`.
+    Profiling and measurement share the input size *n*, so measured
+    saved cycles equal the selection's merit exactly; the measured
+    speedup *ratio* is usually a little below the static estimate
+    because the dynamic baseline counts every executed instruction
+    while the static one counts only profiled DFG blocks (DESIGN.md
+    §9).  ``identical=False`` always means a miscompile.  ``max_nodes``
+    guards the ``optimal`` algorithm (``BlockTooLargeError`` beyond
+    it); ``area_budget`` (MAC units) applies to ``area``.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}; known: "
+                         + ", ".join(ALGORITHMS))
+    model = model or CostModel()
+    rows: List[SpeedupRow] = []
+    for name in workloads:
+        workload = get_workload(name)
+        size = n if n is not None else workload.default_n
+        app = prepare_application(name, n=size, unroll=unroll)
+        constraints = Constraints(nin=nin, nout=nout, ninstr=ninstr)
+        try:
+            selection = _select(algorithm, app.dfgs, constraints, model,
+                                limits, workers, max_nodes, area_budget)
+        except BlockTooLargeError as exc:
+            # Degrade per workload (like `repro compare`'s n/a row)
+            # instead of aborting the whole table.
+            rows.append(SpeedupRow(
+                workload=name, algorithm="Optimal", nin=nin, nout=nout,
+                ninstr=ninstr, n=size, num_instructions=0,
+                rewritten_blocks=0, skipped_cuts=0, baseline_cycles=0.0,
+                ise_cycles=0.0, measured_speedup=0.0,
+                estimated_speedup=0.0, total_merit=0.0, identical=True,
+                steps_baseline=0, steps_ise=0, status="n/a",
+                error=str(exc)))
+            continue
+        measured = measure_selection(app, selection, model, n=size)
+        rows.append(SpeedupRow(
+            workload=name,
+            algorithm=selection.algorithm,
+            nin=nin,
+            nout=nout,
+            ninstr=ninstr,
+            n=size,
+            num_instructions=measured.num_instructions,
+            rewritten_blocks=measured.rewritten_blocks,
+            skipped_cuts=measured.skipped_cuts,
+            baseline_cycles=measured.baseline_cycles,
+            ise_cycles=measured.ise_cycles,
+            measured_speedup=measured.speedup,
+            estimated_speedup=selection.speedup,
+            total_merit=selection.total_merit,
+            identical=measured.identical,
+            steps_baseline=measured.steps_baseline,
+            steps_ise=measured.steps_ise,
+        ))
+    return rows
+
+
+def format_speedup_table(rows: Sequence[SpeedupRow]) -> str:
+    """Fig. 9/10-style text table: one line per measured workload."""
+    alg_w = max([10] + [len(row.algorithm) for row in rows])
+    header = (f"{'workload':14s} {'algorithm':{alg_w}s} {'instrs':>6s} "
+              f"{'base cycles':>12s} {'ISE cycles':>12s} "
+              f"{'measured':>9s} {'estimated':>9s}  bit-exact")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        if row.status != "ok":
+            lines.append(f"{row.workload:14s} {row.algorithm:{alg_w}s} "
+                         f"n/a ({row.error})")
+            continue
+        lines.append(
+            f"{row.workload:14s} {row.algorithm:{alg_w}s} "
+            f"{row.num_instructions:6d} "
+            f"{row.baseline_cycles:12.0f} {row.ise_cycles:12.0f} "
+            f"{row.measured_speedup:8.3f}x {row.estimated_speedup:8.3f}x"
+            f"  {'yes' if row.identical else 'NO'}")
+    return "\n".join(lines)

@@ -168,6 +168,10 @@ class SearchCache:
     def get_single(self, dfg: DataFlowGraph, constraints: Constraints,
                    model: CostModel,
                    limits: Optional[SearchLimits]) -> Optional[SearchResult]:
+        """Memoized :func:`find_best_cut` result for this (graph,
+        constraint, model, limits) key, or ``None`` on a miss.  Cuts are
+        re-hydrated against *dfg*, so the result is bit-identical to a
+        cold search."""
         value = self._get(self._key("single", dfg, constraints, model,
                                     limits))
         if value is None:
@@ -181,6 +185,9 @@ class SearchCache:
     def put_single(self, dfg: DataFlowGraph, constraints: Constraints,
                    model: CostModel, limits: Optional[SearchLimits],
                    result: SearchResult) -> None:
+        """Store a :func:`find_best_cut` result (node set + stats only;
+        values re-derive on :meth:`get_single`, keeping entries small
+        and picklable)."""
         nodes = (tuple(sorted(result.cut.nodes))
                  if result.cut is not None else None)
         self._put(self._key("single", dfg, constraints, model, limits),
@@ -192,6 +199,8 @@ class SearchCache:
     def get_multi(self, dfg: DataFlowGraph, constraints: Constraints,
                   num_cuts: int, model: CostModel,
                   limits: Optional[SearchLimits]) -> Optional[MultiCutResult]:
+        """Memoized :func:`find_best_cuts` result for ``num_cuts``
+        simultaneous cuts, or ``None`` on a miss."""
         value = self._get(self._key("multi", dfg, constraints, model,
                                     limits, num_cuts))
         if value is None:
@@ -207,6 +216,7 @@ class SearchCache:
                   num_cuts: int, model: CostModel,
                   limits: Optional[SearchLimits],
                   result: MultiCutResult) -> None:
+        """Store a :func:`find_best_cuts` result under its grid key."""
         # Cuts are stored in the result's (merit-sorted) order, so the
         # decoded list is identical without re-sorting.
         node_sets = tuple(tuple(sorted(c.nodes)) for c in result.cuts)
@@ -222,6 +232,9 @@ class SearchCache:
                  model: CostModel, limits: Optional[SearchLimits],
                  max_per_block: int,
                  ) -> Optional[Tuple[List[AreaCandidate], SearchStats]]:
+        """Memoized area-candidate pool of one block (``None`` on miss);
+        the deterministic collapse chain is replayed so each candidate
+        lives in its round's graph, exactly as a cold enumeration."""
         value = self._get(self._key("pool", dfg, constraints, model,
                                     limits, max_per_block))
         if value is None:
@@ -243,6 +256,7 @@ class SearchCache:
                  model: CostModel, limits: Optional[SearchLimits],
                  max_per_block: int, candidates: List[AreaCandidate],
                  stats: SearchStats) -> None:
+        """Store one block's area-candidate pool (node sets per round)."""
         node_sets = tuple(tuple(sorted(c.cut.nodes)) for c in candidates)
         self._put(self._key("pool", dfg, constraints, model, limits,
                             max_per_block),
@@ -256,18 +270,21 @@ class SearchCache:
     def has_single(self, dfg: DataFlowGraph, constraints: Constraints,
                    model: CostModel,
                    limits: Optional[SearchLimits]) -> bool:
+        """Presence check for a single-cut entry (no decode, no stats)."""
         return self._key("single", dfg, constraints, model, limits) \
             in self.store
 
     def has_multi(self, dfg: DataFlowGraph, constraints: Constraints,
                   num_cuts: int, model: CostModel,
                   limits: Optional[SearchLimits]) -> bool:
+        """Presence check for a multi-cut entry (no decode, no stats)."""
         return self._key("multi", dfg, constraints, model, limits,
                          num_cuts) in self.store
 
     def has_pool(self, dfg: DataFlowGraph, constraints: Constraints,
                  model: CostModel, limits: Optional[SearchLimits],
                  max_per_block: int) -> bool:
+        """Presence check for a candidate-pool entry (no decode)."""
         return self._key("pool", dfg, constraints, model, limits,
                          max_per_block) in self.store
 

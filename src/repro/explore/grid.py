@@ -75,6 +75,10 @@ class SweepSpec:
             make that grid point report ``n/a``, like the paper's note.
         area_budget: silicon budget (MAC units) for the ``area`` rows.
         max_per_block: candidate-pool depth for ``area`` rows.
+        measure: additionally *execute* each grid point's selection
+            (rewrite the program and run it through
+            :mod:`repro.exec`); rows gain ``measured_speedup`` and
+            ``measured_identical`` columns.
     """
 
     workloads: Tuple[str, ...]
@@ -88,6 +92,7 @@ class SweepSpec:
     max_nodes: int = 40
     area_budget: float = 2.0
     max_per_block: int = 32
+    measure: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workloads", tuple(self.workloads))
@@ -122,6 +127,7 @@ class SweepSpec:
     # ------------------------------------------------------------------
     @property
     def limits(self) -> Optional[SearchLimits]:
+        """The spec's ``limit`` as a ``SearchLimits`` (None = unbounded)."""
         if self.limit is None:
             return None
         return SearchLimits(max_considered=self.limit)
@@ -141,6 +147,7 @@ class SweepSpec:
         return points
 
     def describe(self) -> str:
+        """Axis sizes and total point count, for progress echoes."""
         return (f"{len(self.workloads)} workload(s) x "
                 f"{len(self.ports)} port pair(s) x "
                 f"{len(self.ninstrs)} ninstr value(s) x "
@@ -149,4 +156,5 @@ class SweepSpec:
                 f"{len(self.expand())} points")
 
     def to_dict(self) -> dict:
+        """Every field as a flat dict (the JSON artifact's ``spec``)."""
         return {f.name: getattr(self, f.name) for f in fields(self)}

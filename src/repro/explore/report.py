@@ -17,8 +17,8 @@ from .runner import SweepOutcome
 #: Flat columns shared by the CSV artifact and external tooling.
 CSV_COLUMNS = [
     "workload", "nin", "nout", "ninstr", "algorithm", "model", "status",
-    "speedup", "total_merit", "num_instructions", "complete",
-    "cuts_considered", "elapsed_s",
+    "speedup", "measured_speedup", "measured_identical", "total_merit",
+    "num_instructions", "complete", "cuts_considered", "elapsed_s",
 ]
 
 
@@ -61,6 +61,18 @@ def _cell(row: Optional[dict]) -> str:
         return "." .rjust(9)
     if row["status"] != "ok":
         return "n/a".rjust(9)
+    if "measured_speedup" in row:
+        # Measured (executed) speedup wins over the static estimate;
+        # '!' marks a bit-exactness failure (should never happen), '*'
+        # still marks an exhausted search budget.
+        if not row.get("measured_identical", True):
+            flag = "!"
+        else:
+            flag = "" if row.get("complete") else "*"
+        value = row["measured_speedup"]
+        if value is None:       # JSON-safe stand-in for infinity
+            return f"{'inf':>8s}{flag or ' '}"
+        return f"{value:8.3f}{flag or ' '}"
     flag = "" if row.get("complete") else "*"
     return f"{row['speedup']:8.3f}{flag or ' '}"
 

@@ -27,6 +27,7 @@ asserts and ``benchmarks/bench_sweep.py`` measures.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -172,6 +173,8 @@ class SweepOutcome:
 
     @property
     def points_per_second(self) -> float:
+        """Grid throughput over warm + evaluate time (the headline
+        metric of ``benchmarks/bench_sweep.py``)."""
         return len(self.rows) / max(self.sweep_s, 1e-9)
 
 
@@ -182,6 +185,7 @@ def _run_point(
     model,
     cache: Optional[SearchCache],
     workers: Optional[int],
+    baselines: Optional[Dict[Tuple[str, str], tuple]] = None,
 ) -> dict:
     """Evaluate one grid point through the ordinary algorithms."""
     limits = spec.limits
@@ -230,8 +234,43 @@ def _run_point(
         })
         return row
     row.update(_result_fields(result, point, spec, model))
+    if spec.measure:
+        row.update(_measure_fields(app, result, point, spec, model,
+                                   baselines))
     row["elapsed_s"] = time.perf_counter() - start
     return row
+
+
+def _measure_fields(app: Application, result: SelectionResult,
+                    point: SweepPoint, spec: SweepSpec, model,
+                    baselines: Optional[Dict[Tuple[str, str], tuple]],
+                    ) -> dict:
+    """Execute the point's selection (repro.exec) and report the
+    measured — not merely estimated — speedup for the row.  The
+    baseline run depends only on (workload, model, n), so it is
+    computed once per pair and shared across the grid via *baselines*."""
+    from ..exec import measure_selection
+    from ..exec.speedup import measure_baseline
+
+    baseline = None
+    if baselines is not None:
+        key = (point.workload, point.model)
+        baseline = baselines.get(key)
+        if baseline is None:
+            baseline = measure_baseline(app, model, n=spec.n)
+            baselines[key] = baseline
+    measured = measure_selection(app, result, model, n=spec.n,
+                                 baseline=baseline)
+    return {
+        # None instead of inf keeps the JSON artifact strict.
+        "measured_speedup": (measured.speedup
+                             if math.isfinite(measured.speedup) else None),
+        "measured_identical": measured.identical,
+        "measured_baseline_cycles": measured.baseline_cycles,
+        "measured_cycles": measured.ise_cycles,
+        "rewritten_blocks": measured.rewritten_blocks,
+        "skipped_cuts": measured.skipped_cuts,
+    }
 
 
 def _result_fields(result: SelectionResult, point: SweepPoint,
@@ -309,10 +348,12 @@ def run_sweep(
             f"{len(cache)} cache entries in {outcome.warm_s:.2f}s")
 
     models = {name: resolve_model(name) for name in spec.models}
+    baselines: Dict[Tuple[str, str], tuple] = {}
     start = time.perf_counter()
     for point in spec.expand():
         row = _run_point(point, apps[point.workload], spec,
-                         models[point.model], cache, workers)
+                         models[point.model], cache, workers,
+                         baselines=baselines)
         outcome.rows.append(row)
     outcome.points_s = time.perf_counter() - start
 

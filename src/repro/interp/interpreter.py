@@ -102,6 +102,21 @@ class Interpreter:
                     value = self._value(insn.operands[1], regs)
                     self.memory.store(insn.array, index, value)
                     continue
+                if op is Opcode.ISE:
+                    # Fused custom instruction (repro.exec): evaluate the
+                    # bound AFU functionally and write back every output
+                    # port.  The AFU shares evaluate_pure_op, so results
+                    # are bit-identical to the software it replaced.
+                    values = [self._value(a, regs) for a in insn.operands]
+                    try:
+                        outputs = insn.afu.evaluate(values)
+                    except ZeroDivisionError:
+                        raise TrapError(
+                            f"trap inside custom instruction {insn} "
+                            f"(division by zero)")
+                    for dest, value in zip(insn.dests, outputs):
+                        regs[dest] = value
+                    continue
                 if op is Opcode.CALL:
                     call_args = [self._value(a, regs)
                                  for a in insn.operands]

@@ -142,6 +142,39 @@ class Instruction:
                            self.array, self.callee, self.targets)
 
 
+class ISEInstruction(Instruction):
+    """A fused custom instruction bound to an AFU.
+
+    Produced only by the ISE rewriter (:mod:`repro.exec.rewrite`).  Unlike
+    every other instruction it may define *several* registers — one per
+    AFU output port — carried in :attr:`dests` (``dest`` stays ``None``).
+    ``operands`` hold the input-port values in port order; ``afu`` is the
+    bound functional unit (anything with ``evaluate(values) -> list`` and
+    integer ``latency_cycles``), which the interpreter dispatches to.
+    """
+
+    __slots__ = ("afu", "dests")
+
+    def __init__(self, afu, operands: Sequence[Operand],
+                 dests: Sequence[str]) -> None:
+        self.afu = afu
+        self.dests: Tuple[str, ...] = tuple(dests)
+        super().__init__(Opcode.ISE, None, operands)
+
+    def defs(self) -> List[str]:
+        """All registers written by the custom instruction."""
+        return list(self.dests)
+
+    def copy(self) -> "ISEInstruction":
+        return ISEInstruction(self.afu, self.operands, self.dests)
+
+    def __str__(self) -> str:
+        outs = ", ".join(f"%{d}" for d in self.dests)
+        args = ", ".join(str(o) for o in self.operands)
+        name = getattr(self.afu, "name", "afu")
+        return f"{outs} = ise {name}({args})"
+
+
 # ----------------------------------------------------------------------
 # Convenience constructors, used heavily by the frontend and by tests.
 # ----------------------------------------------------------------------
@@ -190,6 +223,6 @@ def copy_reg(dest: str, src: Operand) -> Instruction:
 
 
 __all__ = [
-    "Instruction", "binop", "unop", "select", "load", "store", "call",
-    "br", "jmp", "ret", "copy_reg", "Const", "Reg",
+    "Instruction", "ISEInstruction", "binop", "unop", "select", "load",
+    "store", "call", "br", "jmp", "ret", "copy_reg", "Const", "Reg",
 ]

@@ -60,6 +60,11 @@ class Opcode(enum.Enum):
     # Calls (never AFU-legal).
     CALL = "call"
 
+    # A fused custom instruction produced by the ISE rewriter
+    # (:mod:`repro.exec.rewrite`).  Never emitted by the frontend and
+    # never itself eligible for further specialisation.
+    ISE = "ise"
+
     # Terminators.
     BR = "br"            # br cond, then_label, else_label
     JMP = "jmp"
@@ -108,6 +113,10 @@ _OPINFO = {
     Opcode.STORE: OpInfo(2, False, is_memory=True, has_side_effects=True,
                          afu_legal=False),
     Opcode.CALL: OpInfo(0, True, has_side_effects=True, afu_legal=False),
+    # ISE writes multiple registers through ISEInstruction.dests (so
+    # has_dest is False at the base-class level) and must be opaque to
+    # every optimisation pass, hence has_side_effects.
+    Opcode.ISE: OpInfo(0, False, has_side_effects=True, afu_legal=False),
     Opcode.BR: OpInfo(1, False, is_terminator=True, afu_legal=False),
     Opcode.JMP: OpInfo(0, False, is_terminator=True, afu_legal=False),
     Opcode.RET: OpInfo(0, False, is_terminator=True, afu_legal=False),

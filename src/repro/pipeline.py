@@ -39,6 +39,7 @@ class Application:
         return max(candidates, key=lambda d: d.weight * d.n)
 
     def describe(self) -> str:
+        """Block inventory sorted by heat (weight x size), for reports."""
         lines = [f"application {self.name} (entry {self.entry}):"]
         for dfg in sorted(self.dfgs, key=lambda d: -d.weight * d.n):
             lines.append(

@@ -222,6 +222,7 @@ WORKLOADS: Dict[str, Workload] = {
 
 
 def get_workload(name: str) -> Workload:
+    """Look up a registered workload; ``KeyError`` lists known names."""
     try:
         return WORKLOADS[name]
     except KeyError:

@@ -1,0 +1,102 @@
+"""Tests of the speedup driver, table formatting and CLI verb."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import SearchLimits
+from repro.exec import format_speedup_table, run_speedup
+
+
+class TestRunSpeedup:
+    def test_rows_are_complete_and_consistent(self):
+        rows = run_speedup(["fir", "crc32"], nin=4, nout=2, ninstr=8,
+                           limits=SearchLimits(max_considered=60_000),
+                           n=32)
+        assert [r.workload for r in rows] == ["fir", "crc32"]
+        for row in rows:
+            assert row.identical
+            assert row.measured_speedup >= 1.0
+            assert row.baseline_cycles > row.ise_cycles > 0
+            saved = row.baseline_cycles - row.ise_cycles
+            assert saved == pytest.approx(row.total_merit)
+            assert row.n == 32
+
+    def test_maxmiso_algorithm(self):
+        [row] = run_speedup(["mixer"], algorithm="maxmiso", n=32)
+        assert row.identical
+        assert row.algorithm == "MaxMISO"
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            run_speedup(["fir"], algorithm="bogus")
+
+    def test_optimal_degrades_per_workload(self):
+        # adpcm-encode has a >40-node block: Optimal must yield an n/a
+        # row for it and still measure the other workload, like the
+        # paper's own Fig. 11 note (and `repro compare`).
+        rows = run_speedup(["adpcm-encode", "crc32"],
+                           algorithm="optimal", n=32,
+                           limits=SearchLimits(max_considered=60_000))
+        assert [r.status for r in rows] == ["n/a", "ok"]
+        assert "adpcm_encode" in rows[0].error
+        assert rows[1].identical and rows[1].measured_speedup >= 1.0
+        table = format_speedup_table(rows)
+        assert "n/a" in table
+
+    def test_area_algorithm(self):
+        [row] = run_speedup(["mixer"], algorithm="area", area_budget=1.5,
+                            n=32)
+        assert row.identical
+        assert row.algorithm.startswith("AreaConstrained")
+
+    def test_table_formatting(self):
+        rows = run_speedup(["fir"], ninstr=4, n=32,
+                           limits=SearchLimits(max_considered=60_000))
+        table = format_speedup_table(rows)
+        assert "fir" in table
+        assert "bit-exact" in table
+        assert "yes" in table
+
+
+class TestSpeedupCLI:
+    def test_speedup_verb(self, capsys):
+        code = main(["speedup", "--workloads", "fir", "--n", "32",
+                     "--ninstr", "4", "--limit", "60000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fir" in out
+        assert "measured" in out
+
+    def test_speedup_json_artifact(self, capsys, tmp_path):
+        path = tmp_path / "speedup.json"
+        code = main(["speedup", "--workloads", "crc32", "--n", "32",
+                     "--limit", "60000", "--json", str(path)])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        [row] = payload["rows"]
+        assert row["workload"] == "crc32"
+        assert row["identical"] is True
+        assert row["measured_speedup"] >= 1.0
+
+    def test_speedup_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["speedup", "--workloads", "nope"])
+
+
+class TestSweepMeasure:
+    def test_sweep_measure_columns(self, capsys, tmp_path):
+        csv_path = tmp_path / "rows.csv"
+        code = main(["sweep", "--workloads", "fir", "--ports", "4x2",
+                     "--ninstr", "2", "--algos", "iterative",
+                     "--n", "16", "--limit", "30000", "--measure",
+                     "--quiet", "--csv", str(csv_path)])
+        assert code == 0
+        header, first = csv_path.read_text().splitlines()[:2]
+        assert "measured_speedup" in header
+        cells = dict(zip(header.split(","), first.split(",")))
+        assert cells["measured_identical"] == "True"
+        assert float(cells["measured_speedup"]) >= 1.0
