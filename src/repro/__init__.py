@@ -13,16 +13,17 @@ datapath generation.
 
 Quickstart::
 
-    from repro import (Constraints, measure_selection,
-                       prepare_application, select_iterative)
+    from repro import Session
 
-    app = prepare_application("adpcm-decode")
-    result = select_iterative(app.dfgs, Constraints(nin=4, nout=2,
-                                                    ninstr=16))
+    session = Session()      # persistent store: ~/.cache/repro
+    result = session.select("adpcm-decode", ninstr=16)
     print(result.describe())
-    measured = measure_selection(app, result)   # rewrite + execute
-    print(f"measured speedup {measured.speedup:.3f}x "
-          f"(bit-exact: {measured.identical})")
+    rows = session.speedup(["adpcm-decode"])   # rewrite + execute
+    print(f"measured speedup {rows[0].measured_speedup:.3f}x "
+          f"(bit-exact: {rows[0].identical})")
+    # Re-running this script warm-starts from the store: compilation,
+    # profiling, the exponential searches and the baseline run are all
+    # read back instead of recomputed — bit-identical, near-instant.
 """
 
 from .core import (
@@ -56,9 +57,11 @@ from .exec import (
 from .explore import SearchCache, SweepOutcome, SweepSpec, run_sweep
 from .hwmodel import CostModel, estimated_speedup, uniform_cost_model
 from .pipeline import Application, compile_workload, prepare_application
+from .session import Session
+from .store import ArtifactStore, StoreStats, default_store_dir
 from .workloads import WORKLOADS, Workload, get_workload, paper_benchmarks
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Constraints", "Cut", "evaluate_cut",
@@ -69,6 +72,7 @@ __all__ = [
     "select_clubbing", "select_maxmiso", "BlockTooLargeError",
     "CostModel", "uniform_cost_model", "estimated_speedup",
     "SweepSpec", "SweepOutcome", "SearchCache", "run_sweep",
+    "Session", "ArtifactStore", "StoreStats", "default_store_dir",
     "FusedAFU", "RewriteResult", "rewrite_module",
     "MeasuredSpeedup", "SpeedupRow", "measure_selection", "run_speedup",
     "Application", "prepare_application", "compile_workload",

@@ -2,7 +2,7 @@
 
 Subcommands:
 
-* ``list`` — show the registered workloads;
+* ``list`` — show the registered workloads (``--json`` for machines);
 * ``ir`` — dump the optimised IR of a workload;
 * ``identify`` — best single cut of the hottest block (Problem 1);
 * ``select`` — choose up to Ninstr instructions with any algorithm
@@ -16,7 +16,16 @@ Subcommands:
   selected instructions: rewrite each workload, run baseline and
   rewritten programs, check outputs bit-for-bit, report cycle counts
   (the paper's Fig. 9/10 numbers);
-* ``afu`` — generate Verilog for the selected custom instructions.
+* ``afu`` — generate Verilog for the selected custom instructions;
+* ``cache`` — inspect or maintain the persistent artifact store.
+
+Every verb bootstraps one shared :class:`repro.session.Session`, so the
+expensive products (compiled modules, profiles, search results,
+baseline runs) persist in the content-addressed store across
+invocations: a repeated command warm-starts and prints byte-identical
+results.  ``--no-store`` disables persistence for one invocation,
+``--store-dir`` relocates it, and the ``REPRO_STORE`` environment
+variable sets the default root (or turns the store off globally).
 """
 
 from __future__ import annotations
@@ -26,27 +35,51 @@ import sys
 import time
 from typing import List, Optional, Tuple
 
-from .afu import build_datapath, emit_verilog
-from .core import (
-    BlockTooLargeError,
-    Constraints,
-    SearchLimits,
-    find_best_cut,
-    select_area_constrained,
-    select_clubbing,
-    select_iterative,
-    select_maxmiso,
-    select_optimal,
-)
-from .hwmodel import CostModel
-from .pipeline import prepare_application
+from . import __version__
+from .core import BlockTooLargeError, Constraints, SearchLimits
+from .session import Session
+from .store.artifacts import ArtifactStore, resolve_store, stock_store_dir
 from .workloads import WORKLOADS
 
-_ALGORITHMS = {
-    "iterative": select_iterative,
-    "clubbing": select_clubbing,
-    "maxmiso": select_maxmiso,
-}
+
+def _add_store(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--store", dest="store", action="store_true",
+                       default=None,
+                       help="use the persistent artifact store "
+                            "(the default; see also $REPRO_STORE)")
+    group.add_argument("--no-store", dest="store", action="store_false",
+                       help="disable the persistent store for this "
+                            "invocation (results are identical, later "
+                            "invocations start cold)")
+    parser.add_argument("--store-dir", default=None, metavar="PATH",
+                        help="store root (default: $REPRO_STORE, else "
+                             "~/.cache/repro)")
+
+
+def _resolve_store_args(args):
+    """Store selected by the flags: ``--no-store`` wins, ``--store-dir``
+    names a root, an explicit ``--store`` overrides even a
+    ``$REPRO_STORE`` off-switch (falling back to the stock default
+    root), and otherwise the environment decides."""
+    if getattr(args, "store", None) is False:
+        if getattr(args, "store_dir", None):
+            print("note: --no-store wins over --store-dir "
+                  f"{args.store_dir}; nothing will be persisted",
+                  file=sys.stderr)
+        return None
+    if getattr(args, "store_dir", None):
+        return resolve_store(args.store_dir)
+    store = resolve_store("auto")
+    if store is None and getattr(args, "store", None) is True:
+        store = ArtifactStore(stock_store_dir())
+    return store
+
+
+def _make_session(args) -> Session:
+    """The one shared Session bootstrap behind every verb."""
+    return Session(store=_resolve_store_args(args),
+                   workers=getattr(args, "workers", None))
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -61,6 +94,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="register-file write ports (default 2)")
     parser.add_argument("--limit", type=int, default=None,
                         help="max cuts considered per search")
+    _add_store(parser)
 
 
 def _add_workers(parser: argparse.ArgumentParser) -> None:
@@ -76,7 +110,22 @@ def _limits(args) -> Optional[SearchLimits]:
     return SearchLimits(max_considered=args.limit)
 
 
-def cmd_list(_args) -> int:
+def cmd_list(args) -> int:
+    if args.json:
+        import json
+
+        records = [
+            {
+                "name": name,
+                "entry": workload.entry,
+                "default_n": workload.default_n,
+                "description": workload.description,
+                "paper_benchmark": workload.paper_benchmark,
+            }
+            for name, workload in sorted(WORKLOADS.items())
+        ]
+        print(json.dumps(records, indent=2, sort_keys=True))
+        return 0
     for name, workload in sorted(WORKLOADS.items()):
         star = "*" if workload.paper_benchmark else " "
         print(f"{star} {name:14s} {workload.description}")
@@ -85,7 +134,8 @@ def cmd_list(_args) -> int:
 
 
 def cmd_ir(args) -> int:
-    app = prepare_application(args.workload, n=args.n, unroll=args.unroll)
+    session = _make_session(args)
+    app = session.prepare(args.workload, n=args.n, unroll=args.unroll)
     print(app.module)
     print()
     print(app.describe())
@@ -93,15 +143,18 @@ def cmd_ir(args) -> int:
 
 
 def cmd_identify(args) -> int:
-    app = prepare_application(args.workload, n=args.n, unroll=args.unroll)
+    session = _make_session(args)
+    app = session.prepare(args.workload, n=args.n, unroll=args.unroll)
     dfg = app.hot_dfg
-    constraints = Constraints(nin=args.nin, nout=args.nout)
     start = time.time()
-    result = find_best_cut(dfg, constraints, limits=_limits(args))
+    result = session.identify(args.workload, nin=args.nin, nout=args.nout,
+                              limits=_limits(args), n=args.n,
+                              unroll=args.unroll)
     elapsed = time.time() - start
     print(f"hot block {dfg.name}: {dfg.n} nodes, weight {dfg.weight:g}")
+    # Timing goes to stderr: stdout stays byte-identical warm vs. cold.
     print(f"searched {result.stats.cuts_considered} cuts in "
-          f"{elapsed:.2f}s (complete={result.complete})")
+          f"{elapsed:.2f}s (complete={result.complete})", file=sys.stderr)
     if result.cut is None:
         print("no profitable cut under these constraints")
         return 1
@@ -112,42 +165,28 @@ def cmd_identify(args) -> int:
 
 
 def cmd_select(args) -> int:
-    app = prepare_application(args.workload, n=args.n, unroll=args.unroll)
-    constraints = Constraints(nin=args.nin, nout=args.nout,
-                              ninstr=args.ninstr)
-    if args.algo == "optimal":
-        result = select_optimal(app.dfgs, constraints,
-                                limits=_limits(args),
-                                max_nodes=args.max_nodes,
-                                workers=args.workers)
-    elif args.algo == "area":
-        result = select_area_constrained(
-            app.dfgs, constraints, args.area_budget,
-            limits=_limits(args), method=args.area_method,
-            workers=args.workers)
-    else:
-        algo = _ALGORITHMS[args.algo]
-        if args.algo == "iterative":
-            result = algo(app.dfgs, constraints, limits=_limits(args),
-                          workers=args.workers)
-        else:
-            if args.workers is not None:
-                print(f"note: --workers has no effect for --algo "
-                      f"{args.algo}", file=sys.stderr)
-            result = algo(app.dfgs, constraints)
+    session = _make_session(args)
+    if (args.workers is not None
+            and args.algo in ("clubbing", "maxmiso")):
+        print(f"note: --workers has no effect for --algo {args.algo}",
+              file=sys.stderr)
+    result = session.select(
+        args.workload, algorithm=args.algo, nin=args.nin, nout=args.nout,
+        ninstr=args.ninstr, limits=_limits(args), n=args.n,
+        unroll=args.unroll, max_nodes=args.max_nodes,
+        area_budget=args.area_budget, area_method=args.area_method)
     print(result.describe())
     return 0
 
 
 def cmd_compare(args) -> int:
-    app = prepare_application(args.workload, n=args.n, unroll=args.unroll)
-    constraints = Constraints(nin=args.nin, nout=args.nout,
-                              ninstr=args.ninstr)
+    session = _make_session(args)
     limits = _limits(args) or SearchLimits(max_considered=2_000_000)
+    kwargs = dict(nin=args.nin, nout=args.nout, ninstr=args.ninstr,
+                  limits=limits, n=args.n, unroll=args.unroll)
     try:
-        optimal = select_optimal(app.dfgs, constraints, limits=limits,
-                                 max_nodes=args.max_nodes,
-                                 workers=args.workers)
+        optimal = session.select(args.workload, algorithm="optimal",
+                                 max_nodes=args.max_nodes, **kwargs)
         optimal_note = ""
     except BlockTooLargeError as exc:
         # Degrade like the paper's own Fig. 11 note (Optimal could not
@@ -157,11 +196,12 @@ def cmd_compare(args) -> int:
         optimal_note = str(exc)
     rows = [
         ("Optimal", optimal),
-        ("Iterative", select_iterative(app.dfgs, constraints,
-                                       limits=limits,
-                                       workers=args.workers)),
-        ("Clubbing", select_clubbing(app.dfgs, constraints)),
-        ("MaxMISO", select_maxmiso(app.dfgs, constraints)),
+        ("Iterative", session.select(args.workload,
+                                     algorithm="iterative", **kwargs)),
+        ("Clubbing", session.select(args.workload,
+                                    algorithm="clubbing", **kwargs)),
+        ("MaxMISO", session.select(args.workload,
+                                   algorithm="maxmiso", **kwargs)),
     ]
     print(f"{args.workload}  Nin={args.nin} Nout={args.nout} "
           f"Ninstr={args.ninstr}")
@@ -207,9 +247,7 @@ def _parse_ports(args) -> List[Tuple[int, int]]:
 
 
 def cmd_sweep(args) -> int:
-    from .explore import (
-        SweepSpec, format_table, run_sweep, write_csv, write_json,
-    )
+    from .explore import SweepSpec, format_table, write_csv, write_json
 
     try:
         spec = SweepSpec(
@@ -228,37 +266,41 @@ def cmd_sweep(args) -> int:
     except ValueError as exc:
         # A typo'd axis is a usage error, not a crash.
         raise SystemExit(f"sweep: {exc}")
+    session = _make_session(args)
     echo = (lambda line: print(line, file=sys.stderr)) \
         if not args.quiet else None
-    outcome = run_sweep(spec, use_cache=not args.no_cache,
-                        workers=args.workers, echo=echo)
+    outcome = session.sweep(spec, use_cache=not args.no_cache, echo=echo)
     print(format_table(outcome.rows))
     cache_note = ""
     if outcome.cache_stats is not None:
         cache_note = (f", cache {outcome.cache_stats['hits']} hit(s) / "
                       f"{outcome.cache_stats['misses']} miss(es)")
-    print(f"\n{len(outcome.rows)} grid points in {outcome.sweep_s:.2f}s "
-          f"({outcome.points_per_second:.2f} points/s{cache_note})")
+    # Timing footer on stderr: the stdout table is byte-identical with
+    # the store enabled, disabled or pre-warmed.
+    print(f"{len(outcome.rows)} grid points in {outcome.sweep_s:.2f}s "
+          f"({outcome.points_per_second:.2f} points/s{cache_note})",
+          file=sys.stderr)
     if args.json:
         write_json(outcome, args.json)
-        print(f"wrote {args.json}")
+        print(f"wrote {args.json}", file=sys.stderr)
     if args.csv:
         write_csv(outcome, args.csv)
-        print(f"wrote {args.csv}")
+        print(f"wrote {args.csv}", file=sys.stderr)
     return 0
 
 
 def cmd_speedup(args) -> int:
     import json
 
-    from .exec import format_speedup_table, run_speedup
+    from .exec import format_speedup_table
 
     if args.workloads.strip().lower() == "all":
         names = sorted(WORKLOADS)
     else:
         names = _csv_list(args.workloads)
+    session = _make_session(args)
     try:
-        rows = run_speedup(
+        rows = session.speedup(
             names,
             nin=args.nin,
             nout=args.nout,
@@ -267,7 +309,6 @@ def cmd_speedup(args) -> int:
             limits=_limits(args),
             n=args.n,
             unroll=args.unroll,
-            workers=args.workers,
             max_nodes=args.max_nodes,
             area_budget=args.area_budget,
         )
@@ -289,19 +330,53 @@ def cmd_speedup(args) -> int:
 
 
 def cmd_afu(args) -> int:
-    app = prepare_application(args.workload, n=args.n, unroll=args.unroll)
-    constraints = Constraints(nin=args.nin, nout=args.nout,
-                              ninstr=args.ninstr)
-    result = select_iterative(app.dfgs, constraints, limits=_limits(args),
-                              workers=args.workers)
-    if not result.cuts:
+    session = _make_session(args)
+    modules = session.afu(args.workload, ninstr=args.ninstr,
+                          nin=args.nin, nout=args.nout,
+                          limits=_limits(args), n=args.n,
+                          unroll=args.unroll)
+    if not modules:
         print("no instructions selected")
         return 1
-    for k, cut in enumerate(result.cuts):
-        afu = build_datapath(cut, name=f"ise{k}")
-        print(emit_verilog(afu))
+    for text in modules:
+        print(text)
         print()
     return 0
+
+
+def cmd_cache(args) -> int:
+    import json
+
+    store = _resolve_store_args(args)
+    if store is None:
+        print("persistent store disabled ($REPRO_STORE)", file=sys.stderr)
+        return 1
+    if args.action == "stats":
+        info = store.info()
+        if args.json:
+            print(json.dumps({
+                "root": info.root,
+                "entries": info.entries,
+                "bytes": info.bytes,
+                "kinds": info.kinds,
+            }, indent=2, sort_keys=True))
+            return 0
+        print(f"store {info.root}")
+        print(f"  {info.entries} artifact(s), {info.bytes / 1024:.1f} KiB")
+        for kind in sorted(info.kinds):
+            print(f"  {kind:10s} {info.kinds[kind]}")
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} artifact(s) from {store.root}")
+        return 0
+    if args.action == "gc":
+        removed, freed = store.gc(max_age_days=args.max_age_days)
+        print(f"removed {removed} artifact(s) older than "
+              f"{args.max_age_days:g} day(s) ({freed / 1024:.1f} KiB) "
+              f"from {store.root}")
+        return 0
+    raise SystemExit(f"unknown cache action {args.action!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -309,14 +384,21 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Automatic instruction-set extensions under "
                     "microarchitectural constraints (Atasu et al., 2003)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list workloads").set_defaults(fn=cmd_list)
+    p = sub.add_parser("list", help="list workloads")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output (name, entry, "
+                        "default_n, description)")
+    p.set_defaults(fn=cmd_list)
 
     p = sub.add_parser("ir", help="dump optimised IR")
     p.add_argument("workload")
     p.add_argument("--n", type=int, default=None)
     p.add_argument("--unroll", type=int, default=None)
+    _add_store(p)
     p.set_defaults(fn=cmd_ir)
 
     p = sub.add_parser("identify", help="best single cut (Problem 1)")
@@ -384,8 +466,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "selection (rewrite + run) and report the "
                         "measured speedup next to the estimate")
     p.add_argument("--no-cache", action="store_true",
-                   help="disable the identification memo (cold "
-                        "baseline; results are identical, just slower)")
+                   help="disable the identification memo AND the "
+                        "persistent store (cold baseline; results are "
+                        "identical, just slower)")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the machine-readable sweep record here")
     p.add_argument("--csv", default=None, metavar="PATH",
@@ -393,6 +476,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true",
                    help="suppress progress lines on stderr")
     _add_workers(p)
+    _add_store(p)
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(
@@ -425,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the machine-readable rows here")
     _add_workers(p)
+    _add_store(p)
     p.set_defaults(fn=cmd_speedup)
 
     p = sub.add_parser("afu", help="emit Verilog for selected AFUs")
@@ -432,6 +517,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers(p)
     p.add_argument("--ninstr", type=int, default=2)
     p.set_defaults(fn=cmd_afu)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect or maintain the persistent artifact store")
+    p.add_argument("action", choices=["stats", "clear", "gc"],
+                   help="stats: entry/byte counts per artifact kind; "
+                        "clear: drop everything; gc: drop old entries")
+    p.add_argument("--max-age-days", type=float, default=30.0,
+                   help="gc cutoff in days (default 30)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable stats output")
+    p.add_argument("--store-dir", default=None, metavar="PATH",
+                   help="store root (default: $REPRO_STORE, else "
+                        "~/.cache/repro)")
+    p.set_defaults(fn=cmd_cache)
 
     return parser
 

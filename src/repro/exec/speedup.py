@@ -28,6 +28,7 @@ from ..core.selection import SelectionResult
 from ..hwmodel.latency import CostModel
 from ..interp.memory import Memory
 from ..pipeline import Application, prepare_application
+from ..store.keys import callable_fingerprint, canonical_digest, model_digest
 from ..workloads.registry import get_workload
 from .cycles import run_with_cycles
 from .rewrite import rewrite_module
@@ -100,22 +101,38 @@ class MeasuredSpeedup:
 
 
 def measure_baseline(app: Application, model: Optional[CostModel] = None,
-                     n: Optional[int] = None):
+                     n: Optional[int] = None, store=None):
     """Run the *unmodified* program once and return its accounting.
 
     Returns ``(CycleReport, Memory)`` — the baseline cycles plus the
     final memory image the rewritten run is compared against.  Baseline
     execution depends only on (workload, n, model), never on ports or
     algorithms, so sweeps measuring many grid points per workload
-    compute this once and pass it to :func:`measure_selection`.
+    compute this once and pass it to :func:`measure_selection`; a
+    persistent *store* additionally shares the artifact across
+    invocations and between the sweep and speedup paths (keyed on the
+    workload source, the unroll-sensitive module text being irrelevant —
+    the baseline interprets ``app.module`` as prepared, so the key also
+    covers the preparation parameters via the module's own content).
     """
     workload = get_workload(app.name)
     model = model or CostModel()
     size = n if n is not None else workload.default_n
+    key = None
+    if store is not None:
+        key = canonical_digest("baseline-v1", workload.source,
+                               workload.entry, str(app.module),
+                               callable_fingerprint(workload.driver),
+                               model_digest(model), size)
+        hit = store.get("baseline", key)
+        if hit is not None:
+            return hit
     memory = Memory(app.module)
     args = workload.driver(memory, size)
     report = run_with_cycles(app.module, app.entry, args,
                              memory=memory, model=model)
+    if store is not None:
+        store.put("baseline", key, (report, memory))
     return report, memory
 
 
@@ -185,21 +202,27 @@ def measure_selection(
 ALGORITHMS = ("iterative", "optimal", "clubbing", "maxmiso", "area")
 
 
-def _select(algorithm, dfgs, cons, model, limits, workers, max_nodes,
-            area_budget):
-    """Run one selection algorithm by name (all five families)."""
+def dispatch_selection(algorithm, dfgs, cons, model, limits, workers,
+                       max_nodes, area_budget, area_method="knapsack",
+                       cache=None):
+    """Run one selection algorithm by name (all five families) — the
+    single dispatcher behind ``Session.select``, ``repro select`` and
+    ``repro speedup``, so every path wires the same knobs."""
     if algorithm == "iterative":
-        return select_iterative(dfgs, cons, model, limits, workers=workers)
+        return select_iterative(dfgs, cons, model, limits, workers=workers,
+                                cache=cache)
     if algorithm == "optimal":
         return select_optimal(dfgs, cons, model, limits,
-                              max_nodes=max_nodes, workers=workers)
+                              max_nodes=max_nodes, workers=workers,
+                              cache=cache)
     if algorithm == "clubbing":
         return select_clubbing(dfgs, cons, model)
     if algorithm == "maxmiso":
         return select_maxmiso(dfgs, cons, model)
     if algorithm == "area":
         return select_area_constrained(dfgs, cons, area_budget, model,
-                                       limits, workers=workers)
+                                       limits, method=area_method,
+                                       workers=workers, cache=cache)
     known = ", ".join(ALGORITHMS)
     raise ValueError(f"unknown algorithm {algorithm!r}; known: {known}")
 
@@ -217,6 +240,10 @@ def run_speedup(
     workers: Optional[int] = None,
     max_nodes: int = 40,
     area_budget: float = 2.0,
+    area_method: str = "knapsack",
+    store=None,
+    cache=None,
+    prepare=None,
 ) -> List[SpeedupRow]:
     """Measure end-to-end speedup for every workload in *workloads*.
 
@@ -231,6 +258,13 @@ def run_speedup(
     §9).  ``identical=False`` always means a miscompile.  ``max_nodes``
     guards the ``optimal`` algorithm (``BlockTooLargeError`` beyond
     it); ``area_budget`` (MAC units) applies to ``area``.
+
+    ``store``/``cache``/``prepare`` plug the persistent layer in
+    (normally via :meth:`repro.session.Session.speedup` — ``prepare``
+    is a ``(name, n, unroll) -> Application`` callable such as the
+    session's memoised :meth:`~repro.session.Session.prepare`):
+    preparation, identification and the baseline runs warm-start from
+    earlier invocations, and the rows stay bit-identical either way.
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}; known: "
@@ -240,11 +274,17 @@ def run_speedup(
     for name in workloads:
         workload = get_workload(name)
         size = n if n is not None else workload.default_n
-        app = prepare_application(name, n=size, unroll=unroll)
+        if prepare is not None:
+            app = prepare(name, size, unroll)
+        else:
+            app = prepare_application(name, n=size, unroll=unroll,
+                                      store=store)
         constraints = Constraints(nin=nin, nout=nout, ninstr=ninstr)
         try:
-            selection = _select(algorithm, app.dfgs, constraints, model,
-                                limits, workers, max_nodes, area_budget)
+            selection = dispatch_selection(
+                algorithm, app.dfgs, constraints, model, limits, workers,
+                max_nodes, area_budget, area_method=area_method,
+                cache=cache)
         except BlockTooLargeError as exc:
             # Degrade per workload (like `repro compare`'s n/a row)
             # instead of aborting the whole table.
@@ -257,7 +297,9 @@ def run_speedup(
                 steps_baseline=0, steps_ise=0, status="n/a",
                 error=str(exc)))
             continue
-        measured = measure_selection(app, selection, model, n=size)
+        baseline = measure_baseline(app, model, n=size, store=store)
+        measured = measure_selection(app, selection, model, n=size,
+                                     baseline=baseline)
         rows.append(SpeedupRow(
             workload=name,
             algorithm=selection.algorithm,

@@ -37,11 +37,18 @@ The cache object itself is the duck-typed ``cache=`` hook accepted by
 strategies; :mod:`repro.explore.runner` shares one across processes by
 warming per-``(block, constraint)`` entries in workers and merging the
 returned entries into the parent's store.
+
+**Persistence.**  A cache may be *backed* by a
+:class:`repro.store.ArtifactStore`: in-memory misses fall through to
+the disk store (hits promote into memory), puts spill to disk, and —
+because the disk tier is shared at the filesystem level — warm workers
+and later processes inherit every entry without pickled round-trips.
+Keys are already pure content (digests plus plain numbers), so the
+in-memory tuple key hashes directly into a store key.
 """
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -53,52 +60,14 @@ from ..core.single_cut import SearchResult
 from ..hwmodel.latency import CostModel
 from ..hwmodel.merit import cut_area
 from ..ir.dfg import DataFlowGraph
+from ..store.keys import (
+    SEARCH_VERSION,
+    dfg_digest,
+    limits_key as _limits_key,
+    model_digest,
+)
 
-_DIGEST_ATTR = "_explore_digest"
-
-
-def dfg_digest(dfg: DataFlowGraph) -> str:
-    """SHA-256 of the search-relevant structure of *dfg* (memoised on
-    the graph object — a DataFlowGraph is immutable once built)."""
-    cached = getattr(dfg, _DIGEST_ATTR, None)
-    if cached is not None:
-        return cached
-    nodes = []
-    for node in dfg.nodes:
-        if node.opcode is None:     # collapsed supernode
-            op = ("super",) + tuple(i.opcode.value for i in node.insns)
-        else:
-            op = node.opcode.value
-        nodes.append((op, node.forbidden, node.forced_out))
-    canonical = (
-        "dfg-v1",
-        dfg.weight,
-        tuple(nodes),
-        tuple(tuple(row) for row in dfg.succs),
-        tuple(tuple(row) for row in dfg.node_inputs),
-        tuple(tuple(src) for src in dfg.operand_sources),
-    )
-    digest = hashlib.sha256(repr(canonical).encode()).hexdigest()
-    setattr(dfg, _DIGEST_ATTR, digest)
-    return digest
-
-
-def model_digest(model: CostModel) -> str:
-    """SHA-256 of the cost tables (content, not object identity)."""
-    canonical = (
-        "model-v1",
-        tuple(sorted((op.value, v) for op, v in model.sw_latency.items())),
-        tuple(sorted((op.value, v) for op, v in model.hw_delay.items())),
-        tuple(sorted((op.value, v) for op, v in model.area.items())),
-        model.const_shift_free,
-    )
-    return hashlib.sha256(repr(canonical).encode()).hexdigest()
-
-
-def _limits_key(limits: Optional[SearchLimits]) -> Tuple:
-    if limits is None:
-        return (None, False)
-    return (limits.max_considered, limits.use_upper_bound)
+__all__ = ["CacheStats", "SearchCache", "dfg_digest", "model_digest"]
 
 
 @dataclass
@@ -116,16 +85,28 @@ class CacheStats:
 class SearchCache:
     """Process-shared memo of identification results (see module doc).
 
-    The backing ``store`` is any mutable mapping; the default is a plain
-    dict.  :meth:`entries`/:meth:`merge` move entries between caches —
-    the sweep runner's workers each fill a local cache and the parent
-    merges what they return, which shares the memo across processes
-    without requiring OS-level shared memory (unavailable in some
-    sandboxes; cf. the silent serial fallback of ``core/parallel.py``).
+    The in-memory ``store`` is any mutable mapping; the default is a
+    plain dict.  :meth:`entries`/:meth:`merge` move entries between
+    caches — the sweep runner's workers each fill a local cache and the
+    parent merges what they return, which shares the memo across
+    processes without requiring OS-level shared memory (unavailable in
+    some sandboxes; cf. the silent serial fallback of
+    ``core/parallel.py``).
+
+    ``backing`` optionally adds a persistent tier (an
+    :class:`repro.store.ArtifactStore`): gets fall through to it on an
+    in-memory miss and promote on hit, puts spill to it, and presence
+    checks consult it — which is how warm-start sessions and sibling
+    worker processes share one memo through the filesystem.
     """
 
-    def __init__(self, store: Optional[dict] = None) -> None:
+    #: Artifact kind of spilled entries in the backing store.
+    KIND = "search"
+
+    def __init__(self, store: Optional[dict] = None,
+                 backing=None) -> None:
         self.store: dict = store if store is not None else {}
+        self.backing = backing
         self.stats = CacheStats()
         # Per-model digest memo with an identity guard (recycled id()s
         # must never alias a different model), as in dfg.cost_vectors.
@@ -146,12 +127,19 @@ class SearchCache:
              model: CostModel, limits: Optional[SearchLimits],
              extra: Optional[int] = None) -> Tuple:
         # ninstr is excluded on purpose: identification never depends
-        # on the instruction budget.
-        return (kind, dfg_digest(dfg), constraints.nin, constraints.nout,
-                self._model_digest(model), _limits_key(limits), extra)
+        # on the instruction budget.  SEARCH_VERSION retires persisted
+        # entries wholesale when engine semantics change.
+        return (kind, SEARCH_VERSION, dfg_digest(dfg), constraints.nin,
+                constraints.nout, self._model_digest(model),
+                _limits_key(limits), extra)
 
     def _get(self, key: Tuple):
         value = self.store.get(key)
+        if value is None and self.backing is not None:
+            value = self.backing.get(
+                self.KIND, self.backing.key(self.KIND, key))
+            if value is not None:
+                self.store[key] = value     # promote into memory
         if value is None:
             self.stats.misses += 1
         else:
@@ -161,6 +149,9 @@ class SearchCache:
     def _put(self, key: Tuple, value) -> None:
         self.store[key] = value
         self.stats.puts += 1
+        if self.backing is not None:
+            self.backing.put(self.KIND, self.backing.key(self.KIND, key),
+                             value)
 
     # ------------------------------------------------------------------
     # Single-cut searches (find_best_cut).
@@ -267,26 +258,33 @@ class SearchCache:
     # the sweep planner to skip warm jobs a pre-warmed cache already
     # covers.
     # ------------------------------------------------------------------
+    def _has(self, key: Tuple) -> bool:
+        if key in self.store:
+            return True
+        return (self.backing is not None
+                and self.backing.contains(
+                    self.KIND, self.backing.key(self.KIND, key)))
+
     def has_single(self, dfg: DataFlowGraph, constraints: Constraints,
                    model: CostModel,
                    limits: Optional[SearchLimits]) -> bool:
         """Presence check for a single-cut entry (no decode, no stats)."""
-        return self._key("single", dfg, constraints, model, limits) \
-            in self.store
+        return self._has(self._key("single", dfg, constraints, model,
+                                   limits))
 
     def has_multi(self, dfg: DataFlowGraph, constraints: Constraints,
                   num_cuts: int, model: CostModel,
                   limits: Optional[SearchLimits]) -> bool:
         """Presence check for a multi-cut entry (no decode, no stats)."""
-        return self._key("multi", dfg, constraints, model, limits,
-                         num_cuts) in self.store
+        return self._has(self._key("multi", dfg, constraints, model,
+                                   limits, num_cuts))
 
     def has_pool(self, dfg: DataFlowGraph, constraints: Constraints,
                  model: CostModel, limits: Optional[SearchLimits],
                  max_per_block: int) -> bool:
         """Presence check for a candidate-pool entry (no decode)."""
-        return self._key("pool", dfg, constraints, model, limits,
-                         max_per_block) in self.store
+        return self._has(self._key("pool", dfg, constraints, model,
+                                   limits, max_per_block))
 
     # ------------------------------------------------------------------
     # Cross-process sharing.
@@ -296,11 +294,16 @@ class SearchCache:
         return list(self.store.items())
 
     def merge(self, entries) -> None:
-        """Adopt entries computed elsewhere (first writer wins)."""
+        """Adopt entries computed elsewhere (first writer wins); spilled
+        to the backing store too so merged warm work persists."""
         for key, value in entries:
             if key not in self.store:
                 self.store[key] = value
                 self.stats.puts += 1
+                if self.backing is not None:
+                    skey = self.backing.key(self.KIND, key)
+                    if not self.backing.contains(self.KIND, skey):
+                        self.backing.put(self.KIND, skey, value)
 
     def __len__(self) -> int:
         return len(self.store)

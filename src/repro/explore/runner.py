@@ -47,6 +47,7 @@ from ..core.select_area import _block_candidates, select_area_constrained
 from ..core.selection import SelectionResult
 from ..hwmodel.merit import cut_area
 from ..pipeline import Application, prepare_application
+from ..store.artifacts import ArtifactStore
 from .cache import SearchCache, dfg_digest
 from .grid import SweepPoint, SweepSpec, resolve_model
 
@@ -57,9 +58,15 @@ _WarmTask = Tuple[str, int]
 def _warm_unit(job: Tuple) -> List[Tuple[Tuple, object]]:
     """Module-level worker: compute one (block, constraint) unit's
     identification obligations into a local cache and return its
-    entries (picklable) for the parent to merge."""
-    dfg, nin, nout, model_name, limits, tasks = job
-    cache = SearchCache()
+    entries (picklable) for the parent to merge.
+
+    When the job names a persistent store root, the worker's cache spills
+    every entry straight into the shared disk store and returns nothing —
+    the parent (and any later process) reads the entries back through its
+    own backing tier instead of a pickled round-trip."""
+    dfg, nin, nout, model_name, limits, tasks, store_root = job
+    backing = ArtifactStore(store_root) if store_root is not None else None
+    cache = SearchCache(backing=backing)
     model = resolve_model(model_name)
     cons = Constraints(nin=nin, nout=nout)
     for kind, arg in tasks:
@@ -82,7 +89,7 @@ def _warm_unit(job: Tuple) -> List[Tuple[Tuple, object]]:
                                            label=f"warm{k + 1}")
         elif kind == "multi":
             find_best_cuts(dfg, cons, arg, model, limits, cache=cache)
-    return cache.entries()
+    return [] if backing is not None else cache.entries()
 
 
 def _task_covered(task: _WarmTask, cache: SearchCache, dfg, cons,
@@ -103,10 +110,12 @@ def _plan_units(
     spec: SweepSpec,
     apps: Dict[str, Application],
     cache: SearchCache,
+    store_root: Optional[str] = None,
 ) -> List[Tuple]:
     """The unique (block, constraint) warm jobs the grid implies,
     deduplicated by (graph digest, ports, model) and filtered down to
-    what *cache* does not already cover."""
+    what *cache* (including its persistent backing tier) does not
+    already cover — a pre-warmed store empties the warm phase."""
     chain_depth = (max(spec.ninstrs)
                    if "iterative" in spec.algorithms else 0)
     # (digest, ports, model) -> [dfg, nin, nout, model_name, task set];
@@ -149,7 +158,8 @@ def _plan_units(
                     else:
                         entry[4].extend(t for t in tasks
                                         if t not in entry[4])
-    return [(dfg, nin, nout, model_name, spec.limits, tuple(tasks))
+    return [(dfg, nin, nout, model_name, spec.limits, tuple(tasks),
+             store_root)
             for dfg, nin, nout, model_name, tasks in planned.values()]
 
 
@@ -186,6 +196,7 @@ def _run_point(
     cache: Optional[SearchCache],
     workers: Optional[int],
     baselines: Optional[Dict[Tuple[str, str], tuple]] = None,
+    store: Optional[ArtifactStore] = None,
 ) -> dict:
     """Evaluate one grid point through the ordinary algorithms."""
     limits = spec.limits
@@ -236,7 +247,7 @@ def _run_point(
     row.update(_result_fields(result, point, spec, model))
     if spec.measure:
         row.update(_measure_fields(app, result, point, spec, model,
-                                   baselines))
+                                   baselines, store))
     row["elapsed_s"] = time.perf_counter() - start
     return row
 
@@ -244,11 +255,13 @@ def _run_point(
 def _measure_fields(app: Application, result: SelectionResult,
                     point: SweepPoint, spec: SweepSpec, model,
                     baselines: Optional[Dict[Tuple[str, str], tuple]],
-                    ) -> dict:
+                    store: Optional[ArtifactStore] = None) -> dict:
     """Execute the point's selection (repro.exec) and report the
     measured — not merely estimated — speedup for the row.  The
     baseline run depends only on (workload, model, n), so it is
-    computed once per pair and shared across the grid via *baselines*."""
+    computed once per pair and shared across the grid via *baselines*
+    (and, when a *store* is given, across invocations as a persisted
+    baseline artifact)."""
     from ..exec import measure_selection
     from ..exec.speedup import measure_baseline
 
@@ -257,7 +270,7 @@ def _measure_fields(app: Application, result: SelectionResult,
         key = (point.workload, point.model)
         baseline = baselines.get(key)
         if baseline is None:
-            baseline = measure_baseline(app, model, n=spec.n)
+            baseline = measure_baseline(app, model, n=spec.n, store=store)
             baselines[key] = baseline
     measured = measure_selection(app, result, model, n=spec.n,
                                  baseline=baseline)
@@ -307,6 +320,8 @@ def run_sweep(
     cache: Optional[SearchCache] = None,
     workers: Optional[int] = None,
     echo: Optional[Callable[[str], None]] = None,
+    store: Optional[ArtifactStore] = None,
+    prepare: Optional[Callable] = None,
 ) -> SweepOutcome:
     """Execute the whole grid; see the module docstring for the phases.
 
@@ -320,25 +335,47 @@ def run_sweep(
         workers: process fan-out for the warm phase and for cache-miss
             identification (default: ``REPRO_WORKERS``, else serial).
         echo: optional progress sink (e.g. ``print``).
+        store: optional persistent :class:`repro.store.ArtifactStore`:
+            workload preparation, warm-phase search entries and measure
+            baselines all read through and spill into it, so a repeated
+            sweep skips straight to the (polynomial) evaluation phase.
+            Ignored when ``use_cache`` is off — the cold baseline stays
+            genuinely cold.
+        prepare: optional ``(name, n, unroll) -> Application`` callable
+            replacing :func:`prepare_application` — the session passes
+            its in-process memo here so a sweep shares Applications
+            already prepared by other facade calls.  Ignored when
+            ``use_cache`` is off.
     """
     say = echo or (lambda _line: None)
     outcome = SweepOutcome(spec=spec)
+    if not use_cache:
+        store = None    # a cold run must not warm-start either
+        prepare = None
 
     start = time.perf_counter()
     apps: Dict[str, Application] = {}
     for name in spec.workloads:
-        apps[name] = prepare_application(name, n=spec.n, unroll=spec.unroll)
+        if prepare is not None:
+            apps[name] = prepare(name, spec.n, spec.unroll)
+        else:
+            apps[name] = prepare_application(name, n=spec.n,
+                                             unroll=spec.unroll,
+                                             store=store)
         say(f"prepared {name}: {len(apps[name].dfgs)} profiled block(s)")
     outcome.prepare_s = time.perf_counter() - start
 
     if use_cache and cache is None:
-        cache = SearchCache()
+        cache = SearchCache(backing=store)
     elif not use_cache:
         cache = None
 
     if cache is not None:
         start = time.perf_counter()
-        jobs = _plan_units(spec, apps, cache)
+        store_root = (str(store.root)
+                      if store is not None and cache.backing is store
+                      else None)
+        jobs = _plan_units(spec, apps, cache, store_root=store_root)
         outcome.warm_units = len(jobs)
         for entries in parallel_map(_warm_unit, jobs, workers=workers,
                                     chunksize=4):
@@ -353,7 +390,7 @@ def run_sweep(
     for point in spec.expand():
         row = _run_point(point, apps[point.workload], spec,
                          models[point.model], cache, workers,
-                         baselines=baselines)
+                         baselines=baselines, store=store)
         outcome.rows.append(row)
     outcome.points_s = time.perf_counter() - start
 

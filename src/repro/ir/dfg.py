@@ -71,8 +71,10 @@ class DFGMasks:
             (all strictly below bit ``i`` by reverse topological order).
         pred: ``pred[i]`` — bits of the internal producers of node ``i``.
         producer: ``producer[i]`` — unified producer bits of node ``i``:
-            internal producers plus its external input variables shifted
-            by ``n``.
+            one bit per distinct internal value read (node index, or a
+            synthetic id above ``n + |input_vars|`` for a multi-value
+            supernode's later outputs) plus its external input variables
+            shifted by ``n``.
         forced_out: bits of nodes whose value is live out of the block.
         forbidden: bits of nodes that can never join a cut.
         all_nodes: ``(1 << n) - 1``.
@@ -85,10 +87,10 @@ class DFGMasks:
         n = dfg.n
         self.succ = [_bits(row) for row in dfg.succs]
         self.pred = [_bits(row) for row in dfg.preds]
-        self.producer = [
-            self.pred[i] | _bits(j + n for j in dfg.node_inputs[i])
-            for i in range(n)
-        ]
+        # One bit per distinct read *value* (not per producer node): a
+        # multi-value supernode contributes one bit per consumed output,
+        # so popcount-based IN(S) equals register-file reads exactly.
+        self.producer = [_bits(dfg.producers_of(i)) for i in range(n)]
         self.forced_out = _bits(
             i for i in range(n) if dfg.nodes[i].forced_out)
         self.forbidden = _bits(
@@ -150,6 +152,8 @@ class DataFlowGraph:
         # graph, so these never need invalidation).
         self._masks: Optional[DFGMasks] = None
         self._producers: Optional[List[List[int]]] = None
+        self._value_reads: Optional[List[List[int]]] = None
+        self._value_owner: Dict[int, int] = {}
         self._cost_cache: Dict[int, Tuple] = {}
         self._check_invariants()
 
@@ -214,10 +218,71 @@ class DataFlowGraph:
     # ------------------------------------------------------------------
     # Whole-graph queries used by cut verification and baselines.
     # ------------------------------------------------------------------
+    @property
+    def value_reads(self) -> List[List[int]]:
+        """Per node, the distinct *value* ids it reads from internal
+        producers.
+
+        Each value a cut reads from outside occupies one register-file
+        read port, so ``IN(S)`` must count values, not producer nodes.
+        For an ordinary node (one instruction, one result) the value id
+        is simply the producer's index; a collapsed supernode exports one
+        value per distinct member result still consumed outside, and
+        every value beyond its first gets a synthetic id above
+        ``n + len(input_vars)`` so that two different supernode outputs
+        are never mistaken for a single read.  Derived from
+        ``operand_sources`` (which tag supernode values); nodes without
+        source info fall back to one value per pred edge — exact for
+        graphs that never collapsed.
+        """
+        if self._value_reads is None:
+            self._derive_values()
+        return self._value_reads
+
+    def _derive_values(self) -> None:
+        extra_base = self.n + len(self.input_vars)
+        extra_ids: Dict[Tuple[int, int], int] = {}
+        owner: Dict[int, int] = {}
+        reads: List[List[int]] = []
+        for i in range(self.n):
+            ids = set()
+            covered = set()
+            for src in self.operand_sources[i]:
+                if not src or src[0] != "node":
+                    continue
+                p = src[1]
+                tag = src[2] if len(src) > 2 else 0
+                if tag == 0:
+                    vid = p
+                else:
+                    key = (p, tag)
+                    vid = extra_ids.get(key)
+                    if vid is None:
+                        vid = extra_base + len(extra_ids)
+                        extra_ids[key] = vid
+                        owner[vid] = p
+                ids.add(vid)
+                covered.add(p)
+            # Pred edges without a source entry contribute one value each.
+            for p in self.preds[i]:
+                if p not in covered:
+                    ids.add(p)
+            reads.append(sorted(ids))
+        self._value_reads = reads
+        self._value_owner = owner
+
+    def value_producer(self, vid: int) -> int:
+        """The node index producing value *vid* (identity below ``n``)."""
+        if vid < self.n:
+            return vid
+        self.value_reads    # ensure the owner map is derived
+        return self._value_owner[vid]
+
     def producers_of(self, i: int) -> List[int]:
-        """Unified producer ids of node *i*: internal producers keep their
-        node index; external input variable ``j`` gets id ``n + j``."""
-        ids = list(self.preds[i])
+        """Unified producer ids of node *i*: one id per distinct internal
+        *value* read (see :attr:`value_reads`); external input variable
+        ``j`` gets id ``n + j``."""
+        ids = list(self.value_reads[i])
         ids.extend(self.n + j for j in self.node_inputs[i])
         return ids
 
@@ -247,15 +312,16 @@ class DataFlowGraph:
         return seen
 
     def cut_inputs(self, cut: Iterable[int]) -> Set[object]:
-        """The distinct producers feeding the cut from outside: ``IN(S)``
-        is the size of this set.  Elements are node indices (internal
-        producers outside the cut) and ``('var', name)`` tuples."""
+        """The distinct *values* feeding the cut from outside: ``IN(S)``
+        is the size of this set.  Elements are value ids (see
+        :attr:`value_reads` — a multi-value supernode counts once per
+        consumed output) and ``('var', name)`` tuples."""
         members = set(cut)
         result: Set[object] = set()
         for i in members:
-            for p in self.preds[i]:
-                if p not in members:
-                    result.add(p)
+            for vid in self.value_reads[i]:
+                if self.value_producer(vid) not in members:
+                    result.add(vid)
             for j in self.node_inputs[i]:
                 result.add(("var", self.input_vars[j]))
         return result
@@ -315,11 +381,34 @@ class DataFlowGraph:
         for i in members:
             group_of[i] = -1  # sentinel for the supernode
 
+        # Distinct member-produced values still consumed by survivors,
+        # in deterministic (producer, tag) order.  Each keeps its own
+        # identity through the collapse: the first maps to the plain
+        # supernode token, every later one to a tagged token, so input
+        # counting and AFU port construction see one value per distinct
+        # supernode output instead of aliasing them all into one.
+        exported: Set[Tuple] = set()
+        for i in survivors:
+            for src in self.operand_sources[i]:
+                if src and src[0] == "node" and src[1] in members:
+                    exported.add(src)
+        export_tag = {
+            tok: tag
+            for tag, tok in enumerate(sorted(
+                exported,
+                key=lambda s: (s[1], s[2] if len(s) > 2 else 0)))
+        }
+
         def remap_source(src: Tuple) -> Tuple:
             if src and src[0] == "node":
                 old = src[1]
                 if old in members:
-                    return ("node", new_index["super"])
+                    tag = export_tag[src]
+                    if tag == 0:
+                        return ("node", new_index["super"])
+                    return ("node", new_index["super"], tag)
+                if len(src) > 2:    # surviving supernode: keep its tag
+                    return ("node", new_index[old], src[2])
                 return ("node", new_index[old])
             return src
 

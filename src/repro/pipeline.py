@@ -17,6 +17,7 @@ from .interp import Interpreter, Memory, ProfileData
 from .ir import Module
 from .ir.dfg import DataFlowGraph, function_dfgs
 from .passes import optimize_module, unroll_loops
+from .store.keys import workload_key
 from .workloads.registry import Workload, get_workload
 
 
@@ -66,6 +67,7 @@ def prepare_application(
     if_convert: bool = True,
     verify: bool = True,
     min_nodes: int = 2,
+    store=None,
 ) -> Application:
     """Build an :class:`Application` for a registered workload.
 
@@ -79,11 +81,23 @@ def prepare_application(
             model — catching any compiler/pass bug before it can distort
             experiment results.
         min_nodes: drop DFGs smaller than this many nodes.
+        store: optional :class:`repro.store.ArtifactStore` memoising the
+            whole compile+profile product, keyed on the workload source
+            and every parameter above (:func:`repro.store.keys.
+            workload_key`) — a hit skips compilation, optimisation and
+            the profiling run and returns a bit-identical application.
     """
     workload = (name_or_workload
                 if isinstance(name_or_workload, Workload)
                 else get_workload(name_or_workload))
     size = n if n is not None else workload.default_n
+
+    if store is not None:
+        key = workload_key(workload, size, unroll, if_convert, verify,
+                           min_nodes)
+        app = store.get("app", key)
+        if app is not None:
+            return app
 
     module = compile_workload(workload, unroll=unroll,
                               if_convert=if_convert)
@@ -103,10 +117,13 @@ def prepare_application(
     # Ignore blocks that never ran: their weight is zero.
     dfgs = [d for d in dfgs if d.weight > 0]
 
-    return Application(
+    app = Application(
         name=workload.name,
         module=module,
         entry=workload.entry,
         profile=interpreter.profile,
         dfgs=dfgs,
     )
+    if store is not None:
+        store.put("app", key, app)
+    return app

@@ -1,0 +1,200 @@
+"""The session facade: one object owning the whole toolchain's state.
+
+Every entry point used to bootstrap itself — compile and profile the
+workload, run the exponential searches from a cold start, measure its
+own baseline — and throw all of it away on exit.  A :class:`Session`
+owns the three things worth keeping instead:
+
+* a persistent content-addressed :class:`~repro.store.ArtifactStore`
+  (compiled+profiled applications, identification results, baseline
+  runs survive the process and are shared between concurrent workers);
+* a cost model and a :class:`~repro.explore.SearchCache` backed by the
+  store, shared by every call so ``identify`` warms ``select`` warms
+  ``sweep``;
+* the worker-pool width used by parallel selection rounds.
+
+The facade exposes the complete API surface — :meth:`prepare`,
+:meth:`identify`, :meth:`select`, :meth:`sweep`, :meth:`speedup`,
+:meth:`afu` — with warm-start semantics: repeating a call (in this
+process or a later one) returns bit-identical results while skipping
+every expensive phase whose inputs did not change.  The store is a pure
+memo; ``Session(store=False)`` computes exactly the same numbers from
+scratch, which the test suite asserts property-style.
+
+Quickstart::
+
+    from repro import Session
+
+    session = Session()                 # ~/.cache/repro (or $REPRO_STORE)
+    result = session.select("adpcm-decode", ninstr=16)
+    rows = session.speedup(["adpcm-decode"])   # shares the work above
+    # A new process repeating these calls warm-starts from the store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .afu import build_datapath, emit_verilog
+from .core import Constraints, SearchLimits, SearchResult, find_best_cut
+from .core.selection import SelectionResult
+from .exec.speedup import ALGORITHMS, dispatch_selection
+from .explore.cache import SearchCache
+from .hwmodel import CostModel
+from .pipeline import Application, prepare_application
+from .store.artifacts import ArtifactStore, resolve_store
+from .workloads.registry import get_workload
+
+__all__ = ["ALGORITHMS", "Session"]
+
+
+class Session:
+    """Shared toolchain state with warm-start semantics (module doc)."""
+
+    def __init__(
+        self,
+        store="auto",
+        model: Optional[CostModel] = None,
+        workers: Optional[int] = None,
+        limits: Optional[SearchLimits] = None,
+    ) -> None:
+        """Open a session.
+
+        Args:
+            store: ``"auto"`` (the default ``~/.cache/repro`` root, or
+                ``$REPRO_STORE``; honours the env var's off switch),
+                ``False``/``None`` for a purely in-memory session, a
+                path, or an :class:`ArtifactStore`.
+            model: cost model shared by every call (default paper model).
+            workers: worker-pool width for parallel selection rounds
+                (default: ``$REPRO_WORKERS``, else serial).
+            limits: default search budget applied when a call does not
+                pass its own.
+        """
+        self.store: Optional[ArtifactStore] = resolve_store(store)
+        self.model = model or CostModel()
+        self.workers = workers
+        self.limits = limits
+        self.cache = SearchCache(backing=self.store)
+        self._apps: Dict[Tuple, Application] = {}
+
+    # ------------------------------------------------------------------
+    def prepare(self, name: str, n: Optional[int] = None,
+                unroll: Optional[int] = None, if_convert: bool = True,
+                verify: bool = True) -> Application:
+        """Compile+profile *name* — memoised in-process and, through the
+        store, across processes.  Hits are bit-identical to cold runs."""
+        # Resolve the default size so n=None and an explicit
+        # n=default_n share one memo entry, like workload_key does.
+        size = n if n is not None else get_workload(name).default_n
+        key = (name, size, unroll, if_convert, verify)
+        app = self._apps.get(key)
+        if app is None:
+            app = prepare_application(name, n=n, unroll=unroll,
+                                      if_convert=if_convert, verify=verify,
+                                      store=self.store)
+            self._apps[key] = app
+        return app
+
+    def _limits(self, limits) -> Optional[SearchLimits]:
+        return limits if limits is not None else self.limits
+
+    # ------------------------------------------------------------------
+    def identify(self, workload: str, nin: int = 4, nout: int = 2,
+                 limits: Optional[SearchLimits] = None,
+                 n: Optional[int] = None,
+                 unroll: Optional[int] = None) -> SearchResult:
+        """Best single cut of the hottest block (Problem 1), through the
+        shared search cache."""
+        app = self.prepare(workload, n=n, unroll=unroll)
+        return find_best_cut(app.hot_dfg,
+                             Constraints(nin=nin, nout=nout),
+                             self.model, self._limits(limits),
+                             cache=self.cache)
+
+    def select(self, workload: str, algorithm: str = "iterative",
+               nin: int = 4, nout: int = 2, ninstr: int = 16,
+               limits: Optional[SearchLimits] = None,
+               n: Optional[int] = None, unroll: Optional[int] = None,
+               max_nodes: int = 40, area_budget: float = 2.0,
+               area_method: str = "knapsack") -> SelectionResult:
+        """Select up to *ninstr* instructions (Problem 2) with any of the
+        five algorithm families, warm-starting identification from the
+        session cache.  Dispatch is shared with ``repro speedup``
+        (:func:`repro.exec.speedup.dispatch_selection`), so the two
+        paths can never wire the same flags differently."""
+        app = self.prepare(workload, n=n, unroll=unroll)
+        return dispatch_selection(
+            algorithm, app.dfgs,
+            Constraints(nin=nin, nout=nout, ninstr=ninstr),
+            self.model, self._limits(limits), self.workers, max_nodes,
+            area_budget, area_method=area_method, cache=self.cache)
+
+    # ------------------------------------------------------------------
+    def sweep(self, spec, use_cache: bool = True, echo=None):
+        """Run a whole design-space grid (:func:`repro.explore.
+        run_sweep`) through the session's cache and store — a repeated
+        identical sweep skips preparation and the warm phase entirely."""
+        from .explore.runner import run_sweep
+
+        return run_sweep(spec, use_cache=use_cache,
+                         cache=self.cache if use_cache else None,
+                         workers=self.workers, echo=echo,
+                         store=self.store,
+                         prepare=lambda name, size, unr: self.prepare(
+                             name, n=size, unroll=unr))
+
+    def speedup(self, workloads: Sequence[str], nin: int = 4,
+                nout: int = 2, ninstr: int = 16,
+                algorithm: str = "iterative",
+                limits: Optional[SearchLimits] = None,
+                n: Optional[int] = None, unroll: Optional[int] = None,
+                max_nodes: int = 40, area_budget: float = 2.0,
+                area_method: str = "knapsack"):
+        """Measured end-to-end speedup rows (:func:`repro.exec.
+        run_speedup`), sharing preparation (the in-process memo and the
+        store), identification and the baseline-run artifact with every
+        other session call."""
+        from .exec.speedup import run_speedup
+
+        return run_speedup(
+            workloads, nin=nin, nout=nout, ninstr=ninstr,
+            algorithm=algorithm, model=self.model,
+            limits=self._limits(limits), n=n, unroll=unroll,
+            workers=self.workers, max_nodes=max_nodes,
+            area_budget=area_budget, area_method=area_method,
+            store=self.store, cache=self.cache,
+            prepare=lambda name, size, unr: self.prepare(
+                name, n=size, unroll=unr))
+
+    def afu(self, workload: str, ninstr: int = 2, nin: int = 4,
+            nout: int = 2, limits: Optional[SearchLimits] = None,
+            n: Optional[int] = None, unroll: Optional[int] = None,
+            ) -> List[str]:
+        """Verilog module texts for the selected custom instructions."""
+        result = self.select(workload, algorithm="iterative", nin=nin,
+                             nout=nout, ninstr=ninstr, limits=limits,
+                             n=n, unroll=unroll)
+        return [emit_verilog(build_datapath(cut, self.model,
+                                            name=f"ise{k}"))
+                for k, cut in enumerate(result.cuts)]
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Cache and store telemetry of this session (for ``repro cache
+        stats`` and the warm-start benchmark)."""
+        record = {
+            "search_cache": self.cache.stats.as_dict(),
+            "search_entries": len(self.cache),
+            "store": None,
+        }
+        if self.store is not None:
+            record["store"] = {
+                "root": str(self.store.root),
+                **self.store.stats.as_dict(),
+            }
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        where = self.store.root if self.store is not None else "memory"
+        return f"<Session store={where}>"

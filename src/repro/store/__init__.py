@@ -1,0 +1,39 @@
+"""Persistent content-addressed artifact storage (DESIGN.md §10).
+
+Every expensive product of the toolchain — compiled+profiled
+applications, exponential identification results, baseline execution
+runs — is content-addressed by SHA-256 over everything it depends on
+(:mod:`repro.store.keys`) and persisted across processes and
+invocations by :class:`repro.store.artifacts.ArtifactStore`.  The
+:class:`repro.session.Session` facade wires the store through every
+layer; results are bit-identical with the store enabled, disabled or
+pre-warmed — persistence only ever skips recomputation.
+"""
+
+from .artifacts import (
+    STORE_ENV,
+    ArtifactStore,
+    StoreInfo,
+    StoreStats,
+    default_store_dir,
+    resolve_store,
+    stock_store_dir,
+)
+from .keys import (
+    PIPELINE_VERSION,
+    SEARCH_VERSION,
+    callable_fingerprint,
+    canonical_digest,
+    dfg_digest,
+    limits_key,
+    model_digest,
+    workload_key,
+)
+
+__all__ = [
+    "ArtifactStore", "StoreStats", "StoreInfo", "resolve_store",
+    "default_store_dir", "stock_store_dir", "STORE_ENV",
+    "canonical_digest", "callable_fingerprint", "dfg_digest",
+    "model_digest", "limits_key", "workload_key",
+    "PIPELINE_VERSION", "SEARCH_VERSION",
+]

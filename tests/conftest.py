@@ -9,6 +9,26 @@ from repro.hwmodel import CostModel
 from repro.pipeline import prepare_application
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_store(tmp_path_factory):
+    """Point the default artifact store at a per-session temp directory.
+
+    CLI verbs (and ``Session()``) persist artifacts by default; tests
+    must exercise that behaviour without writing into — or warm-starting
+    from — the developer's real ``~/.cache/repro``.
+    """
+    import os
+
+    root = tmp_path_factory.mktemp("repro-store")
+    old = os.environ.get("REPRO_STORE")
+    os.environ["REPRO_STORE"] = str(root)
+    yield root
+    if old is None:
+        os.environ.pop("REPRO_STORE", None)
+    else:
+        os.environ["REPRO_STORE"] = old
+
+
 @pytest.fixture(scope="session")
 def model():
     return CostModel()

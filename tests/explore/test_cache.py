@@ -62,6 +62,29 @@ class TestDigests:
         assert model_digest(CostModel()) != model_digest(
             uniform_cost_model())
 
+    def test_mutated_flags_invalidate_the_memoised_digest(self):
+        # Regression: the digest used to be memoised unconditionally on
+        # the graph object, so flag mutations after the first digest
+        # returned a stale key and could alias different searches.
+        dfg = chain_dfg()
+        before = dfg_digest(dfg)
+        dfg.nodes[0].forbidden = True
+        after = dfg_digest(dfg)
+        assert before != after
+        pristine = chain_dfg()
+        pristine.nodes[0].forbidden = True
+        assert after == dfg_digest(pristine)
+
+    def test_mutated_weight_invalidates_the_memoised_digest(self):
+        dfg = chain_dfg()
+        before = dfg_digest(dfg)
+        dfg.weight = dfg.weight + 1.0
+        assert dfg_digest(dfg) != before
+
+    def test_unmutated_digest_is_stable(self):
+        dfg = chain_dfg()
+        assert dfg_digest(dfg) == dfg_digest(dfg)
+
 
 class TestSingleCut:
     def test_hit_is_identical(self):

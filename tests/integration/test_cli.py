@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+from repro import __version__
 from repro.cli import main
 
 
@@ -13,6 +16,27 @@ class TestList:
         out = capsys.readouterr().out
         assert "adpcm-decode" in out
         assert "gsm" in out
+
+    def test_json_output(self, capsys):
+        assert main(["list", "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        by_name = {r["name"]: r for r in records}
+        assert set(by_name) == {
+            "adpcm-decode", "adpcm-encode", "gsm", "fir", "crc32",
+            "g721", "mixer"}
+        fir = by_name["fir"]
+        assert fir["entry"] == "fir_filter"
+        assert fir["default_n"] == 256
+        assert fir["description"]
+        assert by_name["gsm"]["paper_benchmark"] is True
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
 
 
 class TestIdentify:
@@ -119,11 +143,14 @@ class TestSweep:
                      "--limit", "100000", "--n", "16", "--quiet",
                      "--json", str(json_path), "--csv", str(csv_path)])
         assert code == 0
-        out = capsys.readouterr().out
+        captured = capsys.readouterr()
+        out = captured.out
         assert "Ninstr=2" in out and "Ninstr=4" in out
         assert "iterative" in out and "maxmiso" in out
-        assert "grid points in" in out
-        assert "cache" in out
+        # Telemetry goes to stderr so stdout stays byte-identical
+        # between cold and warm-started invocations.
+        assert "grid points in" in captured.err
+        assert "cache" in captured.err
 
         import json as jsonlib
         data = jsonlib.loads(json_path.read_text())
@@ -159,3 +186,85 @@ class TestSweep:
         with pytest.raises(SystemExit, match="bad integer list"):
             main(["sweep", "--workloads", "fir", "--ninstr", "2;4",
                   "--quiet"])
+
+
+class TestStoreFlags:
+    """Byte-identity across store modes plus the ``cache`` verb."""
+
+    SELECT = ["select", "fir", "--n", "16", "--ninstr", "4",
+              "--limit", "100000"]
+    SWEEP = ["sweep", "--workloads", "fir", "--ports", "2x1,4x2",
+             "--ninstr", "2,4", "--algos", "iterative,maxmiso",
+             "--limit", "100000", "--n", "16", "--quiet"]
+
+    def _stdout(self, capsys, argv):
+        assert main(argv) == 0
+        return capsys.readouterr().out
+
+    @pytest.mark.parametrize("base_argv", [SELECT, SWEEP])
+    def test_stdout_byte_identical_across_store_modes(self, capsys,
+                                                      tmp_path,
+                                                      base_argv):
+        store = ["--store-dir", str(tmp_path / "store")]
+        nostore = self._stdout(capsys, base_argv + ["--no-store"])
+        cold = self._stdout(capsys, base_argv + store)
+        warm = self._stdout(capsys, base_argv + store)
+        assert nostore == cold == warm
+
+    def test_identify_byte_identical_warm(self, capsys, tmp_path):
+        argv = ["identify", "fir", "--n", "16", "--nin", "3",
+                "--nout", "1", "--limit", "100000",
+                "--store-dir", str(tmp_path)]
+        cold = self._stdout(capsys, argv)
+        warm = self._stdout(capsys, argv)
+        assert cold == warm
+
+    def test_speedup_byte_identical_warm(self, capsys, tmp_path):
+        argv = ["speedup", "--workloads", "fir", "--n", "16",
+                "--ninstr", "2", "--limit", "100000",
+                "--store-dir", str(tmp_path)]
+        cold = self._stdout(capsys, argv)
+        warm = self._stdout(capsys, argv)
+        assert cold == warm
+        assert "yes" in warm            # bit-exact execution
+
+    def test_cache_stats_clear_roundtrip(self, capsys, tmp_path):
+        store = ["--store-dir", str(tmp_path)]
+        self._stdout(capsys, self.SELECT + store)
+
+        assert main(["cache", "stats"] + store) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out
+        assert "app" in out and "search" in out
+
+        assert main(["cache", "stats", "--json"] + store) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["entries"] > 0
+        assert record["kinds"]["app"] >= 1
+
+        assert main(["cache", "clear"] + store) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "stats", "--json"] + store) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+    def test_cache_gc(self, capsys, tmp_path):
+        store = ["--store-dir", str(tmp_path)]
+        self._stdout(capsys, self.SELECT + store)
+        assert main(["cache", "gc", "--max-age-days", "30"] + store) == 0
+        assert "removed 0 artifact(s)" in capsys.readouterr().out
+        assert main(["cache", "gc", "--max-age-days", "0"] + store) == 0
+        out = capsys.readouterr().out
+        assert "removed" in out and "removed 0 " not in out
+
+    def test_cache_disabled_store_errors(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", "off")
+        assert main(["cache", "stats"]) == 1
+        assert "disabled" in capsys.readouterr().err
+
+    def test_explicit_store_flag_overrides_env_off(self, capsys, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", "off")
+        monkeypatch.setenv("HOME", str(tmp_path))   # sandbox ~/.cache
+        assert main(self.SELECT + ["--store"]) == 0
+        capsys.readouterr()
+        assert (tmp_path / ".cache" / "repro").is_dir()

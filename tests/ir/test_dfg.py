@@ -178,6 +178,77 @@ class TestCollapse:
         assert collapsed.succs[s] != []
         assert collapsed.preds[s] != []
 
+    def _two_value_super(self):
+        """SUB -> ADD and NOT -> AND, collapse {SUB, NOT}: the supernode
+        exports TWO distinct values (one per consumer)."""
+        dfg = make_dfg(
+            [Opcode.SUB, Opcode.NOT, Opcode.ADD, Opcode.AND],
+            [(0, 2), (1, 3)], live_out=[2, 3])
+        members = {n.index for n in dfg.nodes
+                   if n.opcode in (Opcode.SUB, Opcode.NOT)}
+        collapsed = dfg.collapse(members, "s")
+        consumers = {n.index for n in collapsed.nodes
+                     if n.opcode in (Opcode.ADD, Opcode.AND)}
+        return collapsed, consumers
+
+    def test_multi_value_supernode_counts_one_input_per_value(self):
+        # Regression: collapse used to alias every exported value of a
+        # supernode into a single producer token, so a later cut reading
+        # two distinct supernode outputs undercounted IN(S) by one and
+        # could be selected despite violating the port constraint
+        # (iterative selection then beat "optimal").
+        collapsed, consumers = self._two_value_super()
+        inputs = collapsed.cut_inputs(consumers)
+        # Two supernode values + ADD's and AND's own input variables.
+        s = [n.index for n in collapsed.nodes if n.is_super][0]
+        super_values = {vid for vid in inputs
+                        if isinstance(vid, int)
+                        and collapsed.value_producer(vid) == s}
+        assert len(super_values) == 2
+
+    def test_multi_value_supernode_engine_agrees_with_cut_inputs(self):
+        from repro.core import Constraints, find_best_cut
+        from repro.hwmodel import CostModel
+
+        collapsed, consumers = self._two_value_super()
+        naive = len(collapsed.cut_inputs(consumers))
+        # The engine must reject the pair under nin = naive - 1 and the
+        # single-node cuts it *does* return must respect cut_inputs.
+        result = find_best_cut(collapsed,
+                               Constraints(nin=naive - 1, nout=2),
+                               CostModel())
+        if result.cut is not None:
+            assert set(result.cut.nodes) != consumers
+            assert result.cut.num_inputs <= naive - 1
+
+    def test_single_value_supernode_token_is_untagged(self):
+        # The common case (one exported value) keeps the plain
+        # ('node', super) token: digests and AFU ports are unchanged.
+        dfg = make_dfg([Opcode.MUL, Opcode.ADD, Opcode.XOR],
+                       [(0, 1), (1, 2)], live_out=[2])
+        mid = [n.index for n in dfg.nodes if n.opcode is Opcode.ADD][0]
+        collapsed = dfg.collapse({mid}, "s")
+        s = [n.index for n in collapsed.nodes if n.is_super][0]
+        tokens = [src for row in collapsed.operand_sources for src in row
+                  if src and src[0] == "node" and src[1] == s]
+        assert tokens and all(len(tok) == 2 for tok in tokens)
+
+    def test_nested_collapse_keeps_values_distinct(self):
+        # Collapse twice; the second supernode absorbs a consumer of the
+        # first and the remaining consumers still count values per
+        # distinct output.
+        collapsed, consumers = self._two_value_super()
+        add = [n.index for n in collapsed.nodes
+               if n.opcode is Opcode.ADD][0]
+        again = collapsed.collapse({add}, "s2")
+        and_node = [n.index for n in again.nodes
+                    if n.opcode is Opcode.AND][0]
+        supers = [n.index for n in again.nodes if n.is_super]
+        # AND still reads its own distinct value of the first supernode.
+        (and_inputs,) = [again.value_reads[and_node]]
+        assert len(and_inputs) == 1
+        assert again.value_producer(and_inputs[0]) in supers
+
 
 class TestFunctionDFGs:
     def test_weights_applied(self, adpcm_decode_app):
