@@ -61,7 +61,7 @@ from .session import Session
 from .store import ArtifactStore, StoreStats, default_store_dir
 from .workloads import WORKLOADS, Workload, get_workload, paper_benchmarks
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Constraints", "Cut", "evaluate_cut",

@@ -94,7 +94,10 @@ class CycleSimulator:
         interp.run(entry, args)
         baseline = 0.0
         specialized = 0.0
-        for (func, label), count in interp.profile.counts.items():
+        # Sorted: profile insertion order differs between execution
+        # backends, and float summation of fractional cost models is
+        # order-sensitive (same rule as exec/cycles.run_with_cycles).
+        for (func, label), count in sorted(interp.profile.counts.items()):
             base, spec = self._block_cost.get((func, label), (0.0, 0.0))
             baseline += count * base
             specialized += count * spec

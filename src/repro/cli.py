@@ -16,8 +16,15 @@ Subcommands:
   selected instructions: rewrite each workload, run baseline and
   rewritten programs, check outputs bit-for-bit, report cycle counts
   (the paper's Fig. 9/10 numbers);
+* ``run`` — execute one workload (optionally after the ISE rewrite)
+  and print its result, step count and wall time — the quickest way to
+  eyeball a program or compare execution backends;
 * ``afu`` — generate Verilog for the selected custom instructions;
 * ``cache`` — inspect or maintain the persistent artifact store.
+
+Verbs that execute programs accept ``--backend walk|compiled``
+(default: ``$REPRO_BACKEND``, else the compiled backend, DESIGN.md
+§11); every printed table and artifact is byte-identical either way.
 
 Every verb bootstraps one shared :class:`repro.session.Session`, so the
 expensive products (compiled modules, profiles, search results,
@@ -76,10 +83,19 @@ def _resolve_store_args(args):
     return store
 
 
+def _add_backend(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", choices=["walk", "compiled"],
+                        default=None,
+                        help="execution backend for profiling and "
+                             "measurement (default: $REPRO_BACKEND, "
+                             "else compiled; results are bit-identical)")
+
+
 def _make_session(args) -> Session:
     """The one shared Session bootstrap behind every verb."""
     return Session(store=_resolve_store_args(args),
-                   workers=getattr(args, "workers", None))
+                   workers=getattr(args, "workers", None),
+                   backend=getattr(args, "backend", None))
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -95,6 +111,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--limit", type=int, default=None,
                         help="max cuts considered per search")
     _add_store(parser)
+    _add_backend(parser)
 
 
 def _add_workers(parser: argparse.ArgumentParser) -> None:
@@ -329,6 +346,58 @@ def cmd_speedup(args) -> int:
     return 0
 
 
+def cmd_run(args) -> int:
+    from .exec.rewrite import rewrite_module
+    from .interp import Interpreter, Memory
+    from .workloads.registry import get_workload
+
+    workload = get_workload(args.workload)
+    if args.rewrite:
+        # Selection needs the profiled application; the session memo /
+        # store make repeated invocations warm-start.
+        session = _make_session(args)
+        app = session.prepare(args.workload, n=args.n, unroll=args.unroll)
+        selection = session.select(
+            args.workload, algorithm=args.algo, nin=args.nin,
+            nout=args.nout, ninstr=args.ninstr, limits=_limits(args),
+            n=args.n, unroll=args.unroll)
+        rewritten = rewrite_module(app.module, selection.cuts,
+                                   session.model)
+        module = rewritten.module
+        note = (f"rewritten: {rewritten.num_instructions} custom "
+                f"instruction(s) in {rewritten.rewritten_blocks} "
+                f"block(s)")
+    else:
+        # The baseline needs only the optimised module — compiling is
+        # cheap; a profiling pre-run would double the verb's wall time.
+        from .pipeline import compile_workload
+
+        module = compile_workload(workload, unroll=args.unroll)
+        note = "baseline"
+    size = args.n if args.n is not None else workload.default_n
+    memory = Memory(module)
+    run_args = workload.driver(memory, size)
+    interp = Interpreter(module, memory=memory, backend=args.backend)
+    start = time.perf_counter()
+    outcome = interp.run(workload.entry, run_args)
+    wall = time.perf_counter() - start
+    verified = True
+    try:
+        workload.verify(memory, size)
+    except AssertionError:
+        verified = False
+    print(f"{args.workload} n={size} ({note})")
+    print(f"result:   {outcome.value}")
+    print(f"steps:    {outcome.steps}")
+    print(f"verified: {'yes' if verified else 'NO'}")
+    # Wall time on stderr: stdout stays byte-identical across backends
+    # (and warm vs. cold), like every other verb.
+    print(f"{interp.backend} backend: {wall:.4f}s "
+          f"({outcome.steps / max(wall, 1e-9):,.0f} steps/s)",
+          file=sys.stderr)
+    return 0 if verified else 1
+
+
 def cmd_afu(args) -> int:
     session = _make_session(args)
     modules = session.afu(args.workload, ninstr=args.ninstr,
@@ -399,6 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=None)
     p.add_argument("--unroll", type=int, default=None)
     _add_store(p)
+    _add_backend(p)
     p.set_defaults(fn=cmd_ir)
 
     p = sub.add_parser("identify", help="best single cut (Problem 1)")
@@ -477,6 +547,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="suppress progress lines on stderr")
     _add_workers(p)
     _add_store(p)
+    _add_backend(p)
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(
@@ -510,7 +581,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the machine-readable rows here")
     _add_workers(p)
     _add_store(p)
+    _add_backend(p)
     p.set_defaults(fn=cmd_speedup)
+
+    p = sub.add_parser(
+        "run",
+        help="execute one workload (optionally post-rewrite) and print "
+             "result, steps and wall time")
+    p.add_argument("workload", help="registered workload name")
+    p.add_argument("--n", type=int, default=None,
+                   help="run size (default: workload's)")
+    p.add_argument("--unroll", type=int, default=None,
+                   help="loop unroll factor (Section 9 extension)")
+    p.add_argument("--rewrite", action="store_true",
+                   help="select custom instructions and execute the "
+                        "ISE-rewritten program instead of the baseline")
+    p.add_argument("--algo", choices=["iterative", "optimal", "clubbing",
+                                      "maxmiso", "area"],
+                   default="iterative",
+                   help="selection algorithm for --rewrite")
+    p.add_argument("--nin", type=int, default=4,
+                   help="register-file read ports for --rewrite")
+    p.add_argument("--nout", type=int, default=2,
+                   help="register-file write ports for --rewrite")
+    p.add_argument("--ninstr", type=int, default=16,
+                   help="instruction budget for --rewrite")
+    p.add_argument("--limit", type=int, default=None,
+                   help="max cuts considered per search (--rewrite)")
+    _add_store(p)
+    _add_backend(p)
+    p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("afu", help="emit Verilog for selected AFUs")
     _add_common(p)

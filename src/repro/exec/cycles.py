@@ -79,8 +79,14 @@ def run_with_cycles(
     memory: Optional[Memory] = None,
     model: Optional[CostModel] = None,
     cost_overrides: Optional[Dict[Tuple[str, str], float]] = None,
+    backend: Optional[str] = None,
 ) -> CycleReport:
     """Execute ``entry(*args)`` and account cycles per executed block.
+
+    Cycle accounting is backend-agnostic by construction: both engines
+    produce identical per-block entry counts (the compiled backend
+    aggregates them per call frame, DESIGN.md §11), and the cycle total
+    is a pure function of those counts and the static per-block costs.
 
     Args:
         module: program to run (baseline or ISE-rewritten).
@@ -92,6 +98,9 @@ def run_with_cycles(
             and estimated speedups to be comparable.
         cost_overrides: per-block cost replacements, e.g.
             ``RewriteResult.block_costs``.
+        backend: execution backend (``"walk"``/``"compiled"``; default
+            ``$REPRO_BACKEND``, else compiled) — the reported cycles,
+            steps and value are bit-identical either way.
 
     Returns:
         A :class:`CycleReport` with total cycles, dynamic instruction
@@ -100,10 +109,14 @@ def run_with_cycles(
     costs = module_block_costs(module, model)
     if cost_overrides:
         costs.update(cost_overrides)
-    interp = Interpreter(module, memory=memory)
+    interp = Interpreter(module, memory=memory, backend=backend)
     outcome = interp.run(entry, args)
     cycles = 0.0
-    for key, count in interp.profile.counts.items():
+    # Sorted iteration: the backends produce identical counts but in
+    # different insertion orders (the compiled engine folds callee
+    # frames first), and float summation of fractional cost models is
+    # order-sensitive — a fixed order keeps the total bit-identical.
+    for key, count in sorted(interp.profile.counts.items()):
         cycles += count * costs.get(key, 0.0)
     return CycleReport(cycles=cycles, steps=outcome.steps,
                        value=outcome.value)

@@ -101,7 +101,8 @@ class MeasuredSpeedup:
 
 
 def measure_baseline(app: Application, model: Optional[CostModel] = None,
-                     n: Optional[int] = None, store=None):
+                     n: Optional[int] = None, store=None,
+                     backend: Optional[str] = None):
     """Run the *unmodified* program once and return its accounting.
 
     Returns ``(CycleReport, Memory)`` — the baseline cycles plus the
@@ -114,6 +115,9 @@ def measure_baseline(app: Application, model: Optional[CostModel] = None,
     workload source, the unroll-sensitive module text being irrelevant —
     the baseline interprets ``app.module`` as prepared, so the key also
     covers the preparation parameters via the module's own content).
+    *backend* selects the execution engine; it is excluded from the
+    store key because both backends produce bit-identical reports
+    (enforced by the differential suite and CI's interpreter gate).
     """
     workload = get_workload(app.name)
     model = model or CostModel()
@@ -130,7 +134,7 @@ def measure_baseline(app: Application, model: Optional[CostModel] = None,
     memory = Memory(app.module)
     args = workload.driver(memory, size)
     report = run_with_cycles(app.module, app.entry, args,
-                             memory=memory, model=model)
+                             memory=memory, model=model, backend=backend)
     if store is not None:
         store.put("baseline", key, (report, memory))
     return report, memory
@@ -142,6 +146,7 @@ def measure_selection(
     model: Optional[CostModel] = None,
     n: Optional[int] = None,
     baseline=None,
+    backend: Optional[str] = None,
 ) -> MeasuredSpeedup:
     """Rewrite *app* with *selection* and measure both programs.
 
@@ -156,6 +161,9 @@ def measure_selection(
         baseline: optional precomputed ``(CycleReport, Memory)`` from
             :func:`measure_baseline` with the *same* model and n; the
             baseline run is repeated otherwise.
+        backend: execution backend for both runs (``"walk"`` or
+            ``"compiled"``; default ``$REPRO_BACKEND``, else compiled)
+            — measurements are bit-identical across backends.
 
     Returns:
         A :class:`MeasuredSpeedup`; ``identical`` is True iff the
@@ -169,14 +177,15 @@ def measure_selection(
     rewritten = rewrite_module(app.module, selection.cuts, model)
 
     if baseline is None:
-        baseline = measure_baseline(app, model, size)
+        baseline = measure_baseline(app, model, size, backend=backend)
     base, base_memory = baseline
 
     ise_memory = Memory(rewritten.module)
     ise_args = workload.driver(ise_memory, size)
     ise = run_with_cycles(rewritten.module, app.entry, ise_args,
                           memory=ise_memory, model=model,
-                          cost_overrides=rewritten.block_costs)
+                          cost_overrides=rewritten.block_costs,
+                          backend=backend)
 
     identical = (base.value == ise.value
                  and base_memory.arrays == ise_memory.arrays)
@@ -244,6 +253,7 @@ def run_speedup(
     store=None,
     cache=None,
     prepare=None,
+    backend: Optional[str] = None,
 ) -> List[SpeedupRow]:
     """Measure end-to-end speedup for every workload in *workloads*.
 
@@ -265,6 +275,9 @@ def run_speedup(
     session's memoised :meth:`~repro.session.Session.prepare`):
     preparation, identification and the baseline runs warm-start from
     earlier invocations, and the rows stay bit-identical either way.
+    ``backend`` picks the execution engine for every measurement run;
+    the resulting table and JSON artifacts are byte-identical under
+    both backends, which CI's interpreter gate enforces.
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}; known: "
@@ -278,7 +291,7 @@ def run_speedup(
             app = prepare(name, size, unroll)
         else:
             app = prepare_application(name, n=size, unroll=unroll,
-                                      store=store)
+                                      store=store, backend=backend)
         constraints = Constraints(nin=nin, nout=nout, ninstr=ninstr)
         try:
             selection = dispatch_selection(
@@ -297,9 +310,10 @@ def run_speedup(
                 steps_baseline=0, steps_ise=0, status="n/a",
                 error=str(exc)))
             continue
-        baseline = measure_baseline(app, model, n=size, store=store)
+        baseline = measure_baseline(app, model, n=size, store=store,
+                                    backend=backend)
         measured = measure_selection(app, selection, model, n=size,
-                                     baseline=baseline)
+                                     baseline=baseline, backend=backend)
         rows.append(SpeedupRow(
             workload=name,
             algorithm=selection.algorithm,

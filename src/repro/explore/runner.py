@@ -197,6 +197,7 @@ def _run_point(
     workers: Optional[int],
     baselines: Optional[Dict[Tuple[str, str], tuple]] = None,
     store: Optional[ArtifactStore] = None,
+    backend: Optional[str] = None,
 ) -> dict:
     """Evaluate one grid point through the ordinary algorithms."""
     limits = spec.limits
@@ -247,7 +248,7 @@ def _run_point(
     row.update(_result_fields(result, point, spec, model))
     if spec.measure:
         row.update(_measure_fields(app, result, point, spec, model,
-                                   baselines, store))
+                                   baselines, store, backend=backend))
     row["elapsed_s"] = time.perf_counter() - start
     return row
 
@@ -255,13 +256,17 @@ def _run_point(
 def _measure_fields(app: Application, result: SelectionResult,
                     point: SweepPoint, spec: SweepSpec, model,
                     baselines: Optional[Dict[Tuple[str, str], tuple]],
-                    store: Optional[ArtifactStore] = None) -> dict:
+                    store: Optional[ArtifactStore] = None,
+                    backend: Optional[str] = None) -> dict:
     """Execute the point's selection (repro.exec) and report the
     measured — not merely estimated — speedup for the row.  The
     baseline run depends only on (workload, model, n), so it is
     computed once per pair and shared across the grid via *baselines*
     (and, when a *store* is given, across invocations as a persisted
-    baseline artifact)."""
+    baseline artifact).  Measurement runs on *backend*; the compiled
+    backend's process-wide code memo additionally shares compiled
+    blocks across every grid point whose rewritten module leaves a
+    block's instruction stream unchanged."""
     from ..exec import measure_selection
     from ..exec.speedup import measure_baseline
 
@@ -270,10 +275,11 @@ def _measure_fields(app: Application, result: SelectionResult,
         key = (point.workload, point.model)
         baseline = baselines.get(key)
         if baseline is None:
-            baseline = measure_baseline(app, model, n=spec.n, store=store)
+            baseline = measure_baseline(app, model, n=spec.n, store=store,
+                                        backend=backend)
             baselines[key] = baseline
     measured = measure_selection(app, result, model, n=spec.n,
-                                 baseline=baseline)
+                                 baseline=baseline, backend=backend)
     return {
         # None instead of inf keeps the JSON artifact strict.
         "measured_speedup": (measured.speedup
@@ -322,6 +328,7 @@ def run_sweep(
     echo: Optional[Callable[[str], None]] = None,
     store: Optional[ArtifactStore] = None,
     prepare: Optional[Callable] = None,
+    backend: Optional[str] = None,
 ) -> SweepOutcome:
     """Execute the whole grid; see the module docstring for the phases.
 
@@ -346,6 +353,9 @@ def run_sweep(
             its in-process memo here so a sweep shares Applications
             already prepared by other facade calls.  Ignored when
             ``use_cache`` is off.
+        backend: execution backend for profiling and ``measure=True``
+            runs (``"walk"``/``"compiled"``; default ``$REPRO_BACKEND``,
+            else compiled).  Rows are byte-identical either way.
     """
     say = echo or (lambda _line: None)
     outcome = SweepOutcome(spec=spec)
@@ -361,7 +371,7 @@ def run_sweep(
         else:
             apps[name] = prepare_application(name, n=spec.n,
                                              unroll=spec.unroll,
-                                             store=store)
+                                             store=store, backend=backend)
         say(f"prepared {name}: {len(apps[name].dfgs)} profiled block(s)")
     outcome.prepare_s = time.perf_counter() - start
 
@@ -390,7 +400,8 @@ def run_sweep(
     for point in spec.expand():
         row = _run_point(point, apps[point.workload], spec,
                          models[point.model], cache, workers,
-                         baselines=baselines, store=store)
+                         baselines=baselines, store=store,
+                         backend=backend)
         outcome.rows.append(row)
     outcome.points_s = time.perf_counter() - start
 

@@ -1,11 +1,14 @@
-"""IR interpreter: execution, memory image, profiling."""
+"""IR interpreter: execution, memory image, profiling, and the
+compiled-block execution backend (DESIGN.md §11)."""
 
 from .interpreter import (
+    BACKENDS,
     ExecutionLimitExceeded,
     Interpreter,
     RunResult,
     execute,
     profile_module,
+    resolve_backend,
 )
 from .memory import Memory, TrapError
 from .profile import ProfileData
@@ -13,4 +16,5 @@ from .profile import ProfileData
 __all__ = [
     "Interpreter", "execute", "profile_module", "RunResult",
     "Memory", "TrapError", "ProfileData", "ExecutionLimitExceeded",
+    "BACKENDS", "resolve_backend",
 ]

@@ -1,0 +1,612 @@
+"""Compiled-block execution backend: per-block Python codegen.
+
+The tree-walking interpreter (:mod:`repro.interp.interpreter`) pays, for
+every executed operation, the full dispatch tax: an opcode comparison
+chain, a list comprehension over operands with per-operand ``isinstance``
+checks, a call into :func:`~repro.passes.constant_folding.
+evaluate_pure_op` (itself a ~20-way comparison chain) and a dict write.
+This module removes that tax by translating each basic block *once* into
+generated Python source:
+
+* registers become straight-line **local variables** — the register dict
+  is read once per live-in register at block entry and written once per
+  defined register at block exit (never for ``RET`` exits, where the
+  frame dies anyway);
+* opcode semantics are **inlined**: the 32-bit two's-complement wrap of
+  :func:`repro.ir.values.wrap32` is emitted as a closed-form expression
+  (``((v & 0xFFFFFFFF) ^ 0x80000000) - 0x80000000``) exactly where an
+  operation can leave the canonical range, and *omitted* where it is a
+  provable identity (bitwise ops, comparisons, ``ASHR``, ``REM``,
+  ``SELECT``, ``COPY`` over canonical operands) — the differential suite
+  in ``tests/interp/test_backend_equivalence.py`` holds the generated
+  code bit-identical to ``evaluate_pure_op``;
+* ``ISEInstruction`` nodes call a **pre-bound** ``FusedAFU.evaluate``
+  (captured as a default argument, no attribute walk per execution);
+* step counting is accumulated as **per-segment constants**: a segment
+  (the ops between ``CALL`` boundaries, usually the whole block) commits
+  ``I._steps += K`` once.  When the step budget would expire inside the
+  segment, a generated *twin* of the segment with walker-exact per-op
+  counting runs instead, so :class:`~repro.interp.interpreter.
+  ExecutionLimitExceeded` fires at exactly the same step index — with
+  exactly the side effects of the ops before it — as the reference
+  walker (the PR's step-accounting bugfix);
+* block entry counts are tallied by the dispatch loop into a plain local
+  dict and folded into :class:`~repro.interp.profile.ProfileData` once
+  per call frame (aggregate-on-exit), not per entry.
+
+Compiled closures are cached in a process-wide memo keyed on the block's
+*structural digest* (:func:`block_digest`, built on :func:`repro.store.
+keys.canonical_digest`): repeated sweep/measure runs over cloned modules
+— ``rewrite_module`` always clones — reuse the compiled code of every
+block whose instruction stream is unchanged.  Blocks the generator
+cannot translate (malformed IR without a terminator, opcodes it does not
+know) fall back to the walker's reference executor per block; the memo
+records them as fallbacks so :func:`code_memo_stats` makes the fallback
+rate observable.
+
+The walker remains the semantic oracle: the compiled backend must match
+its ``RunResult`` values, step counts, profiles, traps and measured
+cycles bit-for-bit on every workload, which the differential test suite
+and ``benchmarks/bench_interp.py`` enforce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.function import BasicBlock
+from ..ir.instructions import Instruction, ISEInstruction
+from ..ir.opcodes import Opcode
+from ..ir.values import Const, Reg
+from ..store.keys import canonical_digest
+
+__all__ = [
+    "BlockCode", "CodeMemoStats", "UndefinedEntryRead", "block_digest",
+    "clear_code_memo", "code_memo_stats", "compile_block",
+    "get_block_code",
+]
+
+
+class UndefinedEntryRead(Exception):
+    """Signal from a compiled block whose entry register loads failed.
+
+    The generated header reads every live-in register eagerly; when one
+    is missing, replaying the block op-by-op is the only way to
+    reproduce the walker's exact trap point, step count and committed
+    side effects (the undefined register might legitimately be read
+    only *after* stores, or after an op that traps differently).  The
+    dispatch loop catches this — raised before any op has executed —
+    and re-runs the entry on the walker's reference executor.
+    """
+
+#: Bump when generated-code semantics change: digest-keyed closures from
+#: the old generator must not be reused by a process mixing versions
+#: (the memo is in-process only, so this mostly documents intent).
+CODEGEN_VERSION = 1
+
+_MASK = "4294967295"            # 0xFFFFFFFF
+_SIGN = "2147483648"            # 0x80000000
+
+
+@dataclass
+class BlockCode:
+    """One block's compiled artifact (or its recorded fallback).
+
+    Attributes:
+        fn: the generated closure, called as ``fn(I, R, LOAD, STORE,
+            CALL, FN)`` with the interpreter, the register dict, the
+            memory accessors, the call-back into ``Interpreter._call``
+            and the executing function's name; returns the successor
+            label, or a 1-tuple ``(value,)`` for ``RET``.  ``None`` when
+            codegen fell back to the walker for this block.
+        label: the source block's label (diagnostics only).
+        source: the generated Python text (debugging aid; the step
+            constants live in here as per-segment literals).
+        digest: structural digest the memo is keyed on.
+    """
+
+    fn: Optional[object]
+    label: str
+    source: str = ""
+    digest: str = ""
+
+
+@dataclass
+class CodeMemoStats:
+    """Telemetry of the in-process code memo."""
+
+    compiled: int = 0
+    hits: int = 0
+    fallbacks: int = 0
+
+    def as_dict(self) -> dict:
+        """Flat dict for JSON artifacts and benchmark reports."""
+        return {"compiled": self.compiled, "hits": self.hits,
+                "fallbacks": self.fallbacks}
+
+
+#: Memo capacity: dropped wholesale when full, like the artifact
+#: store's hot tier (DESIGN.md §10) — a long-lived session sweeping
+#: huge grids cannot accumulate closures (each of which pins its
+#: generated source and any pre-bound AFU netlists) without bound.
+#: Far above any realistic working set, so eviction is a backstop.
+MEMO_LIMIT = 4096
+
+_MEMO: Dict[str, BlockCode] = {}
+_STATS = CodeMemoStats()
+
+
+def _operand_token(operand) -> Tuple:
+    """Canonical encoding of one operand for :func:`block_digest`."""
+    if isinstance(operand, Const):
+        return ("c", operand.value)
+    return ("r", operand.name)
+
+
+def _afu_token(afu) -> Tuple:
+    """Canonical encoding of a bound AFU's *observable* surface.
+
+    Covers what :meth:`FusedAFU.evaluate` reads — the gate netlist,
+    port order and output wires — plus the unit *name*, because the
+    generated trap message bakes ``str(insn)`` (which includes the
+    name) into the closure; two blocks may share compiled code only if
+    even their trap text is identical.  Latency and area stay out:
+    they are cost metadata with no execution semantics.
+    """
+    gates = tuple(
+        (gate.opcode.value, gate.output,
+         tuple(("i", w) if isinstance(w, int) else ("w", w)
+               for w in gate.inputs))
+        for gate in afu.gates)
+    return (getattr(afu, "name", None), gates,
+            tuple(afu.input_ports), tuple(afu.output_wires))
+
+
+def block_digest(block: BasicBlock) -> str:
+    """SHA-256 over the execution-relevant structure of *block*.
+
+    Covers opcodes, destination/operand register names, constants,
+    array symbols, callees, branch targets and — for ISE nodes — the
+    full functional netlist of the bound AFU, so two digest-equal
+    blocks are guaranteed to execute identically.  Register *names*
+    are semantic here (they key the caller's register dict), unlike in
+    :func:`repro.store.keys.dfg_digest` where they are cosmetic.
+    """
+    insns: List[Tuple] = []
+    for insn in block.instructions:
+        record: Tuple = (
+            insn.opcode.value,
+            insn.dest,
+            tuple(_operand_token(op) for op in insn.operands),
+            insn.array,
+            insn.callee,
+            insn.targets,
+        )
+        if isinstance(insn, ISEInstruction):
+            record += (insn.dests, _afu_token(insn.afu))
+        insns.append(record)
+    return canonical_digest("blockcode-v1", CODEGEN_VERSION,
+                            block.label, tuple(insns))
+
+
+# ----------------------------------------------------------------------
+# Code generation.
+# ----------------------------------------------------------------------
+class _UnsupportedBlock(Exception):
+    """Raised by the generator when a block cannot be translated."""
+
+
+class _Emitter:
+    """Accumulates generated source lines with indentation tracking."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def emit(self, line: str, indent: int = 1) -> None:
+        self.lines.append("    " * indent + line)
+
+
+def _wrap(expr: str) -> str:
+    """Closed-form ``wrap32`` of *expr* (expr may exceed 32 bits)."""
+    return f"((({expr}) & {_MASK}) ^ {_SIGN}) - {_SIGN}"
+
+
+def _wrap_unsigned(expr: str) -> str:
+    """Closed-form ``wrap32`` of *expr* already in ``[0, 2**32)``."""
+    return f"(({expr}) ^ {_SIGN}) - {_SIGN}"
+
+
+class _BlockCompiler:
+    """Translates one basic block into a Python closure (module doc)."""
+
+    def __init__(self, block: BasicBlock) -> None:
+        self.block = block
+        self.locals: Dict[str, str] = {}      # register name -> local
+        self.defined: set = set()             # registers defined so far
+        self.entry_reads: List[str] = []      # registers loaded at entry
+        self.bindings: Dict[str, object] = {} # default-arg environment
+        self.out = _Emitter()
+
+    # -- naming --------------------------------------------------------
+    def _local(self, reg_name: str) -> str:
+        local = self.locals.get(reg_name)
+        if local is None:
+            local = f"v{len(self.locals)}"
+            self.locals[reg_name] = local
+        return local
+
+    def _read(self, operand) -> str:
+        """Expression text for one operand (atoms are self-delimiting)."""
+        if isinstance(operand, Const):
+            return f"({operand.value})"
+        if not isinstance(operand, Reg):
+            raise _UnsupportedBlock(f"operand {operand!r}")
+        if operand.name not in self.defined:
+            if operand.name not in self.entry_reads:
+                self.entry_reads.append(operand.name)
+        return self._local(operand.name)
+
+    def _define(self, reg_name: str) -> str:
+        local = self._local(reg_name)
+        self.defined.add(reg_name)
+        return local
+
+    def _bind(self, prefix: str, value) -> str:
+        name = f"_{prefix}{len(self.bindings)}"
+        self.bindings[name] = value
+        return name
+
+    # -- per-op emission ----------------------------------------------
+    def _emit_insn(self, insn: Instruction, indent: int) -> None:
+        """Emit one instruction (never a terminator) at *indent*."""
+        op = insn.opcode
+        emit = self.out.emit
+        if op is Opcode.LOAD:
+            index = self._read(insn.operands[0])
+            dst = self._define(insn.dest)
+            emit(f"{dst} = LOAD({insn.array!r}, {index})", indent)
+            return
+        if op is Opcode.STORE:
+            index = self._read(insn.operands[0])
+            value = self._read(insn.operands[1])
+            emit(f"STORE({insn.array!r}, {index}, {value})", indent)
+            return
+        if op is Opcode.ISE:
+            self._emit_ise(insn, indent)
+            return
+        if op is Opcode.CALL:
+            self._emit_call(insn, indent)
+            return
+        self._emit_pure(insn, indent)
+
+    def _emit_ise(self, insn: ISEInstruction, indent: int) -> None:
+        evaluate = self._bind("A", insn.afu.evaluate)
+        args = ", ".join(self._read(op) for op in insn.operands)
+        args = f"({args},)" if insn.operands else "()"
+        msg = (f"trap inside custom instruction {insn} "
+               f"(division by zero)")
+        emit = self.out.emit
+        emit("try:", indent)
+        emit(f"    _t = {evaluate}({args})", indent)
+        emit("except ZeroDivisionError:", indent)
+        emit(f"    raise _TE({msg!r})", indent)
+        # Positional indexing mirrors the walker's zip(dests, outputs):
+        # lengths are equal by construction (rewrite.py builds both).
+        for i, dest in enumerate(insn.dests):
+            emit(f"{self._define(dest)} = _t[{i}]", indent)
+
+    def _emit_call(self, insn: Instruction, indent: int) -> None:
+        args = ", ".join(self._read(op) for op in insn.operands)
+        args = f"({args},)" if insn.operands else "()"
+        emit = self.out.emit
+        if insn.dest is None:
+            emit(f"CALL({insn.callee!r}, {args})", indent)
+            return
+        emit(f"_t = CALL({insn.callee!r}, {args})", indent)
+        emit("if _t is None:", indent)
+        void_msg = f"void result of {insn.callee!r} used"
+        emit(f"    raise _TE({void_msg!r})", indent)
+        emit(f"{self._define(insn.dest)} = _t", indent)
+
+    def _emit_pure(self, insn: Instruction, indent: int) -> None:
+        """Inline the ``evaluate_pure_op`` semantics of one pure op."""
+        op = insn.opcode
+        emit = self.out.emit
+        reads = [self._read(operand) for operand in insn.operands]
+        if insn.dest is None:
+            raise _UnsupportedBlock(f"pure op without dest: {insn}")
+
+        if op in (Opcode.DIV, Opcode.REM):
+            a, b = reads
+            msg = f"trap in {insn} (division by zero?)"
+            divisor = insn.operands[1]
+            if isinstance(divisor, Const) and divisor.value == 0:
+                # Constant zero divisor: unconditionally traps, exactly
+                # like the walker reaching this op.
+                emit(f"raise _TE({msg!r})", indent)
+                raise _DeadCode()
+            if not isinstance(divisor, Const):
+                emit(f"if {b} == 0:", indent)
+                emit(f"    raise _TE({msg!r})", indent)
+            dst = self._define(insn.dest)
+            if op is Opcode.DIV:
+                # int(a / b): float division truncates toward zero and
+                # is exact for 32-bit magnitudes; only -2**31 / -1
+                # leaves the canonical range, hence the wrap.
+                emit(f"{dst} = {_wrap(f'int({a} / {b})')}", indent)
+            else:
+                # |a - trunc(a/b)*b| < |b| <= 2**31: wrap is identity.
+                emit(f"{dst} = {a} - int({a} / {b}) * {b}", indent)
+            return
+
+        dst = self._define(insn.dest)
+        if op is Opcode.ADD:
+            expr = _wrap(f"{reads[0]} + {reads[1]}")
+        elif op is Opcode.SUB:
+            expr = _wrap(f"{reads[0]} - {reads[1]}")
+        elif op is Opcode.MUL:
+            expr = _wrap(f"{reads[0]} * {reads[1]}")
+        elif op is Opcode.NEG:
+            expr = _wrap(f"-{reads[0]}")
+        elif op is Opcode.AND:
+            expr = f"{reads[0]} & {reads[1]}"
+        elif op is Opcode.OR:
+            expr = f"{reads[0]} | {reads[1]}"
+        elif op is Opcode.XOR:
+            expr = f"{reads[0]} ^ {reads[1]}"
+        elif op is Opcode.NOT:
+            expr = f"~{reads[0]}"
+        elif op in (Opcode.SHL, Opcode.LSHR, Opcode.ASHR):
+            amount = insn.operands[1]
+            shift = (f"({amount.value & 31})" if isinstance(amount, Const)
+                     else f"({reads[1]} & 31)")
+            if op is Opcode.SHL:
+                expr = _wrap(f"({reads[0]} & {_MASK}) << {shift}")
+            elif op is Opcode.LSHR:
+                expr = _wrap_unsigned(
+                    f"({reads[0]} & {_MASK}) >> {shift}")
+            else:       # ASHR of a canonical value stays canonical
+                expr = f"{reads[0]} >> {shift}"
+        elif op is Opcode.EQ:
+            expr = f"1 if {reads[0]} == {reads[1]} else 0"
+        elif op is Opcode.NE:
+            expr = f"1 if {reads[0]} != {reads[1]} else 0"
+        elif op is Opcode.SLT:
+            expr = f"1 if {reads[0]} < {reads[1]} else 0"
+        elif op is Opcode.SLE:
+            expr = f"1 if {reads[0]} <= {reads[1]} else 0"
+        elif op is Opcode.SGT:
+            expr = f"1 if {reads[0]} > {reads[1]} else 0"
+        elif op is Opcode.SGE:
+            expr = f"1 if {reads[0]} >= {reads[1]} else 0"
+        elif op is Opcode.COPY:
+            expr = reads[0]
+        elif op is Opcode.SELECT:
+            expr = f"{reads[1]} if {reads[0]} != 0 else {reads[2]}"
+        else:
+            raise _UnsupportedBlock(f"opcode {op}")
+        self.out.emit(f"{dst} = {expr}", indent)
+
+    def _emit_terminator(self, insn: Instruction, indent: int) -> None:
+        op = insn.opcode
+        emit = self.out.emit
+        if op is not Opcode.RET:
+            # Writebacks keep the caller's register dict walker-exact
+            # for successor blocks; a RET frame is discarded, so its
+            # writebacks are dead and skipped.
+            for reg_name in sorted(self.defined):
+                emit(f"R[{reg_name!r}] = {self.locals[reg_name]}",
+                     indent)
+        if op is Opcode.BR:
+            cond = self._read(insn.operands[0])
+            then_label, else_label = insn.targets
+            emit(f"return {then_label!r} if {cond} != 0 "
+                 f"else {else_label!r}", indent)
+        elif op is Opcode.JMP:
+            emit(f"return {insn.targets[0]!r}", indent)
+        elif op is Opcode.RET:
+            value = (self._read(insn.operands[0])
+                     if insn.operands else "(None)")
+            emit(f"return ({value},)", indent)
+        else:
+            raise _UnsupportedBlock(f"terminator {op}")
+
+    # -- segments ------------------------------------------------------
+    @staticmethod
+    def _can_trap(insn: Instruction) -> bool:
+        """True when *insn* can raise a run-time trap on the fast path.
+
+        Such ops get an exact step-counter write emitted before them so
+        a trap observes the same ``Interpreter._steps`` as the walker
+        (the cumulative budget survives a caught trap identically).
+        ``CALL`` is excluded: it always ends its segment, so the
+        segment's full pre-commit is already exact at recursion time.
+        """
+        op = insn.opcode
+        if op in (Opcode.LOAD, Opcode.STORE, Opcode.ISE):
+            return True
+        if op in (Opcode.DIV, Opcode.REM):
+            divisor = insn.operands[1]
+            return not isinstance(divisor, Const) or divisor.value == 0
+        return False
+
+    def _segments(self) -> List[List[Instruction]]:
+        """Split the block at CALL boundaries (a call ends its segment).
+
+        Within a segment the step count is a compile-time constant; a
+        callee's steps land between segments, so each segment's budget
+        check observes exactly the walker's counter state.
+        """
+        segments: List[List[Instruction]] = []
+        current: List[Instruction] = []
+        for insn in self.block.instructions:
+            current.append(insn)
+            if insn.opcode is Opcode.CALL:
+                segments.append(current)
+                current = []
+        if current:
+            segments.append(current)
+        return segments
+
+    def _emit_segment(self, segment: List[Instruction]) -> None:
+        """Emit one segment: fast path + walker-exact budget twin.
+
+        The twin runs only when the step budget expires inside this
+        segment; it counts per op and is therefore *guaranteed* to
+        raise before the segment ends, so it never needs writebacks or
+        a return of its own.
+
+        On the fast path the step counter normally commits as one
+        constant, but every op that can *trap* gets an exact
+        ``I._steps`` write first: a caller catching the ``TrapError``
+        observes the identical counter (and remaining cumulative step
+        budget) as under the walker.  Pure ops between trap points
+        cannot raise, so their counts are unobservable until the next
+        commit.
+        """
+        count = len(segment)
+        emit = self.out.emit
+        limit_msg = ("'exceeded ' + str(I.max_steps) + ' steps in ' + "
+                     "repr(FN)")
+        emit("_s = I._steps")
+        emit(f"if _s + {count} > I.max_steps:")
+        try:
+            for insn in segment:
+                emit("    I._steps += 1", 1)
+                emit("    if I._steps > I.max_steps:", 1)
+                emit(f"        raise _ELE({limit_msg})", 1)
+                if not insn.is_terminator:
+                    self._emit_insn(insn, indent=2)
+            # Unreachable by construction (the budget expires within
+            # the segment), kept as a hard stop should that ever drift.
+            emit(f"    raise _ELE({limit_msg})", 1)
+        except _DeadCode:
+            pass
+        has_traps = any(self._can_trap(insn) for insn in segment)
+        if not has_traps:
+            emit(f"I._steps = _s + {count}")
+        committed = 0
+        for index, insn in enumerate(segment):
+            if has_traps and self._can_trap(insn):
+                emit(f"I._steps = _s + {index + 1}")
+                committed = index + 1
+            elif (has_traps and committed < count
+                    and (insn.is_terminator
+                         or insn.opcode is Opcode.CALL)):
+                # Re-commit the full constant before anything that can
+                # observe the counter (a callee) or exit the block.
+                emit(f"I._steps = _s + {count}")
+                committed = count
+            if insn.is_terminator:
+                self._emit_terminator(insn, indent=1)
+            else:
+                self._emit_insn(insn, indent=1)
+        if has_traps and committed < count:
+            emit(f"I._steps = _s + {count}")
+
+    # -- driver --------------------------------------------------------
+    def compile(self, digest: str) -> BlockCode:
+        """Generate, ``compile()`` and instantiate the block closure."""
+        block = self.block
+        if block.terminator is None:
+            # The walker's fall-through TrapError (and its exact step
+            # accounting) is easier to inherit than to replicate.
+            raise _UnsupportedBlock("no terminator")
+        body = _Emitter()
+        self.out = body
+        try:
+            for segment in self._segments():
+                self._emit_segment(segment)
+        except _DeadCode:
+            pass        # an unconditional trap ends the block early
+
+        header = _Emitter()
+        params = ["I", "R", "LOAD", "STORE", "CALL", "FN"]
+        params += [f"{name}={name}" for name in ("_TE", "_ELE", "_UE")]
+        params += [f"{name}={name}" for name in self.bindings]
+        header.emit(f"def _block({', '.join(params)}):", 0)
+        if self.entry_reads:
+            # A missing live-in register punts this entry back to the
+            # walker (see UndefinedEntryRead) — no op has run yet, so
+            # the replay is side-effect clean.
+            header.emit("try:")
+            for reg_name in self.entry_reads:
+                header.emit(f"    {self.locals[reg_name]} = "
+                            f"R[{reg_name!r}]")
+            header.emit("except KeyError:")
+            header.emit("    raise _UE from None")
+
+        source = "\n".join(header.lines + body.lines) + "\n"
+        from .interpreter import ExecutionLimitExceeded
+        from .memory import TrapError
+
+        namespace: Dict[str, object] = {
+            "_TE": TrapError, "_ELE": ExecutionLimitExceeded,
+            "_UE": UndefinedEntryRead,
+        }
+        namespace.update(self.bindings)
+        code = compile(source, f"<repro:block:{digest[:12]}>", "exec")
+        exec(code, namespace)
+        return BlockCode(fn=namespace["_block"], label=block.label,
+                         source=source, digest=digest)
+
+
+class _DeadCode(Exception):
+    """Internal signal: an unconditional trap makes the rest of the
+    current emission path unreachable."""
+
+
+def compile_block(block: BasicBlock,
+                  digest: Optional[str] = None) -> BlockCode:
+    """Compile *block* unconditionally (no memo); see the module doc.
+
+    Returns a fallback :class:`BlockCode` (``fn=None``) when the block
+    cannot be translated — the dispatch loop then runs that block on
+    the walker's reference executor.
+    """
+    digest = digest if digest is not None else block_digest(block)
+    try:
+        return _BlockCompiler(block).compile(digest)
+    except _UnsupportedBlock:
+        return BlockCode(fn=None, label=block.label, digest=digest)
+
+
+def get_block_code(block: BasicBlock) -> BlockCode:
+    """Memoised :func:`compile_block`, keyed on :func:`block_digest`.
+
+    The memo is process-wide: digest-equal blocks — the common case
+    when sweeps and speedup runs clone modules per selection — share
+    one compiled closure, so warm runs skip codegen entirely.
+    """
+    digest = block_digest(block)
+    cached = _MEMO.get(digest)
+    if cached is not None:
+        _STATS.hits += 1
+        return cached
+    code = compile_block(block, digest)
+    if code.fn is None:
+        _STATS.fallbacks += 1
+    else:
+        _STATS.compiled += 1
+    if len(_MEMO) >= MEMO_LIMIT:
+        _MEMO.clear()       # wholesale drop, same policy as the store
+    _MEMO[digest] = code
+    return code
+
+
+def clear_code_memo() -> int:
+    """Drop every memoised closure; returns how many were dropped.
+
+    Used by cold-start benchmarks (``benchmarks/bench_interp.py``) and
+    by tests that need to observe codegen itself.
+    """
+    dropped = len(_MEMO)
+    _MEMO.clear()
+    _STATS.compiled = _STATS.hits = _STATS.fallbacks = 0
+    return dropped
+
+
+def code_memo_stats() -> CodeMemoStats:
+    """Live telemetry of the process-wide code memo."""
+    return _STATS

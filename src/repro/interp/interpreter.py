@@ -6,21 +6,60 @@ and run-time evaluation can never diverge.  Used for:
 
 * gathering basic-block execution profiles (the ``weight`` of each DFG);
 * bit-exactness tests of the MiniC workloads against golden Python models;
-* validating that AFU specialisation preserves program semantics.
+* validating that AFU specialisation preserves program semantics;
+* measuring end-to-end cycle counts of baseline and ISE-rewritten
+  programs (:mod:`repro.exec`).
+
+Two execution backends share this class (DESIGN.md §11):
+
+* ``"walk"`` — the original tree-walking reference loop, one dispatch
+  per operation.  It is the semantic oracle the compiled backend is
+  differentially tested against.
+* ``"compiled"`` (the default) — per-block generated Python from
+  :mod:`repro.interp.compile`: register reads become locals, opcode
+  semantics are inlined, and step/profile counters are aggregated per
+  block entry.  Bit-identical to the walker by obligation: results,
+  step counts, profiles, traps and the exact step index at which
+  :class:`ExecutionLimitExceeded` fires all match.
+
+Select a backend per interpreter (``Interpreter(..., backend="walk")``),
+or process-wide with ``$REPRO_BACKEND``.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..ir.function import Function, Module
+from ..ir.function import BasicBlock, Function, Module
 from ..ir.instructions import Instruction
 from ..ir.opcodes import Opcode
 from ..ir.values import Const, Operand, Reg, wrap32
 from ..passes.constant_folding import evaluate_pure_op
 from .memory import Memory, TrapError
 from .profile import ProfileData
+
+#: The recognised execution backends, fastest-first.
+BACKENDS = ("compiled", "walk")
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve a backend choice against ``$REPRO_BACKEND``.
+
+    An explicit *backend* wins; otherwise the environment variable
+    decides, and the compiled backend is the default.  Unknown names
+    raise ``ValueError`` rather than silently running on the wrong
+    engine.
+    """
+    chosen = backend
+    if chosen is None:
+        chosen = os.environ.get("REPRO_BACKEND", "").strip() or "compiled"
+    if chosen not in BACKENDS:
+        known = ", ".join(BACKENDS)
+        raise ValueError(
+            f"unknown execution backend {chosen!r}; known: {known}")
+    return chosen
 
 
 class ExecutionLimitExceeded(RuntimeError):
@@ -40,12 +79,25 @@ class Interpreter:
 
     def __init__(self, module: Module, memory: Optional[Memory] = None,
                  profile: Optional[ProfileData] = None,
-                 max_steps: int = 50_000_000) -> None:
+                 max_steps: int = 50_000_000,
+                 backend: Optional[str] = None) -> None:
+        """Bind a module (and optional memory/profile) for execution.
+
+        Args:
+            module: the program to execute.
+            memory: memory image (a fresh one is built when omitted).
+            profile: profile sink shared across runs (fresh by default).
+            max_steps: cumulative step budget across ``run`` calls.
+            backend: ``"walk"`` or ``"compiled"``; ``None`` defers to
+                ``$REPRO_BACKEND``, default compiled.
+        """
         self.module = module
         self.memory = memory if memory is not None else Memory(module)
         self.profile = profile if profile is not None else ProfileData()
         self.max_steps = max_steps
+        self.backend = resolve_backend(backend)
         self._steps = 0
+        self._tables: Dict[str, dict] = {}
 
     # ------------------------------------------------------------------
     def run(self, func_name: str, args: Sequence[int] = ()) -> RunResult:
@@ -69,20 +121,52 @@ class Interpreter:
                 f"{func_name!r} expects {len(func.params)} args, "
                 f"got {len(args)}")
         self.profile.record_call(func_name)
-
         regs: Dict[str, int] = dict(zip(func.params, args))
+        if self.backend == "compiled":
+            return self._run_compiled(func, func_name, regs, depth)
+        return self._run_walk(func, func_name, regs, depth)
+
+    # ------------------------------------------------------------------
+    # Walking backend (the reference oracle).
+    # ------------------------------------------------------------------
+    def _run_walk(self, func: Function, func_name: str,
+                  regs: Dict[str, int], depth: int) -> Optional[int]:
+        """Reference block-by-block loop over :meth:`_exec_block_ref`."""
+        record_block = self.profile.record_block
+        get_block = func.block
         block = func.entry
         while True:
-            self.profile.record_block(func_name, block.label)
-            next_label: Optional[str] = None
+            record_block(func_name, block.label)
+            outcome = self._exec_block_ref(func_name, block, regs, depth)
+            if outcome.__class__ is tuple:
+                return outcome[0]
+            block = get_block(outcome)
+
+    def _exec_block_ref(self, func_name: str, block: BasicBlock,
+                        regs: Dict[str, int], depth: int):
+        """Execute one block walker-style, one dispatch per operation.
+
+        Returns the successor label, or a 1-tuple ``(value,)`` when the
+        block returned — the same convention the compiled closures use,
+        so this doubles as the compiled backend's per-block fallback.
+        Loop-invariant lookups (the operand resolver, memory accessors,
+        the step budget) are hoisted out of the hot loop; the step
+        counter runs in a local mirror synced back on every exit path.
+        """
+        value = self._value
+        memory = self.memory
+        max_steps = self.max_steps
+        steps = self._steps
+        next_label: Optional[str] = None
+        try:
             for insn in block.instructions:
-                self._steps += 1
-                if self._steps > self.max_steps:
+                steps += 1
+                if steps > max_steps:
                     raise ExecutionLimitExceeded(
-                        f"exceeded {self.max_steps} steps in {func_name!r}")
+                        f"exceeded {max_steps} steps in {func_name!r}")
                 op = insn.opcode
                 if op is Opcode.BR:
-                    cond = self._value(insn.operands[0], regs)
+                    cond = value(insn.operands[0], regs)
                     next_label = insn.targets[0] if cond != 0 \
                         else insn.targets[1]
                     break
@@ -91,36 +175,41 @@ class Interpreter:
                     break
                 if op is Opcode.RET:
                     if insn.operands:
-                        return self._value(insn.operands[0], regs)
-                    return None
+                        return (value(insn.operands[0], regs),)
+                    return (None,)
                 if op is Opcode.LOAD:
-                    index = self._value(insn.operands[0], regs)
-                    regs[insn.dest] = self.memory.load(insn.array, index)
+                    index = value(insn.operands[0], regs)
+                    regs[insn.dest] = memory.load(insn.array, index)
                     continue
                 if op is Opcode.STORE:
-                    index = self._value(insn.operands[0], regs)
-                    value = self._value(insn.operands[1], regs)
-                    self.memory.store(insn.array, index, value)
+                    index = value(insn.operands[0], regs)
+                    stored = value(insn.operands[1], regs)
+                    memory.store(insn.array, index, stored)
                     continue
                 if op is Opcode.ISE:
                     # Fused custom instruction (repro.exec): evaluate the
                     # bound AFU functionally and write back every output
                     # port.  The AFU shares evaluate_pure_op, so results
                     # are bit-identical to the software it replaced.
-                    values = [self._value(a, regs) for a in insn.operands]
+                    values = [value(a, regs) for a in insn.operands]
                     try:
                         outputs = insn.afu.evaluate(values)
                     except ZeroDivisionError:
                         raise TrapError(
                             f"trap inside custom instruction {insn} "
                             f"(division by zero)")
-                    for dest, value in zip(insn.dests, outputs):
-                        regs[dest] = value
+                    for dest, out in zip(insn.dests, outputs):
+                        regs[dest] = out
                     continue
                 if op is Opcode.CALL:
-                    call_args = [self._value(a, regs)
+                    call_args = [value(a, regs)
                                  for a in insn.operands]
-                    result = self._call(insn.callee, call_args, depth + 1)
+                    self._steps = steps
+                    try:
+                        result = self._call(insn.callee, call_args,
+                                            depth + 1)
+                    finally:
+                        steps = self._steps
                     if insn.dest is not None:
                         if result is None:
                             raise TrapError(
@@ -128,7 +217,7 @@ class Interpreter:
                         regs[insn.dest] = result
                     continue
                 # Pure operation: shared semantics with the folder.
-                values = [self._value(a, regs) for a in insn.operands]
+                values = [value(a, regs) for a in insn.operands]
                 result = evaluate_pure_op(op, values)
                 if result is None:
                     raise TrapError(f"trap in {insn} (division by zero?)")
@@ -136,9 +225,65 @@ class Interpreter:
             else:
                 raise TrapError(
                     f"block {block.label} fell through without terminator")
-            if next_label is None:
-                raise TrapError("terminator produced no successor")
-            block = func.block(next_label)
+        finally:
+            self._steps = steps
+        if next_label is None:
+            raise TrapError("terminator produced no successor")
+        return next_label
+
+    # ------------------------------------------------------------------
+    # Compiled backend (repro.interp.compile).
+    # ------------------------------------------------------------------
+    def _run_compiled(self, func: Function, func_name: str,
+                      regs: Dict[str, int], depth: int) -> Optional[int]:
+        """Dispatch loop over per-block compiled closures.
+
+        Block entry counts are tallied in a local dict and folded into
+        the profile once per frame (also on exceptions, matching the
+        walker's record-before-execute order in aggregate).  Blocks the
+        generator refused run on :meth:`_exec_block_ref` instead, as
+        does any entry whose live-in registers are not all defined
+        (:class:`~repro.interp.compile.UndefinedEntryRead` — the
+        reference executor reproduces the walker's exact trap point).
+        """
+        from .compile import UndefinedEntryRead, get_block_code
+
+        table = self._tables.get(func_name)
+        if table is None:
+            table = {block.label: (get_block_code(block), block)
+                     for block in func.blocks}
+            self._tables[func_name] = table
+        memory = self.memory
+        load = memory.load
+        store = memory.store
+        next_depth = depth + 1
+
+        def call(callee, args, _call=self._call, _depth=next_depth):
+            return _call(callee, args, _depth)
+
+        counts: Dict[str, int] = {}
+        counts_get = counts.get
+        label = func.entry.label
+        try:
+            while True:
+                counts[label] = counts_get(label, 0) + 1
+                code, block = table[label]
+                fn = code.fn
+                if fn is None:
+                    outcome = self._exec_block_ref(func_name, block,
+                                                   regs, depth)
+                else:
+                    try:
+                        outcome = fn(self, regs, load, store, call,
+                                     func_name)
+                    except UndefinedEntryRead:
+                        outcome = self._exec_block_ref(func_name, block,
+                                                       regs, depth)
+                if outcome.__class__ is tuple:
+                    return outcome[0]
+                label = outcome
+        finally:
+            self.profile.record_block_entries(func_name, counts)
 
     @staticmethod
     def _value(operand: Operand, regs: Dict[str, int]) -> int:
@@ -152,16 +297,19 @@ class Interpreter:
 
 def execute(module: Module, func_name: str, args: Sequence[int] = (),
             memory: Optional[Memory] = None,
+            backend: Optional[str] = None,
             ) -> RunResult:
     """One-shot convenience execution."""
-    return Interpreter(module, memory=memory).run(func_name, args)
+    return Interpreter(module, memory=memory,
+                       backend=backend).run(func_name, args)
 
 
 def profile_module(module: Module, func_name: str,
                    args: Sequence[int] = (),
                    memory: Optional[Memory] = None,
+                   backend: Optional[str] = None,
                    ) -> ProfileData:
     """Run ``func_name`` and return the gathered profile."""
-    interp = Interpreter(module, memory=memory)
+    interp = Interpreter(module, memory=memory, backend=backend)
     interp.run(func_name, args)
     return interp.profile

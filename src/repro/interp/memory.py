@@ -33,6 +33,7 @@ class Memory:
         return row
 
     def load(self, array: str, index: int) -> int:
+        """Bounds-checked read of ``array[index]`` (traps when outside)."""
         row = self._row(array, "load from")
         if not 0 <= index < len(row):
             raise TrapError(
@@ -40,6 +41,7 @@ class Memory:
         return row[index]
 
     def store(self, array: str, index: int, value: int) -> None:
+        """Bounds-checked, 32-bit-wrapping write of ``array[index]``."""
         row = self._row(array, "store to")
         if not 0 <= index < len(row):
             raise TrapError(
@@ -60,6 +62,7 @@ class Memory:
 
     def read_array(self, array: str, length: int = -1,
                    offset: int = 0) -> List[int]:
+        """Copy out a slice of an array (whole row by default)."""
         row = self._row(array, "read_array from")
         if length < 0:
             length = len(row) - offset
@@ -70,4 +73,5 @@ class Memory:
         return self._row(name, "scalar read of")[0]
 
     def set_scalar(self, name: str, value: int) -> None:
+        """Write a global scalar (size-1 array), 32-bit wrapped."""
         self._row(name, "scalar write of")[0] = wrap32(value)

@@ -21,12 +21,28 @@ class ProfileData:
     steps: int = 0
 
     def record_block(self, func: str, label: str) -> None:
+        """Count one entry of block *label* in function *func*."""
         self.counts[(func, label)] += 1
 
+    def record_block_entries(self, func: str,
+                             entries: Dict[str, int]) -> None:
+        """Fold a whole call frame's ``label -> entry count`` tally in.
+
+        The compiled backend (:mod:`repro.interp.compile`) counts block
+        entries in a plain local dict while executing and aggregates
+        once per frame through this method — the aggregate totals are
+        identical to the walker's per-entry :meth:`record_block` calls.
+        """
+        counts = self.counts
+        for label, count in entries.items():
+            counts[(func, label)] += count
+
     def record_call(self, func: str) -> None:
+        """Count one invocation of function *func*."""
         self.calls[func] += 1
 
     def block_count(self, func: str, label: str) -> int:
+        """Entries recorded for one ``(function, block label)`` pair."""
         return self.counts[(func, label)]
 
     def weights_for(self, func: str) -> Dict[str, float]:
@@ -39,9 +55,11 @@ class ProfileData:
 
     def hottest(self, limit: int = 10) -> Tuple[Tuple[Tuple[str, str], int],
                                                 ...]:
+        """The *limit* most frequently entered blocks, hottest first."""
         return tuple(self.counts.most_common(limit))
 
     def merge(self, other: "ProfileData") -> None:
+        """Fold another profile's counts, calls and steps into this one."""
         self.counts.update(other.counts)
         self.calls.update(other.calls)
         self.steps += other.steps

@@ -68,6 +68,7 @@ def prepare_application(
     verify: bool = True,
     min_nodes: int = 2,
     store=None,
+    backend: Optional[str] = None,
 ) -> Application:
     """Build an :class:`Application` for a registered workload.
 
@@ -86,6 +87,10 @@ def prepare_application(
             and every parameter above (:func:`repro.store.keys.
             workload_key`) — a hit skips compilation, optimisation and
             the profiling run and returns a bit-identical application.
+        backend: execution backend for the profiling run (``"walk"`` or
+            ``"compiled"``; default ``$REPRO_BACKEND``, else compiled).
+            Profiles are bit-identical either way, so the store key
+            deliberately excludes it.
     """
     workload = (name_or_workload
                 if isinstance(name_or_workload, Workload)
@@ -103,7 +108,7 @@ def prepare_application(
                               if_convert=if_convert)
     memory = Memory(module)
     args = workload.driver(memory, size)
-    interpreter = Interpreter(module, memory=memory)
+    interpreter = Interpreter(module, memory=memory, backend=backend)
     interpreter.run(workload.entry, args)
     if verify:
         workload.verify(memory, size)

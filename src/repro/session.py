@@ -57,6 +57,7 @@ class Session:
         model: Optional[CostModel] = None,
         workers: Optional[int] = None,
         limits: Optional[SearchLimits] = None,
+        backend: Optional[str] = None,
     ) -> None:
         """Open a session.
 
@@ -70,11 +71,17 @@ class Session:
                 (default: ``$REPRO_WORKERS``, else serial).
             limits: default search budget applied when a call does not
                 pass its own.
+            backend: execution backend for every profiling/measurement
+                run the session performs (``"walk"``/``"compiled"``;
+                default ``$REPRO_BACKEND``, else compiled).  Results
+                are bit-identical across backends, so the backend is
+                deliberately absent from every memo and store key.
         """
         self.store: Optional[ArtifactStore] = resolve_store(store)
         self.model = model or CostModel()
         self.workers = workers
         self.limits = limits
+        self.backend = backend
         self.cache = SearchCache(backing=self.store)
         self._apps: Dict[Tuple, Application] = {}
 
@@ -92,7 +99,8 @@ class Session:
         if app is None:
             app = prepare_application(name, n=n, unroll=unroll,
                                       if_convert=if_convert, verify=verify,
-                                      store=self.store)
+                                      store=self.store,
+                                      backend=self.backend)
             self._apps[key] = app
         return app
 
@@ -140,7 +148,7 @@ class Session:
         return run_sweep(spec, use_cache=use_cache,
                          cache=self.cache if use_cache else None,
                          workers=self.workers, echo=echo,
-                         store=self.store,
+                         store=self.store, backend=self.backend,
                          prepare=lambda name, size, unr: self.prepare(
                              name, n=size, unroll=unr))
 
@@ -163,7 +171,7 @@ class Session:
             limits=self._limits(limits), n=n, unroll=unroll,
             workers=self.workers, max_nodes=max_nodes,
             area_budget=area_budget, area_method=area_method,
-            store=self.store, cache=self.cache,
+            store=self.store, cache=self.cache, backend=self.backend,
             prepare=lambda name, size, unr: self.prepare(
                 name, n=size, unroll=unr))
 

@@ -133,6 +133,34 @@ class TestIr:
         assert "application fir" in out
 
 
+class TestRun:
+    def test_runs_baseline(self, capsys):
+        code = main(["run", "fir", "--n", "16"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "fir n=16 (baseline)" in captured.out
+        assert "steps:" in captured.out
+        assert "verified: yes" in captured.out
+        # Wall time is telemetry and must stay off stdout.
+        assert "steps/s" in captured.err
+
+    def test_backends_print_identical_stdout(self, capsys):
+        outputs = {}
+        for backend in ("walk", "compiled"):
+            assert main(["run", "crc32", "--n", "12",
+                         "--backend", backend]) == 0
+            outputs[backend] = capsys.readouterr().out
+        assert outputs["walk"] == outputs["compiled"]
+
+    def test_run_rewritten(self, capsys):
+        code = main(["run", "fir", "--n", "16", "--rewrite",
+                     "--ninstr", "2", "--limit", "100000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rewritten:" in out
+        assert "verified: yes" in out
+
+
 class TestSweep:
     def test_grid_with_artifacts(self, capsys, tmp_path):
         json_path = tmp_path / "sweep.json"

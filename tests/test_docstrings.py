@@ -26,6 +26,8 @@ MODULES = [
     "repro.exec.rewrite",
     "repro.exec.cycles",
     "repro.exec.speedup",
+    "repro.interp",
+    "repro.interp.compile",
 ]
 
 #: Anything shorter than this is a label, not documentation.
