@@ -22,9 +22,10 @@ Subcommands:
 * ``afu`` — generate Verilog for the selected custom instructions;
 * ``cache`` — inspect or maintain the persistent artifact store.
 
-Verbs that execute programs accept ``--backend walk|compiled``
+Verbs that execute programs accept ``--backend walk|block|compiled``
 (default: ``$REPRO_BACKEND``, else the compiled backend, DESIGN.md
-§11); every printed table and artifact is byte-identical either way.
+§11–§12); every printed table and artifact is byte-identical either
+way.
 
 Every verb bootstraps one shared :class:`repro.session.Session`, so the
 expensive products (compiled modules, profiles, search results,
@@ -84,7 +85,8 @@ def _resolve_store_args(args):
 
 
 def _add_backend(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--backend", choices=["walk", "compiled"],
+    parser.add_argument("--backend",
+                        choices=["walk", "block", "compiled"],
                         default=None,
                         help="execution backend for profiling and "
                              "measurement (default: $REPRO_BACKEND, "
@@ -346,6 +348,62 @@ def cmd_speedup(args) -> int:
     return 0
 
 
+def _run_batch_mode(args, workload, module, note) -> int:
+    """Batched ``repro run``: N input lanes per call (DESIGN.md §12).
+
+    stdout stays byte-stable for CI diffing — lane counts, total steps
+    and the bit-identity verdict, no timing; throughput and the
+    per-lane verified tally go to stderr like every other verb's
+    telemetry.  ``--inputs`` lanes replay one driver record and are
+    each held bit-for-bit to a golden reference lane; ``--batch-file``
+    lanes are arbitrary user records, so only trap-freeness can be
+    checked (``verified: n/a``).
+    """
+    from .interp import Lane, driver_lanes, image_verifier, run_batch
+
+    size = args.n if args.n is not None else workload.default_n
+    if args.batch_file:
+        with open(args.batch_file) as fh:
+            records = json.load(fh)
+        lanes = [Lane(args=tuple(rec.get("args", ())),
+                      arrays=rec.get("arrays", {}),
+                      max_steps=rec.get("max_steps"))
+                 for rec in records]
+        check = None
+    else:
+        lanes = driver_lanes(module, workload.driver, size, args.inputs)
+        # Golden reference: one lane verified against the workload's
+        # model; every timed lane is then held to its exact image.
+        reference = run_batch(
+            module, workload.entry, lanes[:1], backend=args.backend,
+            keep_arrays=True,
+            verify=lambda memory, lane: workload.verify(memory, size))
+        ref = reference.lanes[0]
+        if not ref.ok or ref.verified is not True:
+            print(f"{args.workload} n={size} ({note})")
+            detail = ref.trap if ref.trap else "golden verification failed"
+            print(f"reference lane FAIL: {detail}")
+            return 1
+        check = image_verifier(ref.value, ref.arrays)
+    start = time.perf_counter()
+    batch = run_batch(module, workload.entry, lanes,
+                      backend=args.backend, verify=check)
+    wall = time.perf_counter() - start
+    verified = batch.verified_count == len(lanes) if check else None
+    print(f"{args.workload} n={size} ({note}, batch)")
+    print(f"lanes:    {len(lanes)} ({batch.ok_count} ok)")
+    print(f"steps:    {batch.total_steps}")
+    print("verified: "
+          + ("n/a" if verified is None else "yes" if verified else "NO"))
+    print(f"{batch.backend} backend: {wall:.4f}s "
+          f"({len(lanes) / max(wall, 1e-9):,.0f} inputs/s, "
+          f"{batch.verified_count}/{len(lanes)} lanes verified)",
+          file=sys.stderr)
+    if verified is None:
+        return 0 if batch.ok_count == len(lanes) else 1
+    return 0 if verified else 1
+
+
 def cmd_run(args) -> int:
     from .exec.rewrite import rewrite_module
     from .interp import Interpreter, Memory
@@ -374,6 +432,8 @@ def cmd_run(args) -> int:
 
         module = compile_workload(workload, unroll=args.unroll)
         note = "baseline"
+    if args.inputs is not None or args.batch_file:
+        return _run_batch_mode(args, workload, module, note)
     size = args.n if args.n is not None else workload.default_n
     memory = Memory(module)
     run_args = workload.driver(memory, size)
@@ -608,6 +668,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="instruction budget for --rewrite")
     p.add_argument("--limit", type=int, default=None,
                    help="max cuts considered per search (--rewrite)")
+    p.add_argument("--inputs", type=int, default=None, metavar="N",
+                   help="batched mode: execute the workload over N "
+                        "input lanes in one call (driver runs once; "
+                        "every lane is verified bit-for-bit against a "
+                        "golden reference lane)")
+    p.add_argument("--batch-file", default=None, metavar="PATH",
+                   help="batched mode with explicit lanes: a JSON list "
+                        "of records {args: [...], arrays: {name: "
+                        "[...]}, max_steps: int} executed in order")
     _add_store(p)
     _add_backend(p)
     p.set_defaults(fn=cmd_run)

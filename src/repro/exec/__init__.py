@@ -19,10 +19,12 @@ from .rewrite import (
     rewrite_module,
 )
 from .speedup import (
+    BatchMeasurement,
     MeasuredSpeedup,
     SpeedupRow,
     format_speedup_table,
     measure_baseline,
+    measure_batch,
     measure_selection,
     run_speedup,
 )
@@ -31,6 +33,7 @@ __all__ = [
     "CycleReport", "module_block_costs", "run_with_cycles",
     "FusedAFU", "FusedGate", "RewriteError", "RewriteResult",
     "clone_module", "rewrite_module",
-    "MeasuredSpeedup", "SpeedupRow", "format_speedup_table",
-    "measure_baseline", "measure_selection", "run_speedup",
+    "BatchMeasurement", "MeasuredSpeedup", "SpeedupRow",
+    "format_speedup_table", "measure_baseline", "measure_batch",
+    "measure_selection", "run_speedup",
 ]

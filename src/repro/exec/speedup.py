@@ -6,11 +6,15 @@ original and the rewritten module on identical driver inputs, checks the
 outputs bit-for-bit, and returns measured cycle counts next to the static
 estimate.  ``run_speedup`` is the whole-table driver behind the
 ``repro speedup`` CLI verb and ``benchmarks/bench_speedup.py``.
+``measure_batch`` is the serving-scale variant: one prepared workload
+over N input lanes per call (DESIGN.md §12), every lane verified
+bit-for-bit against a golden reference lane.
 """
 
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import asdict, dataclass
 from typing import List, Optional, Sequence
 
@@ -26,6 +30,12 @@ from ..core import (
 )
 from ..core.selection import SelectionResult
 from ..hwmodel.latency import CostModel
+from ..interp.batch import (
+    BatchResult,
+    driver_lanes,
+    image_verifier,
+    run_batch,
+)
 from ..interp.memory import Memory
 from ..pipeline import Application, prepare_application
 from ..store.keys import callable_fingerprint, canonical_digest, model_digest
@@ -204,6 +214,132 @@ def measure_selection(
         skipped_cuts=len(rewritten.skipped),
         steps_baseline=base.steps,
         steps_ise=ise.steps,
+    )
+
+
+@dataclass
+class BatchMeasurement:
+    """One batched throughput measurement (``repro run --inputs``).
+
+    ``baseline`` holds the per-lane results of executing the prepared
+    module over every lane; ``rewritten`` is the same batch on the
+    ISE-rewritten module when a selection was given, else ``None``.
+    ``identical`` is True iff the golden reference lane passed the
+    workload's verifier **and** every lane of every batch matched the
+    reference image bit-for-bit (value and all memory words).  Timing
+    covers the batch loop including the per-lane image check.
+    """
+
+    workload: str
+    entry: str
+    n: int
+    count: int
+    backend: str
+    baseline: BatchResult
+    baseline_seconds: float
+    identical: bool
+    rewritten: Optional[BatchResult] = None
+    rewritten_seconds: float = 0.0
+
+    @property
+    def inputs_per_second(self) -> float:
+        """Baseline batch throughput (lanes over wall seconds)."""
+        return self.count / max(self.baseline_seconds, 1e-9)
+
+    @property
+    def rewritten_inputs_per_second(self) -> float:
+        """Rewritten batch throughput; 0.0 without a rewritten batch."""
+        if self.rewritten is None:
+            return 0.0
+        return self.count / max(self.rewritten_seconds, 1e-9)
+
+    def as_dict(self) -> dict:
+        """Flat JSON-ready record for benchmark artifacts."""
+        return {
+            "workload": self.workload,
+            "entry": self.entry,
+            "n": self.n,
+            "count": self.count,
+            "backend": self.backend,
+            "baseline_seconds": self.baseline_seconds,
+            "inputs_per_second": self.inputs_per_second,
+            "lanes_ok": self.baseline.ok_count,
+            "lanes_verified": self.baseline.verified_count,
+            "total_steps": self.baseline.total_steps,
+            "identical": self.identical,
+            "rewritten_seconds": (self.rewritten_seconds
+                                  if self.rewritten is not None else None),
+            "rewritten_inputs_per_second": (
+                self.rewritten_inputs_per_second
+                if self.rewritten is not None else None),
+            "rewritten_lanes_verified": (
+                self.rewritten.verified_count
+                if self.rewritten is not None else None),
+        }
+
+
+def measure_batch(app: Application, count: int,
+                  model: Optional[CostModel] = None,
+                  n: Optional[int] = None,
+                  selection: Optional[SelectionResult] = None,
+                  backend: Optional[str] = None) -> BatchMeasurement:
+    """Execute one prepared workload over *count* input lanes.
+
+    The serving-scale counterpart of :func:`measure_selection`: the
+    driver runs **once** (:func:`repro.interp.batch.driver_lanes`), a
+    one-lane reference batch is verified against the workload's golden
+    model, and then the full batch runs with every lane held to the
+    reference's final state bit-for-bit
+    (:func:`repro.interp.batch.image_verifier`) — so the reported
+    throughput is for *verified* lanes, not unchecked ones.  With a
+    *selection* the ISE-rewritten module runs the same lanes against
+    the same reference image (rewrites preserve globals and, by the
+    bit-exactness obligation, the final memory state).
+    """
+    workload = get_workload(app.name)
+    model = model or CostModel()
+    size = n if n is not None else workload.default_n
+    lanes = driver_lanes(app.module, workload.driver, size, count)
+
+    reference = run_batch(
+        app.module, app.entry, lanes[:1], backend=backend,
+        keep_arrays=True,
+        verify=lambda memory, lane: workload.verify(memory, size))
+    ref = reference.lanes[0]
+    if not ref.ok:
+        raise RuntimeError(
+            f"batch reference lane for {app.name!r} faulted: {ref.trap}")
+    identical = ref.verified is True
+    check = image_verifier(ref.value, ref.arrays)
+
+    start = time.perf_counter()
+    baseline = run_batch(app.module, app.entry, lanes, backend=backend,
+                         verify=check)
+    baseline_seconds = time.perf_counter() - start
+    identical = identical and baseline.verified_count == len(lanes)
+
+    rewritten_batch = None
+    rewritten_seconds = 0.0
+    if selection is not None:
+        rewritten = rewrite_module(app.module, selection.cuts, model)
+        start = time.perf_counter()
+        rewritten_batch = run_batch(rewritten.module, app.entry, lanes,
+                                    backend=backend, verify=check)
+        rewritten_seconds = time.perf_counter() - start
+        identical = (identical
+                     and rewritten_batch.verified_count == len(lanes))
+
+    return BatchMeasurement(
+        workload=app.name,
+        entry=app.entry,
+        n=size,
+        count=count,
+        backend=baseline.backend,
+        baseline=baseline,
+        baseline_seconds=baseline_seconds,
+        identical=identical,
+        rewritten=rewritten_batch,
+        rewritten_seconds=rewritten_seconds,
     )
 
 

@@ -175,6 +175,7 @@ class SweepOutcome:
     warm_units: int = 0
     cache_stats: Optional[dict] = None
     cache_entries: int = 0
+    code_memo: Optional[dict] = None
 
     @property
     def sweep_s(self) -> float:
@@ -408,6 +409,13 @@ def run_sweep(
     if cache is not None:
         outcome.cache_stats = cache.stats.as_dict()
         outcome.cache_entries = len(cache)
+    # Compiled-backend telemetry: the process-wide code memo the
+    # sweep's measurement runs (and any rewritten modules) compiled
+    # into or reused — `hits` rising across a sweep is the satellite
+    # obligation that rewritten-module region digests share the memo.
+    from ..interp.compile import code_memo_stats
+
+    outcome.code_memo = code_memo_stats().as_dict()
     say(f"{len(outcome.rows)} grid point(s) in {outcome.sweep_s:.2f}s "
         f"({outcome.points_per_second:.2f} points/s)")
     return outcome

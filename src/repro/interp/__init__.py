@@ -1,6 +1,15 @@
-"""IR interpreter: execution, memory image, profiling, and the
-compiled-block execution backend (DESIGN.md §11)."""
+"""IR interpreter: execution, memory image, profiling, the compiled
+region/block execution backends and batched N-inputs-per-call execution
+(DESIGN.md §11–§12)."""
 
+from .batch import (
+    BatchResult,
+    Lane,
+    LaneResult,
+    driver_lanes,
+    image_verifier,
+    run_batch,
+)
 from .interpreter import (
     BACKENDS,
     ExecutionLimitExceeded,
@@ -17,4 +26,6 @@ __all__ = [
     "Interpreter", "execute", "profile_module", "RunResult",
     "Memory", "TrapError", "ProfileData", "ExecutionLimitExceeded",
     "BACKENDS", "resolve_backend",
+    "BatchResult", "Lane", "LaneResult", "driver_lanes", "image_verifier",
+    "run_batch",
 ]

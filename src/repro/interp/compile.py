@@ -12,6 +12,17 @@ generated Python source:
   is read once per live-in register at block entry and written once per
   defined register at block exit (never for ``RET`` exits, where the
   frame dies anyway);
+* maximal single-entry successor chains — **regions**, discovered from
+  the CFG by :func:`discover_regions` — compile into *one* closure:
+  live registers stay Python locals across the internal links, the
+  per-block dict read/write-back disappears from hot paths, and each
+  internal boundary costs one increment of the per-frame profile
+  counts dict (``C``) instead of a dispatch-loop round trip.  Chains
+  thread unconditional ``JMP`` links and, superblock-style, continue
+  through a ``BR`` into a single-predecessor target — the off-trace
+  side becomes an early *side exit* (walker-exact writebacks, then a
+  return of the off-trace label), which is what fuses a loop header
+  with its body into one closure per iteration;
 * opcode semantics are **inlined**: the 32-bit two's-complement wrap of
   :func:`repro.ir.values.wrap32` is emitted as a closed-form expression
   (``((v & 0xFFFFFFFF) ^ 0x80000000) - 0x80000000``) exactly where an
@@ -34,13 +45,17 @@ generated Python source:
   dict and folded into :class:`~repro.interp.profile.ProfileData` once
   per call frame (aggregate-on-exit), not per entry.
 
-Compiled closures are cached in a process-wide memo keyed on the block's
-*structural digest* (:func:`block_digest`, built on :func:`repro.store.
-keys.canonical_digest`): repeated sweep/measure runs over cloned modules
-— ``rewrite_module`` always clones — reuse the compiled code of every
-block whose instruction stream is unchanged.  Blocks the generator
-cannot translate (malformed IR without a terminator, opcodes it does not
-know) fall back to the walker's reference executor per block; the memo
+Compiled closures are cached in a process-wide **LRU** memo keyed on
+structural digests (:func:`block_digest` per block,
+:func:`region_digest` — a pure composition of member block digests —
+per chain, both built on :func:`repro.store.keys.canonical_digest`):
+repeated sweep/measure runs over cloned modules — ``rewrite_module``
+always clones — reuse the compiled code of every block and region whose
+instruction stream is unchanged, and eviction at :data:`MEMO_LIMIT`
+drops the least-recently-used closure instead of the whole memo, so
+long sweeps keep hot region closures warm.  Blocks the generator cannot
+translate (malformed IR without a terminator, opcodes it does not know)
+fall back to the walker's reference executor per block; the memo
 records them as fallbacks so :func:`code_memo_stats` makes the fallback
 rate observable.
 
@@ -52,10 +67,12 @@ and ``benchmarks/bench_interp.py`` enforce.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..ir.function import BasicBlock
+from ..ir.cfg import predecessors
+from ..ir.function import BasicBlock, Function
 from ..ir.instructions import Instruction, ISEInstruction
 from ..ir.opcodes import Opcode
 from ..ir.values import Const, Reg
@@ -63,8 +80,9 @@ from ..store.keys import canonical_digest
 
 __all__ = [
     "BlockCode", "CodeMemoStats", "UndefinedEntryRead", "block_digest",
-    "clear_code_memo", "code_memo_stats", "compile_block",
-    "get_block_code",
+    "build_function_table", "clear_code_memo", "code_memo_stats",
+    "compile_block", "compile_region", "discover_regions",
+    "get_block_code", "get_region_code", "region_digest",
 ]
 
 
@@ -83,7 +101,9 @@ class UndefinedEntryRead(Exception):
 #: Bump when generated-code semantics change: digest-keyed closures from
 #: the old generator must not be reused by a process mixing versions
 #: (the memo is in-process only, so this mostly documents intent).
-CODEGEN_VERSION = 1
+#: v2: region compilation — closures take the per-frame profile counts
+#: dict ``C`` as a seventh parameter.
+CODEGEN_VERSION = 2
 
 _MASK = "4294967295"            # 0xFFFFFFFF
 _SIGN = "2147483648"            # 0x80000000
@@ -91,50 +111,85 @@ _SIGN = "2147483648"            # 0x80000000
 
 @dataclass
 class BlockCode:
-    """One block's compiled artifact (or its recorded fallback).
+    """One block's — or one region's — compiled artifact (or fallback).
 
     Attributes:
         fn: the generated closure, called as ``fn(I, R, LOAD, STORE,
-            CALL, FN)`` with the interpreter, the register dict, the
-            memory accessors, the call-back into ``Interpreter._call``
-            and the executing function's name; returns the successor
-            label, or a 1-tuple ``(value,)`` for ``RET``.  ``None`` when
-            codegen fell back to the walker for this block.
-        label: the source block's label (diagnostics only).
+            CALL, FN, C)`` with the interpreter, the register dict, the
+            memory accessors, the call-back into ``Interpreter._call``,
+            the executing function's name and the per-frame profile
+            counts dict (region closures bump it at every internal
+            block boundary; single-block closures ignore it); returns
+            the successor label, or a 1-tuple ``(value,)`` for ``RET``.
+            ``None`` when codegen fell back to the walker.
+        label: the head block's label (diagnostics only).
         source: the generated Python text (debugging aid; the step
             constants live in here as per-segment literals).
         digest: structural digest the memo is keyed on.
+        span: how many source blocks the closure threads (1 for a
+            plain per-block artifact, the chain length for a region).
     """
 
     fn: Optional[object]
     label: str
     source: str = ""
     digest: str = ""
+    span: int = 1
 
 
 @dataclass
 class CodeMemoStats:
-    """Telemetry of the in-process code memo."""
+    """Telemetry of the in-process code memo.
+
+    ``compiled`` counts successful codegen runs (``regions`` of which
+    were multi-block chains), ``hits`` counts memo reuse, ``fallbacks``
+    counts untranslatable units, ``evictions`` counts LRU drops.
+    """
 
     compiled: int = 0
     hits: int = 0
     fallbacks: int = 0
+    regions: int = 0
+    evictions: int = 0
 
     def as_dict(self) -> dict:
         """Flat dict for JSON artifacts and benchmark reports."""
         return {"compiled": self.compiled, "hits": self.hits,
-                "fallbacks": self.fallbacks}
+                "fallbacks": self.fallbacks, "regions": self.regions,
+                "evictions": self.evictions}
 
 
-#: Memo capacity: dropped wholesale when full, like the artifact
-#: store's hot tier (DESIGN.md §10) — a long-lived session sweeping
-#: huge grids cannot accumulate closures (each of which pins its
-#: generated source and any pre-bound AFU netlists) without bound.
+#: Memo capacity.  Eviction is least-recently-used, one entry at a
+#: time: a long-lived session sweeping huge grids cannot accumulate
+#: closures (each of which pins its generated source and any pre-bound
+#: AFU netlists) without bound, while the hot working set — re-looked
+#: up on every run — stays warm instead of being dropped wholesale.
 #: Far above any realistic working set, so eviction is a backstop.
 MEMO_LIMIT = 4096
 
-_MEMO: Dict[str, BlockCode] = {}
+_MEMO: "OrderedDict[str, BlockCode]" = OrderedDict()
 _STATS = CodeMemoStats()
+
+
+def _memo_get(digest: str) -> Optional[BlockCode]:
+    """LRU lookup: a hit refreshes the entry's recency."""
+    cached = _MEMO.get(digest)
+    if cached is not None:
+        _MEMO.move_to_end(digest)
+        _STATS.hits += 1
+    return cached
+
+
+def _memo_put(digest: str, code: BlockCode) -> None:
+    """Insert under the cap, evicting least-recently-used entries.
+
+    ``MEMO_LIMIT`` is read at call time so tests can shrink it and
+    observe eviction without compiling thousands of blocks.
+    """
+    while _MEMO and len(_MEMO) >= MEMO_LIMIT:
+        _MEMO.popitem(last=False)
+        _STATS.evictions += 1
+    _MEMO[digest] = code
 
 
 def _operand_token(operand) -> Tuple:
@@ -190,6 +245,20 @@ def block_digest(block: BasicBlock) -> str:
                             block.label, tuple(insns))
 
 
+def region_digest(blocks: Sequence[BasicBlock]) -> str:
+    """SHA-256 over a straight-line chain: its member block digests.
+
+    Purely structural by construction — a rewritten module's cloned
+    chain (identical instruction streams, identical labels, identical
+    AFU netlists) derives the same key as the sweep that first
+    compiled it, so ``repro run --rewrite`` reuses in-process region
+    closures instead of recompiling them.
+    """
+    return canonical_digest(
+        "regioncode-v1", CODEGEN_VERSION,
+        tuple(block_digest(block) for block in blocks))
+
+
 # ----------------------------------------------------------------------
 # Code generation.
 # ----------------------------------------------------------------------
@@ -218,10 +287,16 @@ def _wrap_unsigned(expr: str) -> str:
 
 
 class _BlockCompiler:
-    """Translates one basic block into a Python closure (module doc)."""
+    """Translates a straight-line block chain into one Python closure.
 
-    def __init__(self, block: BasicBlock) -> None:
-        self.block = block
+    A single block is the degenerate chain of length one; longer
+    chains (regions) keep registers in locals across their internal
+    ``JMP`` links — internal terminators emit no writebacks and no
+    return, just the per-frame profile-count bump (see module doc).
+    """
+
+    def __init__(self, blocks: Sequence[BasicBlock]) -> None:
+        self.blocks = list(blocks)
         self.locals: Dict[str, str] = {}      # register name -> local
         self.defined: set = set()             # registers defined so far
         self.entry_reads: List[str] = []      # registers loaded at entry
@@ -388,6 +463,35 @@ class _BlockCompiler:
             raise _UnsupportedBlock(f"opcode {op}")
         self.out.emit(f"{dst} = {expr}", indent)
 
+    def _emit_internal_exit(self, insn: Instruction,
+                            fallthrough: str) -> None:
+        """Emit a mid-region terminator (control stays in the closure).
+
+        An internal ``JMP`` is pure fall-through — its step was counted
+        by the segment, and the next block's code follows immediately.
+        An internal ``BR`` keeps the on-trace side inline and emits a
+        *side exit* for the other target: every register defined so far
+        (all of which executed — the trace is straight-line) is written
+        back and the off-trace label is returned to the dispatch loop,
+        exactly what the per-block backend would have done.
+        """
+        op = insn.opcode
+        if op is Opcode.JMP:
+            return
+        if op is not Opcode.BR:
+            raise _UnsupportedBlock(f"internal terminator {op}")
+        cond = self._read(insn.operands[0])
+        then_label, else_label = insn.targets
+        if fallthrough == then_label:
+            test, exit_label = f"{cond} == 0", else_label
+        else:
+            test, exit_label = f"{cond} != 0", then_label
+        emit = self.out.emit
+        emit(f"if {test}:")
+        for reg_name in sorted(self.defined):
+            emit(f"    R[{reg_name!r}] = {self.locals[reg_name]}")
+        emit(f"    return {exit_label!r}")
+
     def _emit_terminator(self, insn: Instruction, indent: int) -> None:
         op = insn.opcode
         emit = self.out.emit
@@ -431,16 +535,19 @@ class _BlockCompiler:
             return not isinstance(divisor, Const) or divisor.value == 0
         return False
 
-    def _segments(self) -> List[List[Instruction]]:
-        """Split the block at CALL boundaries (a call ends its segment).
+    @staticmethod
+    def _segments(block: BasicBlock) -> List[List[Instruction]]:
+        """Split one block at CALL boundaries (a call ends its segment).
 
         Within a segment the step count is a compile-time constant; a
         callee's steps land between segments, so each segment's budget
-        check observes exactly the walker's counter state.
+        check observes exactly the walker's counter state.  Segments
+        never span block boundaries — each block of a region carries
+        its own, so the budget twin stays per-block exact.
         """
         segments: List[List[Instruction]] = []
         current: List[Instruction] = []
-        for insn in self.block.instructions:
+        for insn in block.instructions:
             current.append(insn)
             if insn.opcode is Opcode.CALL:
                 segments.append(current)
@@ -449,8 +556,17 @@ class _BlockCompiler:
             segments.append(current)
         return segments
 
-    def _emit_segment(self, segment: List[Instruction]) -> None:
+    def _emit_segment(self, segment: List[Instruction],
+                      fallthrough: Optional[str]) -> None:
         """Emit one segment: fast path + walker-exact budget twin.
+
+        *fallthrough* names the next block of the region when this
+        segment belongs to a mid-region block (``None`` in the final
+        block): its terminator still costs a step (both paths count
+        it) but is emitted by :meth:`_emit_internal_exit` — at most a
+        conditional side exit — instead of the full writeback/return
+        epilogue; on-trace control falls through to the next block's
+        segments in the same closure.
 
         The twin runs only when the step budget expires inside this
         segment; it counts per op and is therefore *guaranteed* to
@@ -499,7 +615,10 @@ class _BlockCompiler:
                 emit(f"I._steps = _s + {count}")
                 committed = count
             if insn.is_terminator:
-                self._emit_terminator(insn, indent=1)
+                if fallthrough is None:
+                    self._emit_terminator(insn, indent=1)
+                else:
+                    self._emit_internal_exit(insn, fallthrough)
             else:
                 self._emit_insn(insn, indent=1)
         if has_traps and committed < count:
@@ -507,22 +626,53 @@ class _BlockCompiler:
 
     # -- driver --------------------------------------------------------
     def compile(self, digest: str) -> BlockCode:
-        """Generate, ``compile()`` and instantiate the block closure."""
-        block = self.block
-        if block.terminator is None:
-            # The walker's fall-through TrapError (and its exact step
-            # accounting) is easier to inherit than to replicate.
-            raise _UnsupportedBlock("no terminator")
+        """Generate, ``compile()`` and instantiate the chain's closure."""
+        blocks = self.blocks
+        last = len(blocks) - 1
+        for index, block in enumerate(blocks):
+            terminator = block.terminator
+            if terminator is None:
+                # The walker's fall-through TrapError (and its exact
+                # step accounting) is easier to inherit than to
+                # replicate.
+                raise _UnsupportedBlock("no terminator")
+            if index < last:
+                nxt = blocks[index + 1].label
+                if terminator.opcode is Opcode.JMP:
+                    linked = terminator.targets[0] == nxt
+                elif terminator.opcode is Opcode.BR:
+                    # A degenerate BR (both targets equal) never links:
+                    # the side-exit emission needs a distinct off-trace
+                    # label.
+                    linked = (nxt in terminator.targets
+                              and terminator.targets[0]
+                              != terminator.targets[1])
+                else:
+                    linked = False
+                if not linked:
+                    raise _UnsupportedBlock("chain link is not a "
+                                            "JMP/BR into the next block")
         body = _Emitter()
         self.out = body
         try:
-            for segment in self._segments():
-                self._emit_segment(segment)
+            for index, block in enumerate(blocks):
+                terminal = index == last
+                fallthrough = None if terminal else blocks[index + 1].label
+                for segment in self._segments(block):
+                    self._emit_segment(segment, fallthrough=fallthrough)
+                if not terminal:
+                    # The walker records a block entry *before* running
+                    # the block; the bump sits between the terminator's
+                    # step accounting and the successor's first segment
+                    # so a trap or budget expiry anywhere in the region
+                    # folds identical counts into the profile.
+                    succ = blocks[index + 1].label
+                    body.emit(f"C[{succ!r}] = C.get({succ!r}, 0) + 1")
         except _DeadCode:
-            pass        # an unconditional trap ends the block early
+            pass        # an unconditional trap ends the chain early
 
         header = _Emitter()
-        params = ["I", "R", "LOAD", "STORE", "CALL", "FN"]
+        params = ["I", "R", "LOAD", "STORE", "CALL", "FN", "C"]
         params += [f"{name}={name}" for name in ("_TE", "_ELE", "_UE")]
         params += [f"{name}={name}" for name in self.bindings]
         header.emit(f"def _block({', '.join(params)}):", 0)
@@ -546,10 +696,12 @@ class _BlockCompiler:
             "_UE": UndefinedEntryRead,
         }
         namespace.update(self.bindings)
-        code = compile(source, f"<repro:block:{digest[:12]}>", "exec")
+        kind = "block" if last == 0 else "region"
+        code = compile(source, f"<repro:{kind}:{digest[:12]}>", "exec")
         exec(code, namespace)
-        return BlockCode(fn=namespace["_block"], label=block.label,
-                         source=source, digest=digest)
+        return BlockCode(fn=namespace["_block"], label=blocks[0].label,
+                         source=source, digest=digest,
+                         span=len(blocks))
 
 
 class _DeadCode(Exception):
@@ -567,9 +719,28 @@ def compile_block(block: BasicBlock,
     """
     digest = digest if digest is not None else block_digest(block)
     try:
-        return _BlockCompiler(block).compile(digest)
+        return _BlockCompiler([block]).compile(digest)
     except _UnsupportedBlock:
         return BlockCode(fn=None, label=block.label, digest=digest)
+
+
+def compile_region(blocks: Sequence[BasicBlock],
+                   digest: Optional[str] = None) -> BlockCode:
+    """Compile a straight-line chain of blocks into one closure.
+
+    The chain must be linked head-to-tail by unconditional ``JMP``
+    terminators (as produced by :func:`discover_regions`); anything
+    else — or any member block codegen cannot translate — returns a
+    fallback artifact (``fn=None``), and the caller degrades to
+    per-block compilation for the head.
+    """
+    blocks = list(blocks)
+    digest = digest if digest is not None else region_digest(blocks)
+    try:
+        return _BlockCompiler(blocks).compile(digest)
+    except _UnsupportedBlock:
+        return BlockCode(fn=None, label=blocks[0].label, digest=digest,
+                         span=len(blocks))
 
 
 def get_block_code(block: BasicBlock) -> BlockCode:
@@ -580,19 +751,163 @@ def get_block_code(block: BasicBlock) -> BlockCode:
     one compiled closure, so warm runs skip codegen entirely.
     """
     digest = block_digest(block)
-    cached = _MEMO.get(digest)
+    cached = _memo_get(digest)
     if cached is not None:
-        _STATS.hits += 1
         return cached
     code = compile_block(block, digest)
     if code.fn is None:
         _STATS.fallbacks += 1
     else:
         _STATS.compiled += 1
-    if len(_MEMO) >= MEMO_LIMIT:
-        _MEMO.clear()       # wholesale drop, same policy as the store
-    _MEMO[digest] = code
+    _memo_put(digest, code)
     return code
+
+
+def get_region_code(blocks: Sequence[BasicBlock]) -> BlockCode:
+    """Memoised :func:`compile_region`, keyed on :func:`region_digest`.
+
+    Shares the process-wide LRU memo with per-block closures.  The key
+    composes member block digests only, so sweeps, speedup measurement
+    and CLI runs over digest-equal rewritten modules all reuse one
+    region closure.
+    """
+    digest = region_digest(blocks)
+    cached = _memo_get(digest)
+    if cached is not None:
+        return cached
+    code = compile_region(blocks, digest)
+    if code.fn is None:
+        _STATS.fallbacks += 1
+    else:
+        _STATS.compiled += 1
+        _STATS.regions += 1
+    _memo_put(digest, code)
+    return code
+
+
+def _chain_continuation(block: BasicBlock,
+                        candidates: Dict[str, BasicBlock]):
+    """The label *block*'s chain falls through into, or ``None``.
+
+    A ``JMP`` continues into its target when the target is a chain
+    candidate (single predecessor, not the entry, not a self-loop).  A
+    ``BR`` continues into one candidate target, superblock-style — the
+    other side becomes the closure's side exit.  When both targets are
+    candidates the one that does not immediately ``RET`` wins (it may
+    extend the trace further — the typical shape is a loop body whose
+    ``if`` skips to the latch, with an early ``return`` on the other
+    arm); on a tie the then-target wins.  A degenerate ``BR`` with
+    equal targets never continues.
+    """
+    terminator = block.terminator
+    if terminator is None:
+        return None
+    if terminator.opcode is Opcode.JMP:
+        target = terminator.targets[0]
+        return target if target in candidates else None
+    if terminator.opcode is not Opcode.BR:
+        return None
+    then_label, else_label = terminator.targets
+    if then_label == else_label:
+        return None
+    viable = [label for label in (then_label, else_label)
+              if label in candidates]
+    if len(viable) == 2:
+        viable.sort(key=lambda lbl: _ends_in_ret(candidates[lbl]))
+    return viable[0] if viable else None
+
+
+def _ends_in_ret(block: BasicBlock) -> bool:
+    """True when *block* terminates in ``RET`` (trace-choice tiebreak)."""
+    terminator = block.terminator
+    return (terminator is not None
+            and terminator.opcode is Opcode.RET)
+
+
+def discover_regions(func: Function) -> List[List[BasicBlock]]:
+    """Maximal single-entry block chains of *func*, heads first.
+
+    A block is a chain *candidate* when it has exactly one predecessor
+    and is neither the function entry nor its own predecessor.  Chains
+    start at every non-candidate block and follow
+    :func:`_chain_continuation` links — unconditional ``JMP`` targets
+    and one side of a ``BR`` — consuming each candidate at most once;
+    candidates no chain consumed (the off-trace side of a ``BR`` whose
+    other side won, or members of unreachable cycles) then head chains
+    of their own.  By construction every executed block transfer
+    either stays inside one closure or lands on a chain head, so the
+    dispatch loop never needs a mid-chain entry point.
+    """
+    preds = predecessors(func)
+    entry_label = func.entry.label
+    candidates: Dict[str, BasicBlock] = {}
+    for block in func.blocks:
+        label = block.label
+        if label == entry_label:
+            continue
+        pred_labels = preds.get(label, [])
+        if len(pred_labels) == 1 and pred_labels[0] != label:
+            candidates[label] = block
+
+    regions: List[List[BasicBlock]] = []
+
+    def walk(head: BasicBlock) -> List[BasicBlock]:
+        chain = [head]
+        current = head
+        while True:
+            target = _chain_continuation(current, candidates)
+            if target is None:
+                break
+            # Each candidate is consumed by exactly one chain; removal
+            # keeps the walk terminating even on adversarial CFGs.
+            current = candidates.pop(target)
+            chain.append(current)
+        return chain
+
+    for block in func.blocks:
+        if block.label not in candidates:
+            regions.append(walk(block))
+    while candidates:
+        # Leftover candidates (off-trace BR sides, unreachable cycles)
+        # in block order, longest-first from each: they head chains too.
+        for block in func.blocks:
+            if block.label in candidates:
+                del candidates[block.label]
+                regions.append(walk(block))
+                break
+    return regions
+
+
+def build_function_table(func: Function,
+                         regions: bool = True) -> Dict[str, list]:
+    """Dispatch table ``label -> [code, block]`` for one function.
+
+    With *regions* (the default) every multi-block straight-line chain
+    compiles into one closure keyed on its head label; labels covered
+    by a chain's tail get *lazy* slots (``code is None``), resolved to
+    per-block closures on first dispatch — they are only ever
+    dispatched on reference-fallback paths (a region head raising
+    :class:`UndefinedEntryRead` replays block by block).  With
+    ``regions=False`` every block gets its own eagerly compiled
+    closure (the ``"block"`` backend).  Entries are mutable lists so
+    the dispatch loop can fill lazy slots in place.
+    """
+    table: Dict[str, list] = {}
+    if regions:
+        for chain in discover_regions(func):
+            head = chain[0]
+            code = (get_region_code(chain) if len(chain) > 1
+                    else get_block_code(head))
+            if code.fn is None and len(chain) > 1:
+                # Untranslatable chain: degrade to the head's own
+                # per-block artifact (which may itself be a fallback).
+                code = get_block_code(head)
+            table[head.label] = [code, head]
+    for block in func.blocks:
+        if block.label not in table:
+            code = None if regions else get_block_code(block)
+            table[block.label] = [code, block]
+    return table
 
 
 def clear_code_memo() -> int:
@@ -604,6 +919,7 @@ def clear_code_memo() -> int:
     dropped = len(_MEMO)
     _MEMO.clear()
     _STATS.compiled = _STATS.hits = _STATS.fallbacks = 0
+    _STATS.regions = _STATS.evictions = 0
     return dropped
 
 

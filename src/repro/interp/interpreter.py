@@ -10,17 +10,23 @@ and run-time evaluation can never diverge.  Used for:
 * measuring end-to-end cycle counts of baseline and ISE-rewritten
   programs (:mod:`repro.exec`).
 
-Two execution backends share this class (DESIGN.md §11):
+Three execution backends share this class (DESIGN.md §11–§12):
 
 * ``"walk"`` — the original tree-walking reference loop, one dispatch
-  per operation.  It is the semantic oracle the compiled backend is
+  per operation.  It is the semantic oracle the compiled backends are
   differentially tested against.
-* ``"compiled"`` (the default) — per-block generated Python from
+* ``"block"`` — per-block generated Python from
   :mod:`repro.interp.compile`: register reads become locals, opcode
   semantics are inlined, and step/profile counters are aggregated per
-  block entry.  Bit-identical to the walker by obligation: results,
-  step counts, profiles, traps and the exact step index at which
-  :class:`ExecutionLimitExceeded` fires all match.
+  block entry.
+* ``"compiled"`` (the default) — the block backend plus *region*
+  compilation: maximal straight-line block chains become one closure,
+  so registers stay locals across internal jumps and the per-block
+  dict sync disappears from hot paths.
+
+Both compiled backends are bit-identical to the walker by obligation:
+results, step counts, profiles, traps and the exact step index at which
+:class:`ExecutionLimitExceeded` fires all match.
 
 Select a backend per interpreter (``Interpreter(..., backend="walk")``),
 or process-wide with ``$REPRO_BACKEND``.
@@ -40,8 +46,10 @@ from ..passes.constant_folding import evaluate_pure_op
 from .memory import Memory, TrapError
 from .profile import ProfileData
 
-#: The recognised execution backends, fastest-first.
-BACKENDS = ("compiled", "walk")
+#: The recognised execution backends, fastest-first: ``"compiled"``
+#: (regions + per-block codegen), ``"block"`` (per-block codegen only),
+#: ``"walk"`` (the reference oracle).
+BACKENDS = ("compiled", "block", "walk")
 
 
 def resolve_backend(backend: Optional[str] = None) -> str:
@@ -88,8 +96,9 @@ class Interpreter:
             memory: memory image (a fresh one is built when omitted).
             profile: profile sink shared across runs (fresh by default).
             max_steps: cumulative step budget across ``run`` calls.
-            backend: ``"walk"`` or ``"compiled"``; ``None`` defers to
-                ``$REPRO_BACKEND``, default compiled.
+            backend: ``"walk"``, ``"block"`` or ``"compiled"``;
+                ``None`` defers to ``$REPRO_BACKEND``, default
+                compiled.
         """
         self.module = module
         self.memory = memory if memory is not None else Memory(module)
@@ -122,9 +131,9 @@ class Interpreter:
                 f"got {len(args)}")
         self.profile.record_call(func_name)
         regs: Dict[str, int] = dict(zip(func.params, args))
-        if self.backend == "compiled":
-            return self._run_compiled(func, func_name, regs, depth)
-        return self._run_walk(func, func_name, regs, depth)
+        if self.backend == "walk":
+            return self._run_walk(func, func_name, regs, depth)
+        return self._run_compiled(func, func_name, regs, depth)
 
     # ------------------------------------------------------------------
     # Walking backend (the reference oracle).
@@ -236,22 +245,30 @@ class Interpreter:
     # ------------------------------------------------------------------
     def _run_compiled(self, func: Function, func_name: str,
                       regs: Dict[str, int], depth: int) -> Optional[int]:
-        """Dispatch loop over per-block compiled closures.
+        """Dispatch loop over compiled region/block closures.
 
-        Block entry counts are tallied in a local dict and folded into
-        the profile once per frame (also on exceptions, matching the
-        walker's record-before-execute order in aggregate).  Blocks the
+        The per-function table maps every label to its closure; under
+        the default backend region heads carry multi-block closures
+        (which bump internal block counts themselves, via ``counts``
+        passed as the closures' ``C`` parameter) and region-tail labels
+        start lazy — they are compiled per block on first dispatch,
+        which only happens on fallback paths.  Block entry counts are
+        tallied in a local dict and folded into the profile once per
+        frame (also on exceptions, matching the walker's
+        record-before-execute order in aggregate).  Units the
         generator refused run on :meth:`_exec_block_ref` instead, as
         does any entry whose live-in registers are not all defined
         (:class:`~repro.interp.compile.UndefinedEntryRead` — the
-        reference executor reproduces the walker's exact trap point).
+        reference executor reproduces the walker's exact trap point,
+        replaying a region head one block at a time).
         """
-        from .compile import UndefinedEntryRead, get_block_code
+        from .compile import (UndefinedEntryRead, build_function_table,
+                              get_block_code)
 
         table = self._tables.get(func_name)
         if table is None:
-            table = {block.label: (get_block_code(block), block)
-                     for block in func.blocks}
+            table = build_function_table(
+                func, regions=self.backend != "block")
             self._tables[func_name] = table
         memory = self.memory
         load = memory.load
@@ -267,18 +284,22 @@ class Interpreter:
         try:
             while True:
                 counts[label] = counts_get(label, 0) + 1
-                code, block = table[label]
+                entry = table[label]
+                code = entry[0]
+                if code is None:        # lazy region-tail slot
+                    code = get_block_code(entry[1])
+                    entry[0] = code
                 fn = code.fn
                 if fn is None:
-                    outcome = self._exec_block_ref(func_name, block,
+                    outcome = self._exec_block_ref(func_name, entry[1],
                                                    regs, depth)
                 else:
                     try:
                         outcome = fn(self, regs, load, store, call,
-                                     func_name)
+                                     func_name, counts)
                     except UndefinedEntryRead:
-                        outcome = self._exec_block_ref(func_name, block,
-                                                       regs, depth)
+                        outcome = self._exec_block_ref(
+                            func_name, entry[1], regs, depth)
                 if outcome.__class__ is tuple:
                     return outcome[0]
                 label = outcome

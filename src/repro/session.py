@@ -15,7 +15,7 @@ owns the three things worth keeping instead:
 
 The facade exposes the complete API surface — :meth:`prepare`,
 :meth:`identify`, :meth:`select`, :meth:`sweep`, :meth:`speedup`,
-:meth:`afu` — with warm-start semantics: repeating a call (in this
+:meth:`run_batch`, :meth:`afu` — with warm-start semantics: repeating a call (in this
 process or a later one) returns bit-identical results while skipping
 every expensive phase whose inputs did not change.  The store is a pure
 memo; ``Session(store=False)`` computes exactly the same numbers from
@@ -174,6 +174,30 @@ class Session:
             store=self.store, cache=self.cache, backend=self.backend,
             prepare=lambda name, size, unr: self.prepare(
                 name, n=size, unroll=unr))
+
+    def run_batch(self, workload: str, count: int,
+                  n: Optional[int] = None, unroll: Optional[int] = None,
+                  rewrite: bool = False, algorithm: str = "iterative",
+                  nin: int = 4, nout: int = 2, ninstr: int = 16,
+                  limits: Optional[SearchLimits] = None,
+                  max_nodes: int = 40):
+        """Execute one workload over *count* input lanes
+        (:func:`repro.exec.speedup.measure_batch`), sharing preparation
+        — and, with ``rewrite=True``, selection — with every other
+        session call through the in-process memo and the store.  The
+        compiled-code memo is process-wide, so a batch after a sweep
+        reuses the sweep's region closures."""
+        from .exec.speedup import measure_batch
+
+        app = self.prepare(workload, n=n, unroll=unroll)
+        selection = None
+        if rewrite:
+            selection = self.select(
+                workload, algorithm=algorithm, nin=nin, nout=nout,
+                ninstr=ninstr, limits=limits, n=n, unroll=unroll,
+                max_nodes=max_nodes)
+        return measure_batch(app, count, model=self.model, n=n,
+                             selection=selection, backend=self.backend)
 
     def afu(self, workload: str, ninstr: int = 2, nin: int = 4,
             nout: int = 2, limits: Optional[SearchLimits] = None,

@@ -431,3 +431,88 @@ class TestCodeMemo:
         assert clear_code_memo() > 0
         stats = code_memo_stats()
         assert stats.hits == 0 and stats.compiled == 0
+
+    def test_rewritten_module_hits_shared_memo(self):
+        """An ISE-rewritten module's unmodified blocks — and its region
+        chains — must *hit* the memo an earlier run of the original
+        module populated, not recompile (regression: ``repro run
+        --rewrite`` after a sweep used to pay full codegen again).
+        Region digests are purely structural, so digest-equal chains
+        from the rewrite's clone reuse the original's closures."""
+        from repro import interp
+        from repro.core import Constraints, select_iterative
+        from repro.exec.rewrite import rewrite_module
+        from repro.hwmodel import CostModel
+        from repro.pipeline import prepare_application
+        from repro.workloads.registry import get_workload
+
+        name, n = "fir", RUN_SIZES["fir"]
+        app = prepare_application(name, n=n)
+        model = CostModel()
+        selection = select_iterative(
+            app.dfgs, Constraints(nin=4, nout=2, ninstr=4), model,
+            LIMITS)
+        rewritten = rewrite_module(app.module, selection.cuts, model)
+        assert rewritten.rewritten_blocks > 0
+
+        workload = get_workload(name)
+        clear_code_memo()
+        # Populate: one compiled run of the *original* module.
+        memory = Memory(app.module)
+        interp.execute(app.module, app.entry,
+                       workload.driver(memory, n), memory=memory,
+                       backend="compiled")
+        # code_memo_stats() returns the live counters — snapshot them.
+        warm = code_memo_stats().as_dict()
+        assert warm["compiled"] > 0
+        # The rewritten module recompiles only blocks the rewrite
+        # actually changed; everything digest-equal is a memo hit.
+        memory = Memory(rewritten.module)
+        interp.execute(rewritten.module, app.entry,
+                       workload.driver(memory, n), memory=memory,
+                       backend="compiled")
+        after = code_memo_stats().as_dict()
+        assert after["hits"] > warm["hits"]
+        assert (after["compiled"] - warm["compiled"]
+                < warm["compiled"]), "rewritten run recompiled everything"
+
+
+class TestMemoLRU:
+    """Satellite: LRU eviction replaced the wholesale drop-at-capacity."""
+
+    def _flood(self, count, start=0):
+        """Compile *count* distinct single-block functions."""
+        for k in range(start, start + count):
+            module = compile_source(f"int f() {{ return {k}; }}")
+            get_block_code(module.functions["f"].entry)
+
+    def test_memo_never_exceeds_cap(self, monkeypatch):
+        from repro.interp import compile as compile_mod
+
+        monkeypatch.setattr(compile_mod, "MEMO_LIMIT", 8)
+        clear_code_memo()
+        self._flood(30)
+        assert len(compile_mod._MEMO) <= 8
+        assert code_memo_stats().evictions >= 30 - 8
+
+    def test_hot_digest_survives_eviction_cycle(self, monkeypatch):
+        """A digest re-looked-up between floods must stay resident
+        while cold entries churn out around it — the property the old
+        drop-everything behaviour lacked."""
+        from repro.interp import compile as compile_mod
+
+        monkeypatch.setattr(compile_mod, "MEMO_LIMIT", 8)
+        clear_code_memo()
+        hot_module = compile_source("int f(int x) { return x ^ 42; }")
+        hot_block = hot_module.functions["f"].entry
+        hot = get_block_code(hot_block)
+        for round_ in range(4):
+            # More cold entries than the cap, in two instalments, with
+            # a hot touch between them to refresh recency.
+            self._flood(5, start=100 * (round_ + 1))
+            assert get_block_code(hot_block) is hot
+            self._flood(5, start=100 * (round_ + 1) + 50)
+            assert get_block_code(hot_block) is hot
+        assert code_memo_stats().evictions > 0
+        assert len(compile_mod._MEMO) <= 8
+        clear_code_memo()

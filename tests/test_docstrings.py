@@ -27,6 +27,7 @@ MODULES = [
     "repro.exec.cycles",
     "repro.exec.speedup",
     "repro.interp",
+    "repro.interp.batch",
     "repro.interp.compile",
 ]
 
