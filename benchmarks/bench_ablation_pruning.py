@@ -9,7 +9,6 @@ size where brute force is still runnable.
 
 from __future__ import annotations
 
-import itertools
 
 import pytest
 

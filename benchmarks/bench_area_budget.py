@@ -7,7 +7,6 @@ is the classic area/performance Pareto front an SoC architect reads off.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import Constraints, select_area_constrained
 from repro.hwmodel import CostModel, cut_area

@@ -16,7 +16,6 @@ This bench regenerates those four facts from the compiled benchmark.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import Constraints, SearchLimits, find_best_cut, \
     select_maxmiso

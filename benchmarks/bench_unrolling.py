@@ -9,7 +9,6 @@ speedup grows with block size — plus the cost: the search space grows too.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import Constraints, SearchLimits, select_iterative
 from repro.hwmodel import CostModel

@@ -16,7 +16,6 @@ specialised execution is bit-exact with the original software.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -28,7 +27,7 @@ from ..hwmodel.merit import (
     cut_hardware_cycles,
 )
 from ..ir.opcodes import Opcode
-from ..ir.values import Const, Reg
+from ..ir.values import Reg
 from ..passes.constant_folding import evaluate_pure_op
 
 

@@ -24,7 +24,7 @@ of this module and must stay in agreement with it on covered blocks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.cut import Cut
@@ -34,7 +34,6 @@ from ..interp.interpreter import Interpreter
 from ..interp.memory import Memory
 from ..ir.dfg import DataFlowGraph
 from ..ir.function import Module
-from ..ir.opcodes import Opcode
 
 
 @dataclass

@@ -9,7 +9,7 @@ the surrounding pipeline registers the results.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from ..ir.opcodes import Opcode
 from .datapath import AFUDatapath, Gate

@@ -1,0 +1,109 @@
+"""Check reports: the result surface of ``repro check`` / ``Session.check``.
+
+A :class:`CheckReport` aggregates the three verification phases run
+over one workload — the **baseline** module verifier, the independent
+**selection** checker over every selected cut, and the **rewritten**
+clone check (full module verification plus memory/call-chain
+preservation) — keeping each phase's diagnostics separate so the text
+and ``--json`` renderings can say *where* a problem lives, not just
+that one exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .diagnostics import Diagnostic, errors_of
+
+__all__ = ["CheckReport"]
+
+#: Phase order for rendering (insertion order of Session.check).
+PHASES = ("baseline", "selection", "rewritten")
+
+
+@dataclass
+class CheckReport:
+    """Verification outcome of one workload across all phases.
+
+    Attributes:
+        workload: workload name.
+        algorithm: selection algorithm the selection phase used.
+        nin / nout / ninstr: the constraint point checked.
+        phases: phase name -> diagnostics found in that phase.
+        functions: functions verified in the baseline module.
+        cuts_checked: cuts re-validated by the independent checker.
+        rewritten_blocks: blocks the rewrite phase spliced.
+        skipped: rewrite skip notes (cuts left in software).
+    """
+
+    workload: str
+    algorithm: str
+    nin: int
+    nout: int
+    ninstr: int
+    phases: Dict[str, List[Diagnostic]] = field(default_factory=dict)
+    functions: int = 0
+    cuts_checked: int = 0
+    rewritten_blocks: int = 0
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no phase produced an error-severity diagnostic."""
+        return not any(errors_of(diags) for diags in self.phases.values())
+
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        """All diagnostics, phase order preserved."""
+        out: List[Diagnostic] = []
+        for name in PHASES:
+            out.extend(self.phases.get(name, ()))
+        for name in self.phases:
+            if name not in PHASES:
+                out.extend(self.phases[name])
+        return out
+
+    def as_dict(self) -> dict:
+        """JSON-ready record for ``repro check --json`` artifacts."""
+        return {
+            "workload": self.workload,
+            "algorithm": self.algorithm,
+            "nin": self.nin,
+            "nout": self.nout,
+            "ninstr": self.ninstr,
+            "ok": self.ok,
+            "functions": self.functions,
+            "cuts_checked": self.cuts_checked,
+            "rewritten_blocks": self.rewritten_blocks,
+            "skipped": list(self.skipped),
+            "diagnostics": {
+                name: [d.as_dict() for d in diags]
+                for name, diags in self.phases.items()
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"check {self.workload} ({self.algorithm}, Nin={self.nin}, "
+            f"Nout={self.nout}, Ninstr={self.ninstr})"
+        ]
+        notes = {
+            "baseline": f"{self.functions} function(s) verified",
+            "selection": f"{self.cuts_checked} cut(s) checked",
+            "rewritten": (f"{self.rewritten_blocks} block(s) rewritten"
+                          + (f", {len(self.skipped)} cut(s) left in "
+                             f"software" if self.skipped else "")),
+        }
+        for name, diags in self.phases.items():
+            errors = errors_of(diags)
+            warnings = len(diags) - len(errors)
+            verdict = "clean" if not errors else f"{len(errors)} error(s)"
+            if warnings:
+                verdict += f", {warnings} warning(s)"
+            lines.append(f"  {name + ':':11s}{verdict}"
+                         f" ({notes.get(name, '')})")
+            lines.extend(f"    {d.render()}" for d in diags)
+        lines.append(f"result: {'OK' if self.ok else 'FAIL'}")
+        return "\n".join(lines)

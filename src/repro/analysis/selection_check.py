@@ -1,0 +1,220 @@
+"""Independent selection checker over ``DFGMasks`` (codes ``S0xx``).
+
+Re-validates any selected cut against the paper's Problem-1
+constraints — register-convexity, ``IN(S) <= Nin``, ``OUT(S) <= Nout``,
+forbidden-op exclusion — **directly from the bitset masks**, with zero
+dependence on ``core/engine.py`` and without calling the
+:class:`~repro.ir.dfg.DataFlowGraph` reference helpers
+(:meth:`is_convex` / :meth:`cut_inputs` / :meth:`cut_outputs`).  It is
+a deliberate second implementation: the search engine enumerates under
+an incremental formulation, ``core/cut.py`` recomputes set-wise, and
+this module recomputes a third way (transitive-reachability bitsets),
+so a bug must strike all three identically to go unnoticed.
+
+The algorithms lean on the reverse-topological node numbering invariant
+(every dataflow edge runs from a higher producer index to a lower
+consumer index, so ``masks.succ[i]`` only carries bits below ``i``):
+
+* **down-reachability** is a single increasing-index scan
+  (``down[i] = succ[i] | union(down[s])``), after which convexity of a
+  cut ``S`` is the absence of an excluded node both reachable *from*
+  ``S`` and reaching *into* ``S``;
+* **IN(S)** is the popcount of the union of member ``producer`` masks
+  restricted to externally-produced value bits (input-variable bits are
+  always external; a synthetic multi-output-supernode value is external
+  iff its owning node is outside the cut);
+* **OUT(S)** counts members that are forced out (live-out of the
+  block) or have a consumer bit outside the cut.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from ..ir.dfg import DataFlowGraph
+from .diagnostics import Diagnostic, VerificationError, errors_of
+
+__all__ = ["assert_cut", "check_cut", "check_cut_record", "reach_masks"]
+
+
+def _where(dfg: DataFlowGraph) -> dict:
+    """Split the DFG's ``function/block`` name into diagnostic fields."""
+    if "/" in dfg.name:
+        function, block = dfg.name.split("/", 1)
+        return {"function": function, "block": block}
+    return {"function": None, "block": dfg.name}
+
+
+def reach_masks(dfg: DataFlowGraph) -> List[int]:
+    """``down[i]``: bits of every node transitively reachable from node
+    ``i`` along dataflow (producer -> consumer) edges.
+
+    One pass in increasing index order suffices because all successor
+    bits of ``i`` are strictly below ``i`` (reverse topological
+    numbering), so each successor's closure is already final.
+    """
+    succ = dfg.masks.succ
+    down = [0] * dfg.n
+    for i in range(dfg.n):
+        mask = succ[i]
+        rem = succ[i]
+        while rem:
+            low = rem & -rem
+            mask |= down[low.bit_length() - 1]
+            rem ^= low
+        down[i] = mask
+    return down
+
+
+def _input_count(dfg: DataFlowGraph, members: FrozenSet[int],
+                 cut_mask: int) -> int:
+    """``IN(S)`` from the unified producer masks (values, not nodes)."""
+    masks = dfg.masks
+    values = 0
+    for i in members:
+        values |= masks.producer[i]
+    synthetic_base = dfg.n + len(dfg.input_vars)
+    external = values & ~cut_mask if dfg.n else values
+    count = 0
+    rem = external
+    while rem:
+        low = rem & -rem
+        vid = low.bit_length() - 1
+        rem ^= low
+        if vid < synthetic_base:
+            # A node-value bit already excluded members via ~cut_mask;
+            # an input-variable bit is external by definition.
+            count += 1
+        elif dfg.value_producer(vid) not in members:
+            count += 1
+    return count
+
+
+def _output_count(dfg: DataFlowGraph, members: FrozenSet[int],
+                  cut_mask: int) -> int:
+    """``OUT(S)``: members whose value escapes the cut."""
+    masks = dfg.masks
+    count = 0
+    for i in members:
+        bit = 1 << i
+        if masks.forced_out & bit or masks.succ[i] & ~cut_mask:
+            count += 1
+    return count
+
+
+def check_cut(
+    dfg: DataFlowGraph,
+    nodes: Iterable[int],
+    nin: int,
+    nout: int,
+) -> List[Diagnostic]:
+    """All ``S0xx`` violations of the cut *nodes* under the port budget.
+
+    Pure recomputation from :class:`~repro.ir.dfg.DFGMasks`; an empty
+    list means the cut satisfies every Problem-1 constraint.
+    """
+    members = frozenset(nodes)
+    where = _where(dfg)
+    out: List[Diagnostic] = []
+    bad = sorted(i for i in members if i < 0 or i >= dfg.n)
+    if bad:
+        return [Diagnostic(
+            code="S005", **where,
+            message=f"cut {sorted(members)} references node indices "
+                    f"{bad} outside graph of {dfg.n} node(s)")]
+    if not members:
+        return out
+    masks = dfg.masks
+    cut_mask = 0
+    for i in members:
+        cut_mask |= 1 << i
+    forbidden = cut_mask & masks.forbidden
+    if forbidden:
+        names = [dfg.nodes[i].label for i in sorted(members)
+                 if (1 << i) & forbidden]
+        out.append(Diagnostic(
+            code="S004", **where,
+            message=f"cut {sorted(members)} contains forbidden "
+                    f"node(s) {', '.join(names)}"))
+    down = reach_masks(dfg)
+    reach_from_cut = 0
+    for i in members:
+        reach_from_cut |= down[i]
+    culprits = []
+    rem = reach_from_cut & ~cut_mask
+    while rem:
+        low = rem & -rem
+        x = low.bit_length() - 1
+        rem ^= low
+        if down[x] & cut_mask:
+            culprits.append(x)
+    if culprits:
+        out.append(Diagnostic(
+            code="S001", **where,
+            message=f"cut {sorted(members)} is not convex: path "
+                    f"re-enters it through excluded node(s) "
+                    f"{sorted(culprits)}"))
+    num_in = _input_count(dfg, members, cut_mask)
+    if num_in > nin:
+        out.append(Diagnostic(
+            code="S002", **where,
+            message=f"cut {sorted(members)} reads {num_in} value(s), "
+                    f"budget is Nin={nin}"))
+    num_out = _output_count(dfg, members, cut_mask)
+    if num_out > nout:
+        out.append(Diagnostic(
+            code="S003", **where,
+            message=f"cut {sorted(members)} writes {num_out} value(s), "
+                    f"budget is Nout={nout}"))
+    return out
+
+
+def check_cut_record(cut, nin: int, nout: int) -> List[Diagnostic]:
+    """Check a :class:`~repro.core.cut.Cut` record: its constraint
+    compliance (``S001``–``S005``) *and* whether its recorded metrics
+    match the independent mask recomputation (``S006``).
+
+    The ``S006`` cross-check is what catches engine bugs that produce a
+    feasible cut with wrong bookkeeping (the PR-4 input-undercounting
+    class): the cut would pass the budget test under its recorded
+    numbers while the recomputation disagrees.
+    """
+    dfg = cut.dfg
+    out = check_cut(dfg, cut.nodes, nin, nout)
+    if any(d.code == "S005" for d in out):
+        return out
+    members = frozenset(cut.nodes)
+    if members:
+        cut_mask = 0
+        for i in members:
+            cut_mask |= 1 << i
+        recomputed: List[Tuple[str, object, object]] = []
+        num_in = _input_count(dfg, members, cut_mask)
+        num_out = _output_count(dfg, members, cut_mask)
+        convex = not any(d.code == "S001" for d in out)
+        if cut.num_inputs != num_in:
+            recomputed.append(("IN", cut.num_inputs, num_in))
+        if cut.num_outputs != num_out:
+            recomputed.append(("OUT", cut.num_outputs, num_out))
+        if cut.convex != convex:
+            recomputed.append(("convex", cut.convex, convex))
+        for metric, recorded, actual in recomputed:
+            out.append(Diagnostic(
+                code="S006", **_where(dfg),
+                message=f"cut {sorted(members)} records "
+                        f"{metric}={recorded}, mask recomputation says "
+                        f"{actual}"))
+    return out
+
+
+def assert_cut(cut, nin: int, nout: int,
+               algorithm: Optional[str] = None) -> None:
+    """Raise :class:`VerificationError` unless *cut* passes the
+    independent checker; the error names the cut, its block, and every
+    violated constraint code."""
+    problems = errors_of(check_cut_record(cut, nin, nout))
+    if problems:
+        origin = f"{algorithm} selection" if algorithm else "selection"
+        raise VerificationError(
+            f"{origin} returned an invalid cut {sorted(cut.nodes)} "
+            f"in {cut.dfg.name}", problems)

@@ -1,0 +1,431 @@
+"""IR verifier: machine-checkable well-formedness with stable codes.
+
+:func:`verify_function` / :func:`verify_module` check, without
+executing anything, every structural invariant the rest of the
+toolchain silently assumes (codes defined in
+:mod:`repro.analysis.diagnostics`):
+
+* **CFG shape** (``V0xx``) — entry exists, every block ends in exactly
+  one terminator which is last, branch targets resolve, the label
+  index matches the block list, unreachable blocks are flagged (as
+  warnings — they are dead weight, not miscompiles);
+* **opcode contracts** (``V1xx``) — operand arity from
+  :mod:`repro.ir.opcodes`, destination presence, array symbols
+  declared, callees resolvable with matching arity, terminator target
+  counts;
+* **dataflow** (``V2xx``) — def-before-use along **all** paths (a
+  forward must-analysis, :class:`~repro.analysis.dataflow.
+  DefiniteAssignment`), no instruction defining one register twice;
+* **post-rewrite ISE contracts** (``V3xx``) — an
+  :class:`~repro.ir.instructions.ISEInstruction`'s operand/dest
+  binding must match its bound ``FusedAFU`` netlist, the netlist must
+  be in dataflow order, drive every output and contain only AFU-legal
+  gates.
+
+:func:`check_rewrite` additionally compares a rewritten clone against
+its original: the per-block **memory/call chain** (relative order of
+loads, stores and calls — the only ordering the rewrite scheduler must
+preserve beyond register dataflow) has to survive the rewrite
+verbatim (``V305``).  :func:`check_fused_schedule` is the independent
+re-implementation (iterative DFS instead of Kahn's algorithm) of the
+rewriter's fused-region schedulability test (``V306``); the rewriter
+cross-checks itself against it when verification is on.
+
+Verification is pure analysis: no instruction is executed, no state is
+mutated, and a verifier-clean module is exactly as runnable as before.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ir.cfg import reachable_blocks
+from ..ir.function import BasicBlock, Function, Module
+from ..ir.instructions import Instruction, ISEInstruction
+from ..ir.opcodes import Opcode, opinfo
+from ..ir.values import Reg
+from .dataflow import DefiniteAssignment
+from .diagnostics import Diagnostic, VerificationError, errors_of
+
+__all__ = [
+    "check_fused_schedule", "check_rewrite", "verify_enabled",
+    "verify_function", "verify_module",
+]
+
+
+def verify_enabled(explicit: Optional[bool] = None) -> bool:
+    """Resolve the verification gate against ``$REPRO_VERIFY``.
+
+    An *explicit* True/False wins.  Otherwise the environment decides:
+    unset, empty, ``0``, ``off``, ``false`` or ``no`` mean **off** (so
+    hot paths — benchmarks, the ``BENCH_*`` CI gates — pay nothing),
+    anything else means on.  The test suite switches it on globally in
+    ``tests/conftest.py``.
+    """
+    if explicit is not None:
+        return explicit
+    value = os.environ.get("REPRO_VERIFY", "").strip().lower()
+    return value not in ("", "0", "off", "false", "no")
+
+
+# ----------------------------------------------------------------------
+# Per-instruction contracts.
+# ----------------------------------------------------------------------
+#: Opcodes whose operand count is not fixed by ``OpInfo.arity``:
+#: ``RET`` takes 0 or 1, ``CALL`` matches its callee, ``ISE`` matches
+#: its AFU's input ports.
+_VARIABLE_ARITY = frozenset({Opcode.RET, Opcode.CALL, Opcode.ISE})
+
+#: Required ``targets`` length per terminator opcode.
+_TARGET_COUNTS = {Opcode.BR: 2, Opcode.JMP: 1, Opcode.RET: 0}
+
+
+def _show(insn: Instruction) -> str:
+    """``str(insn)``, robust to the malformations being reported.
+
+    ``Instruction.__str__`` destructures operands (``store`` unpacks
+    two), so printing the very instruction whose arity is wrong can
+    itself raise — fall back to a flat rendering.
+    """
+    try:
+        return str(insn)
+    except Exception:
+        args = ", ".join(str(op) for op in insn.operands)
+        return f"{insn.opcode.value} {args}".rstrip()
+
+
+def _check_instruction(
+    insn: Instruction,
+    func: Function,
+    block: BasicBlock,
+    module: Optional[Module],
+) -> List[Diagnostic]:
+    """Opcode-contract diagnostics (``V1xx``/``V3xx``) of one
+    instruction."""
+    out: List[Diagnostic] = []
+    info = opinfo(insn.opcode)
+    where = dict(function=func.name, block=block.label)
+
+    def report(code: str, message: str) -> None:
+        out.append(Diagnostic(code=code, message=message, **where))
+
+    if (insn.opcode not in _VARIABLE_ARITY
+            and len(insn.operands) != info.arity):
+        report("V101",
+               f"{insn.opcode.value} expects {info.arity} operand(s), "
+               f"has {len(insn.operands)}: {_show(insn)}")
+    if insn.opcode is Opcode.RET and len(insn.operands) > 1:
+        report("V101",
+               f"ret expects at most 1 operand, has "
+               f"{len(insn.operands)}")
+    if (info.has_dest and insn.dest is None
+            and insn.opcode is not Opcode.CALL):
+        report("V102", f"{insn.opcode.value} requires a destination")
+    if not info.has_dest and insn.dest is not None:
+        report("V103",
+               f"{insn.opcode.value} defines no register but dest is "
+               f"%{insn.dest}")
+    if insn.opcode in (Opcode.LOAD, Opcode.STORE):
+        if insn.array is None:
+            report("V104", f"{insn.opcode.value} has no array symbol")
+        elif module is not None and insn.array not in module.globals:
+            report("V104",
+                   f"{insn.opcode.value} addresses undeclared array "
+                   f"{insn.array!r}")
+    if insn.opcode is Opcode.CALL:
+        if insn.callee is None:
+            report("V105", "call has no callee")
+        elif module is not None:
+            callee = module.functions.get(insn.callee)
+            if callee is None:
+                report("V105",
+                       f"call to unknown function {insn.callee!r}")
+            elif len(insn.operands) != len(callee.params):
+                report("V105",
+                       f"call to {insn.callee!r} passes "
+                       f"{len(insn.operands)} argument(s), expects "
+                       f"{len(callee.params)}")
+    expected_targets = _TARGET_COUNTS.get(insn.opcode, 0)
+    if len(insn.targets) != expected_targets:
+        report("V106",
+               f"{insn.opcode.value} carries {len(insn.targets)} "
+               f"target(s), expects {expected_targets}")
+    defs = insn.defs()
+    if len(defs) != len(set(defs)):
+        dupes = sorted({d for d in defs if defs.count(d) > 1})
+        report("V202",
+               f"instruction defines {', '.join('%' + d for d in dupes)}"
+               f" more than once: {_show(insn)}")
+    if isinstance(insn, ISEInstruction):
+        out.extend(
+            Diagnostic(code=code, message=message, **where)
+            for code, message in _check_ise(insn))
+    return out
+
+
+def _check_ise(insn: ISEInstruction) -> List[Tuple[str, str]]:
+    """``V3xx`` contract of one fused instruction against its AFU."""
+    out: List[Tuple[str, str]] = []
+    afu = insn.afu
+    ports = tuple(getattr(afu, "input_ports", ()))
+    wires = tuple(getattr(afu, "output_wires", ()))
+    gates = tuple(getattr(afu, "gates", ()))
+    name = getattr(afu, "name", "afu")
+    if len(insn.operands) != len(ports):
+        out.append(("V301",
+                    f"ise {name} passes {len(insn.operands)} operand(s) "
+                    f"to {len(ports)} input port(s)"))
+    if len(insn.dests) != len(wires):
+        out.append(("V302",
+                    f"ise {name} binds {len(insn.dests)} dest(s) to "
+                    f"{len(wires)} output wire(s)"))
+    driven: Set[str] = set(ports)
+    for gate in gates:
+        if not opinfo(gate.opcode).afu_legal:
+            out.append(("V304",
+                        f"ise {name}: gate {gate.output} has AFU-illegal "
+                        f"opcode {gate.opcode.value}"))
+        for wire in gate.inputs:
+            if isinstance(wire, str) and wire not in driven:
+                out.append(("V303",
+                            f"ise {name}: gate {gate.output} reads "
+                            f"undriven wire {wire!r}"))
+        driven.add(gate.output)
+    gate_outputs = {gate.output for gate in gates}
+    for wire in wires:
+        if wire not in gate_outputs:
+            out.append(("V303",
+                        f"ise {name}: output wire {wire!r} is driven by "
+                        f"no gate"))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Function / module verification.
+# ----------------------------------------------------------------------
+def _check_label_index(func: Function) -> List[Diagnostic]:
+    """``V005``: the block list and the label map must agree."""
+    out: List[Diagnostic] = []
+    seen: Set[str] = set()
+    for block in func.blocks:
+        if block.label in seen:
+            out.append(Diagnostic(
+                code="V005", function=func.name, block=block.label,
+                message=f"duplicate block label {block.label!r}"))
+        seen.add(block.label)
+        if (not func.has_block(block.label)
+                or func.block(block.label) is not block):
+            out.append(Diagnostic(
+                code="V005", function=func.name, block=block.label,
+                message=f"label index does not map {block.label!r} to "
+                        f"its block (reindex() missing?)"))
+    return out
+
+
+def verify_function(
+    func: Function,
+    module: Optional[Module] = None,
+) -> List[Diagnostic]:
+    """All diagnostics of *func* (empty iff verifier-clean).
+
+    Args:
+        func: the function to verify.
+        module: enclosing module; when given, array symbols and callees
+            are resolved against it (``V104``/``V105``).
+
+    Checks run in dependency order: structural CFG problems suppress
+    the dataflow pass (whose analyses assume resolvable targets), so a
+    broken function reports its root cause rather than an avalanche.
+    """
+    out: List[Diagnostic] = []
+    if not func.blocks:
+        return [Diagnostic(code="V001", function=func.name,
+                           message="function has no basic blocks")]
+    out.extend(_check_label_index(func))
+    labels = {b.label for b in func.blocks}
+    cfg_broken = bool(out)
+    for block in func.blocks:
+        if block.terminator is None:
+            cfg_broken = True
+            out.append(Diagnostic(
+                code="V002", function=func.name, block=block.label,
+                message="block has no terminator"))
+        for pos, insn in enumerate(block.instructions):
+            if insn.is_terminator and pos != len(block.instructions) - 1:
+                cfg_broken = True
+                out.append(Diagnostic(
+                    code="V003", function=func.name, block=block.label,
+                    message=f"terminator {_show(insn)} at position {pos} is "
+                            f"not last"))
+        for target in block.successors():
+            if target not in labels:
+                cfg_broken = True
+                out.append(Diagnostic(
+                    code="V004", function=func.name, block=block.label,
+                    message=f"branch target {target!r} names no block"))
+        for insn in block.instructions:
+            out.extend(_check_instruction(insn, func, block, module))
+    if cfg_broken:
+        return out
+    reachable = reachable_blocks(func)
+    for block in func.blocks:
+        if block.label not in reachable:
+            out.append(Diagnostic(
+                code="V006", function=func.name, block=block.label,
+                severity="warning",
+                message="block is unreachable from the entry"))
+    assigned = DefiniteAssignment(func)
+    for block in func.blocks:
+        if block.label not in reachable:
+            continue
+        defined = set(assigned.defined_at_entry(block.label))
+        for insn in block.instructions:
+            for name in insn.uses():
+                if name not in defined:
+                    out.append(Diagnostic(
+                        code="V201", function=func.name,
+                        block=block.label,
+                        message=f"%{name} may be read before definition "
+                                f"in {_show(insn)}"))
+            defined.update(insn.defs())
+    return out
+
+
+def verify_module(module: Module) -> List[Diagnostic]:
+    """Concatenated diagnostics of every function of *module*."""
+    out: List[Diagnostic] = []
+    for func in module.functions.values():
+        out.extend(verify_function(func, module))
+    return out
+
+
+def assert_verified(module: Module, context: str) -> None:
+    """Raise :class:`VerificationError` on any error-severity
+    diagnostic of *module* (warnings pass)."""
+    problems = errors_of(verify_module(module))
+    if problems:
+        raise VerificationError(context, problems)
+
+
+# ----------------------------------------------------------------------
+# Rewrite-specific checks.
+# ----------------------------------------------------------------------
+def _memory_chain(block: BasicBlock) -> List[Tuple[str, Optional[str]]]:
+    """The ordered (opcode, array-or-callee) chain of memory ops and
+    calls — the sequence a correct rewrite must preserve verbatim."""
+    chain: List[Tuple[str, Optional[str]]] = []
+    for insn in block.instructions:
+        if insn.is_memory:
+            chain.append((insn.opcode.value, insn.array))
+        elif insn.opcode is Opcode.CALL:
+            chain.append((insn.opcode.value, insn.callee))
+    return chain
+
+
+def check_rewrite(original: Module, rewritten: Module) -> List[Diagnostic]:
+    """Diagnostics of a rewritten clone against its *original*.
+
+    Runs the full module verifier over the clone, then compares every
+    block's memory/call chain with the original's (``V305``): register
+    renaming and macro-op rescheduling may permute pure operations
+    freely, but loads, stores and calls must keep their relative order
+    (and their array/callee symbols) or the rewrite changed observable
+    behaviour.
+    """
+    out = verify_module(rewritten)
+    for func_name, func in rewritten.functions.items():
+        source = original.functions.get(func_name)
+        if source is None:
+            continue
+        for block in func.blocks:
+            if not source.has_block(block.label):
+                continue
+            before = _memory_chain(source.block(block.label))
+            after = _memory_chain(block)
+            if before != after:
+                out.append(Diagnostic(
+                    code="V305", function=func_name, block=block.label,
+                    message=f"memory/call chain changed from {before} "
+                            f"to {after}"))
+    return out
+
+
+def check_fused_schedule(
+    body: Sequence[Instruction],
+    fused_regions: Sequence[Set[int]],
+) -> Optional[Diagnostic]:
+    """Independent schedulability check of fused regions (``V306``).
+
+    Given the *original* block body and, per cut, the body positions it
+    fuses into one atomic macro-op, decide whether any dependence cycle
+    runs through a fused unit — the condition under which the cuts
+    cannot all issue as single instructions (a memory-carried
+    dependence threading through one, invisible to register-dataflow
+    convexity).
+
+    This deliberately re-implements the rewriter's test with a
+    different algorithm: dependence edges are rebuilt from a positional
+    reaching-definition scan plus the memory/call chain, and the cycle
+    test is an iterative colouring DFS over macro-units instead of
+    Kahn's algorithm.  The rewriter cross-checks every scheduling
+    decision (accepting a configuration *and* skipping a cut) against
+    this function when verification is on — the two implementations
+    must agree before a cut is spliced or dropped.
+    """
+    unit_of: Dict[int, object] = {
+        pos: pos for pos in range(len(body))
+    }
+    for k, positions in enumerate(fused_regions):
+        for pos in positions:
+            unit_of[pos] = ("cut", k)
+    edges: Dict[object, Set[object]] = {
+        unit: set() for unit in set(unit_of.values())
+    }
+    last_def: Dict[str, int] = {}
+    prev_mem: Optional[int] = None
+    for pos, insn in enumerate(body):
+        for operand in insn.operands:
+            if isinstance(operand, Reg) and operand.name in last_def:
+                src = unit_of[last_def[operand.name]]
+                dst = unit_of[pos]
+                if src != dst:
+                    edges[src].add(dst)
+        if insn.is_memory or insn.opcode is Opcode.CALL:
+            if prev_mem is not None:
+                src, dst = unit_of[prev_mem], unit_of[pos]
+                if src != dst:
+                    edges[src].add(dst)
+            prev_mem = pos
+        if insn.dest is not None:
+            last_def[insn.dest] = pos
+    # Iterative DFS three-colouring; a back edge on any path through
+    # the fused unit means the macro-op graph is cyclic.
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: Dict[object, int] = {unit: WHITE for unit in edges}
+    for root in edges:
+        if colour[root] != WHITE:
+            continue
+        stack: List[Tuple[object, Optional[object]]] = [(root, None)]
+        while stack:
+            unit, phase = stack.pop()
+            if phase is None:
+                if colour[unit] == BLACK:
+                    continue
+                if colour[unit] == GREY:
+                    continue
+                colour[unit] = GREY
+                stack.append((unit, "exit"))
+                for succ in edges[unit]:
+                    if colour[succ] == GREY:
+                        regions = [sorted(p) for p in fused_regions]
+                        return Diagnostic(
+                            code="V306",
+                            message=f"dependence cycle through the "
+                                    f"fused region(s) at positions "
+                                    f"{regions}")
+                    if colour[succ] == WHITE:
+                        stack.append((succ, None))
+            else:
+                colour[unit] = BLACK
+    return None

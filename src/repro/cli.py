@@ -19,6 +19,11 @@ Subcommands:
 * ``run`` — execute one workload (optionally after the ISE rewrite)
   and print its result, step count and wall time — the quickest way to
   eyeball a program or compare execution backends;
+* ``check`` — statically verify a workload end to end: baseline IR
+  (CFG/opcode/dataflow invariants), every selected cut through the
+  independent mask-based constraint checker, and the rewritten clone
+  (ISE contracts, memory-chain preservation) — text or ``--json``,
+  exit 1 on any error diagnostic, nothing executed;
 * ``afu`` — generate Verilog for the selected custom instructions;
 * ``cache`` — inspect or maintain the persistent artifact store.
 
@@ -39,12 +44,13 @@ variable sets the default root (or turns the store off globally).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional, Tuple
 
 from . import __version__
-from .core import BlockTooLargeError, Constraints, SearchLimits
+from .core import BlockTooLargeError, SearchLimits
 from .session import Session
 from .store.artifacts import ArtifactStore, resolve_store, stock_store_dir
 from .workloads import WORKLOADS
@@ -131,8 +137,6 @@ def _limits(args) -> Optional[SearchLimits]:
 
 def cmd_list(args) -> int:
     if args.json:
-        import json
-
         records = [
             {
                 "name": name,
@@ -309,8 +313,6 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_speedup(args) -> int:
-    import json
-
     from .exec import format_speedup_table
 
     if args.workloads.strip().lower() == "all":
@@ -346,6 +348,22 @@ def cmd_speedup(args) -> int:
               f"{', '.join(broken)}", file=sys.stderr)
         return 1
     return 0
+
+
+def _print_fallbacks() -> None:
+    """Stderr telemetry: why blocks punted to the walker, by code.
+
+    Empty for fully compiled programs; a non-empty breakdown names the
+    diagnostic code (``C0xx`` codegen limits, ``V0xx`` ill-formed IR —
+    see :data:`repro.analysis.diagnostics.CODES`) per fallback unit.
+    """
+    from .interp.compile import code_memo_stats
+
+    codes = code_memo_stats().fallback_codes
+    if codes:
+        detail = ", ".join(f"{code}x{count}"
+                           for code, count in sorted(codes.items()))
+        print(f"walker fallbacks: {detail}", file=sys.stderr)
 
 
 def _run_batch_mode(args, workload, module, note) -> int:
@@ -399,6 +417,7 @@ def _run_batch_mode(args, workload, module, note) -> int:
           f"({len(lanes) / max(wall, 1e-9):,.0f} inputs/s, "
           f"{batch.verified_count}/{len(lanes)} lanes verified)",
           file=sys.stderr)
+    _print_fallbacks()
     if verified is None:
         return 0 if batch.ok_count == len(lanes) else 1
     return 0 if verified else 1
@@ -455,7 +474,45 @@ def cmd_run(args) -> int:
     print(f"{interp.backend} backend: {wall:.4f}s "
           f"({outcome.steps / max(wall, 1e-9):,.0f} steps/s)",
           file=sys.stderr)
+    _print_fallbacks()
     return 0 if verified else 1
+
+
+def cmd_check(args) -> int:
+    """Static verification gate: baseline, selection, rewritten clone.
+
+    Pure analysis — nothing is executed; exit status 1 on any
+    error-severity diagnostic (warnings are reported but pass).
+    """
+    if args.workload.strip().lower() == "all":
+        names = sorted(WORKLOADS)
+    else:
+        names = _csv_list(args.workload)
+    session = _make_session(args)
+    reports = [
+        session.check(name, algorithm=args.algo, nin=args.nin,
+                      nout=args.nout, ninstr=args.ninstr,
+                      limits=_limits(args), n=args.n,
+                      unroll=args.unroll, max_nodes=args.max_nodes)
+        for name in names
+    ]
+    ok = all(report.ok for report in reports)
+    if args.json is not None:
+        payload = json.dumps(
+            {"ok": ok, "reports": [r.as_dict() for r in reports]},
+            indent=2, sort_keys=True) + "\n"
+        if args.json == "-":
+            sys.stdout.write(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload)
+            print(f"wrote {args.json}", file=sys.stderr)
+    else:
+        for index, report in enumerate(reports):
+            if index:
+                print()
+            print(report.render())
+    return 0 if ok else 1
 
 
 def cmd_afu(args) -> int:
@@ -474,8 +531,6 @@ def cmd_afu(args) -> int:
 
 
 def cmd_cache(args) -> int:
-    import json
-
     store = _resolve_store_args(args)
     if store is None:
         print("persistent store disabled ($REPRO_STORE)", file=sys.stderr)
@@ -680,6 +735,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store(p)
     _add_backend(p)
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "check",
+        help="statically verify a workload: baseline IR, selected "
+             "cuts (independent checker) and the rewritten clone")
+    p.add_argument("workload",
+                   help="registered workload name, a comma-separated "
+                        "list, or 'all'")
+    p.add_argument("--n", type=int, default=None,
+                   help="profiling run size (default: workload's)")
+    p.add_argument("--unroll", type=int, default=None,
+                   help="loop unroll factor (Section 9 extension)")
+    p.add_argument("--nin", type=int, default=4,
+                   help="register-file read ports (default 4)")
+    p.add_argument("--nout", type=int, default=2,
+                   help="register-file write ports (default 2)")
+    p.add_argument("--ninstr", type=int, default=16,
+                   help="instruction budget (default 16)")
+    p.add_argument("--limit", type=int, default=None,
+                   help="max cuts considered per search")
+    p.add_argument("--algo", choices=["iterative", "optimal", "clubbing",
+                                      "maxmiso", "area"],
+                   default="iterative",
+                   help="selection algorithm whose cuts are checked")
+    p.add_argument("--max-nodes", type=int, default=40,
+                   help="node guard for --algo optimal")
+    p.add_argument("--json", nargs="?", const="-", default=None,
+                   metavar="PATH",
+                   help="machine-readable report: to PATH, or stdout "
+                        "when no path is given")
+    _add_workers(p)
+    _add_store(p)
+    _add_backend(p)
+    p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("afu", help="emit Verilog for selected AFUs")
     _add_common(p)

@@ -8,7 +8,7 @@ test suite to validate :mod:`repro.core.single_cut` and
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..hwmodel.latency import CostModel
 from ..ir.dfg import DataFlowGraph

@@ -11,15 +11,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Iterable, List
 
 from ..hwmodel.latency import CostModel
-from ..hwmodel.merit import (
-    cut_hardware_critical_path,
-    cut_hardware_cycles,
-    cut_merit,
-    cut_software_cycles,
-)
+from ..hwmodel.merit import cut_hardware_cycles, cut_merit, cut_software_cycles
 from ..ir.dfg import DataFlowGraph
 
 

@@ -15,7 +15,7 @@ of silently hanging.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..hwmodel.latency import CostModel

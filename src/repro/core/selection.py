@@ -10,7 +10,7 @@ number reported in the paper's Fig. 11: the chosen cuts, the total merit
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..hwmodel.latency import CostModel
 from ..hwmodel.merit import application_cycles, estimated_speedup
@@ -64,7 +64,21 @@ def make_result(
     stats: Optional[SearchStats] = None,
     complete: bool = True,
 ) -> SelectionResult:
-    """Assemble a :class:`SelectionResult`, computing the baseline."""
+    """Assemble a :class:`SelectionResult`, computing the baseline.
+
+    Every selection algorithm funnels through here, so this is where
+    the independent mask-based checker re-validates each returned cut
+    against the paper's constraints when ``$REPRO_VERIFY`` is on — a
+    failure names the algorithm, the cut, its block and the violated
+    constraint code (``S0xx``).
+    """
+    from ..analysis.selection_check import assert_cut
+    from ..analysis.verifier import verify_enabled
+
+    if verify_enabled():
+        for cut in cuts:
+            assert_cut(cut, constraints.nin, constraints.nout,
+                       algorithm=algorithm)
     total_merit = sum(cut.merit for cut in cuts)
     return SelectionResult(
         algorithm=algorithm,

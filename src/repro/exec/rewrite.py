@@ -373,6 +373,7 @@ def _rewrite_block(
     fresh,
     afu_names,
     result: RewriteResult,
+    verifying: bool = False,
 ) -> None:
     body = block.body
     term = block.terminator
@@ -409,6 +410,24 @@ def _rewrite_block(
         for pos, unit in unit_of.items():
             unit_pos[unit] = min(unit_pos.get(unit, pos), pos)
         order, stuck = _schedule_units(body, sources, unit_of, unit_pos)
+        if verifying:
+            # Cross-check this exact fusion configuration against the
+            # independent DFS-based schedulability test (V306): the two
+            # implementations must agree on accept vs. skip.
+            from ..analysis.diagnostics import VerificationError
+            from ..analysis.verifier import check_fused_schedule
+
+            independent = check_fused_schedule(
+                body, [set(cut_specs[c][1]) for c in active])
+            if bool(stuck) != (independent is not None):
+                verdict = ("schedulable" if independent is None
+                           else independent.message)
+                raise VerificationError(
+                    f"fused-schedule cross-check disagreement in block "
+                    f"{block_key[0]}/{block_key[1]}: scheduler says "
+                    f"{'stuck' if stuck else 'schedulable'}, independent "
+                    f"check says {verdict}",
+                    [independent] if independent is not None else [])
         if not stuck:
             break
         stuck_cuts = sorted(u[1] for u in stuck if u[0] == "cut")
@@ -527,6 +546,7 @@ def rewrite_module(
     module: Module,
     cuts: Sequence[Cut],
     model: Optional[CostModel] = None,
+    verify: Optional[bool] = None,
 ) -> RewriteResult:
     """Splice *cuts* into a clone of *module* as custom instructions.
 
@@ -539,13 +559,24 @@ def rewrite_module(
         model: cost model for the cycle accounting of uncovered
             operations; pass the model the selection used so measured
             and estimated speedups are comparable.
+        verify: ``True``/``False`` forces verification on/off; ``None``
+            follows ``$REPRO_VERIFY``.  When on, every scheduling
+            decision is cross-checked against the independent
+            fused-schedule test and the rewritten clone must pass
+            :func:`repro.analysis.verifier.check_rewrite` (full module
+            verification plus memory/call-chain preservation), raising
+            :class:`~repro.analysis.diagnostics.VerificationError`
+            otherwise.
 
     Returns:
         A :class:`RewriteResult` whose ``module`` executes bit-identically
         to the input (property-tested across every bundled workload) and
         whose ``block_costs`` drive :mod:`repro.exec.cycles`.
     """
+    from ..analysis.verifier import verify_enabled
+
     model = model or CostModel()
+    verifying = verify_enabled(verify)
     per_block = _locate_cuts(module, cuts)
     result = RewriteResult(module=clone_module(module))
 
@@ -569,5 +600,16 @@ def rewrite_module(
                     block, key, per_block[key],
                     liveness.live_out_of(block.label),
                     model, fresh, afu_names, result,
+                    verifying=verifying,
                 )
+    if verifying:
+        from ..analysis.diagnostics import VerificationError, errors_of
+        from ..analysis.verifier import check_rewrite
+
+        problems = errors_of(check_rewrite(module, result.module))
+        if problems:
+            raise VerificationError(
+                f"rewritten clone failed verification "
+                f"({result.rewritten_blocks} block(s) rewritten)",
+                problems)
     return result

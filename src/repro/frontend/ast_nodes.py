@@ -8,7 +8,7 @@ semantic checker and IR generator stay textbook-simple.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Union
 
 
 @dataclass

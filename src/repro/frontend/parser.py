@@ -20,7 +20,7 @@ of the pipeline only sees simple ``Assign`` nodes.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List
 
 from . import ast_nodes as ast
 from .errors import ParseError

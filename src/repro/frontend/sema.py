@@ -18,7 +18,7 @@ generator consumes, avoiding a second resolution pass.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from . import ast_nodes as ast
 from .errors import SemanticError

@@ -25,9 +25,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
-from ..ir.dfg import DataFlowGraph, DFGNode
+from ..ir.dfg import DFGNode
 from ..ir.opcodes import Opcode
 
 #: Execution-stage cycles on the baseline single-issue core.

@@ -128,6 +128,12 @@ class BlockCode:
         digest: structural digest the memo is keyed on.
         span: how many source blocks the closure threads (1 for a
             plain per-block artifact, the chain length for a region).
+        reason: diagnostic code explaining a fallback (``fn=None``):
+            ``C001``–``C003`` for honestly untranslatable units, a
+            verifier code (``V002``, ``V102``, …) when the unit fell
+            back because the IR itself is ill-formed.  ``None`` for
+            compiled artifacts.
+        detail: human-readable fallback detail (empty when compiled).
     """
 
     fn: Optional[object]
@@ -135,6 +141,8 @@ class BlockCode:
     source: str = ""
     digest: str = ""
     span: int = 1
+    reason: Optional[str] = None
+    detail: str = ""
 
 
 @dataclass
@@ -144,6 +152,9 @@ class CodeMemoStats:
     ``compiled`` counts successful codegen runs (``regions`` of which
     were multi-block chains), ``hits`` counts memo reuse, ``fallbacks``
     counts untranslatable units, ``evictions`` counts LRU drops.
+    ``fallback_codes`` breaks the fallbacks down by diagnostic code
+    (see :attr:`BlockCode.reason`), so a sweep outcome or ``repro run``
+    can report *why* blocks punted to the walker, not just how many.
     """
 
     compiled: int = 0
@@ -151,12 +162,22 @@ class CodeMemoStats:
     fallbacks: int = 0
     regions: int = 0
     evictions: int = 0
+    fallback_codes: Dict[str, int] = field(default_factory=dict)
+
+    def count_fallback(self, code: "BlockCode") -> None:
+        """Record one fallback artifact under its diagnostic code."""
+        self.fallbacks += 1
+        reason = code.reason or "C001"
+        self.fallback_codes[reason] = (
+            self.fallback_codes.get(reason, 0) + 1)
 
     def as_dict(self) -> dict:
         """Flat dict for JSON artifacts and benchmark reports."""
         return {"compiled": self.compiled, "hits": self.hits,
                 "fallbacks": self.fallbacks, "regions": self.regions,
-                "evictions": self.evictions}
+                "evictions": self.evictions,
+                "fallback_codes": dict(sorted(
+                    self.fallback_codes.items()))}
 
 
 #: Memo capacity.  Eviction is least-recently-used, one entry at a
@@ -263,7 +284,18 @@ def region_digest(blocks: Sequence[BasicBlock]) -> str:
 # Code generation.
 # ----------------------------------------------------------------------
 class _UnsupportedBlock(Exception):
-    """Raised by the generator when a block cannot be translated."""
+    """Raised by the generator when a unit cannot be translated.
+
+    Carries a stable diagnostic code (``C0xx`` for honest codegen
+    limits, a verifier ``V`` code when the real problem is ill-formed
+    IR — see :data:`repro.analysis.diagnostics.CODES`), so fallbacks
+    are diagnosed, never silent.
+    """
+
+    def __init__(self, code: str, detail: str) -> None:
+        super().__init__(f"{code}: {detail}")
+        self.code = code
+        self.detail = detail
 
 
 class _Emitter:
@@ -316,7 +348,7 @@ class _BlockCompiler:
         if isinstance(operand, Const):
             return f"({operand.value})"
         if not isinstance(operand, Reg):
-            raise _UnsupportedBlock(f"operand {operand!r}")
+            raise _UnsupportedBlock("C002", f"operand {operand!r}")
         if operand.name not in self.defined:
             if operand.name not in self.entry_reads:
                 self.entry_reads.append(operand.name)
@@ -390,7 +422,8 @@ class _BlockCompiler:
         emit = self.out.emit
         reads = [self._read(operand) for operand in insn.operands]
         if insn.dest is None:
-            raise _UnsupportedBlock(f"pure op without dest: {insn}")
+            raise _UnsupportedBlock("V102",
+                                    f"pure op without dest: {insn}")
 
         if op in (Opcode.DIV, Opcode.REM):
             a, b = reads
@@ -460,7 +493,7 @@ class _BlockCompiler:
         elif op is Opcode.SELECT:
             expr = f"{reads[1]} if {reads[0]} != 0 else {reads[2]}"
         else:
-            raise _UnsupportedBlock(f"opcode {op}")
+            raise _UnsupportedBlock("C001", f"opcode {op}")
         self.out.emit(f"{dst} = {expr}", indent)
 
     def _emit_internal_exit(self, insn: Instruction,
@@ -479,7 +512,7 @@ class _BlockCompiler:
         if op is Opcode.JMP:
             return
         if op is not Opcode.BR:
-            raise _UnsupportedBlock(f"internal terminator {op}")
+            raise _UnsupportedBlock("C003", f"internal terminator {op}")
         cond = self._read(insn.operands[0])
         then_label, else_label = insn.targets
         if fallthrough == then_label:
@@ -514,7 +547,7 @@ class _BlockCompiler:
                      if insn.operands else "(None)")
             emit(f"return ({value},)", indent)
         else:
-            raise _UnsupportedBlock(f"terminator {op}")
+            raise _UnsupportedBlock("C001", f"terminator {op}")
 
     # -- segments ------------------------------------------------------
     @staticmethod
@@ -634,8 +667,9 @@ class _BlockCompiler:
             if terminator is None:
                 # The walker's fall-through TrapError (and its exact
                 # step accounting) is easier to inherit than to
-                # replicate.
-                raise _UnsupportedBlock("no terminator")
+                # replicate.  V002: this is an IR well-formedness
+                # failure, not a codegen limitation.
+                raise _UnsupportedBlock("V002", "no terminator")
             if index < last:
                 nxt = blocks[index + 1].label
                 if terminator.opcode is Opcode.JMP:
@@ -650,8 +684,9 @@ class _BlockCompiler:
                 else:
                     linked = False
                 if not linked:
-                    raise _UnsupportedBlock("chain link is not a "
-                                            "JMP/BR into the next block")
+                    raise _UnsupportedBlock(
+                        "C003",
+                        "chain link is not a JMP/BR into the next block")
         body = _Emitter()
         self.out = body
         try:
@@ -720,8 +755,9 @@ def compile_block(block: BasicBlock,
     digest = digest if digest is not None else block_digest(block)
     try:
         return _BlockCompiler([block]).compile(digest)
-    except _UnsupportedBlock:
-        return BlockCode(fn=None, label=block.label, digest=digest)
+    except _UnsupportedBlock as exc:
+        return BlockCode(fn=None, label=block.label, digest=digest,
+                         reason=exc.code, detail=exc.detail)
 
 
 def compile_region(blocks: Sequence[BasicBlock],
@@ -738,9 +774,10 @@ def compile_region(blocks: Sequence[BasicBlock],
     digest = digest if digest is not None else region_digest(blocks)
     try:
         return _BlockCompiler(blocks).compile(digest)
-    except _UnsupportedBlock:
+    except _UnsupportedBlock as exc:
         return BlockCode(fn=None, label=blocks[0].label, digest=digest,
-                         span=len(blocks))
+                         span=len(blocks), reason=exc.code,
+                         detail=exc.detail)
 
 
 def get_block_code(block: BasicBlock) -> BlockCode:
@@ -756,7 +793,7 @@ def get_block_code(block: BasicBlock) -> BlockCode:
         return cached
     code = compile_block(block, digest)
     if code.fn is None:
-        _STATS.fallbacks += 1
+        _STATS.count_fallback(code)
     else:
         _STATS.compiled += 1
     _memo_put(digest, code)
@@ -777,7 +814,7 @@ def get_region_code(blocks: Sequence[BasicBlock]) -> BlockCode:
         return cached
     code = compile_region(blocks, digest)
     if code.fn is None:
-        _STATS.fallbacks += 1
+        _STATS.count_fallback(code)
     else:
         _STATS.compiled += 1
         _STATS.regions += 1
@@ -920,6 +957,7 @@ def clear_code_memo() -> int:
     _MEMO.clear()
     _STATS.compiled = _STATS.hits = _STATS.fallbacks = 0
     _STATS.regions = _STATS.evictions = 0
+    _STATS.fallback_codes.clear()
     return dropped
 
 

@@ -39,9 +39,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..ir.function import BasicBlock, Function, Module
-from ..ir.instructions import Instruction
 from ..ir.opcodes import Opcode
-from ..ir.values import Const, Operand, Reg, wrap32
+from ..ir.values import Const, Operand, wrap32
 from ..passes.constant_folding import evaluate_pure_op
 from .memory import Memory, TrapError
 from .profile import ProfileData

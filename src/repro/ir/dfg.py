@@ -23,13 +23,13 @@ still participate in convexity and I/O accounting.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from .cfg import Liveness
 from .function import BasicBlock, Function
 from .instructions import Instruction
-from .opcodes import Opcode, opinfo
+from .opcodes import Opcode
 from .values import Reg
 
 

@@ -19,7 +19,7 @@ fed back into the tools.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from .function import Function, GlobalArray, Module
 from .instructions import Instruction

@@ -13,7 +13,7 @@ import random
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .dfg import DataFlowGraph, DFGNode
-from .instructions import Instruction, binop, unop
+from .instructions import Instruction
 from .opcodes import Opcode, opinfo
 from .values import Const, Reg
 

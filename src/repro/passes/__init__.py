@@ -6,11 +6,17 @@ from .cse import local_value_numbering
 from .dce import eliminate_dead_code
 from .if_conversion import IfConverter, if_convert
 from .loop_unroll import unroll_loops
-from .pass_manager import optimize_function, optimize_module, run_to_fixpoint
+from .pass_manager import (
+    PassManager,
+    optimize_function,
+    optimize_module,
+    run_to_fixpoint,
+)
 from .simplify_cfg import simplify_cfg
 
 __all__ = [
-    "optimize_module", "optimize_function", "run_to_fixpoint",
+    "PassManager", "optimize_module", "optimize_function",
+    "run_to_fixpoint",
     "simplify_cfg", "propagate_copies", "coalesce_copies",
     "fold_constants", "evaluate_pure_op", "local_value_numbering",
     "eliminate_dead_code", "if_convert", "IfConverter", "unroll_loops",

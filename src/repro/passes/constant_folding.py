@@ -14,7 +14,7 @@ from typing import Optional
 from ..ir.function import Function
 from ..ir.instructions import Instruction, copy_reg
 from ..ir.opcodes import Opcode
-from ..ir.values import Const, Operand, Reg, to_unsigned, wrap32
+from ..ir.values import Const, to_unsigned, wrap32
 
 
 def evaluate_pure_op(opcode: Opcode, values: list) -> Optional[int]:

@@ -13,12 +13,11 @@ Two complementary block-local rewrites over the non-SSA IR:
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Optional
+from typing import Dict
 
 from ..ir.function import Function
-from ..ir.instructions import Instruction
 from ..ir.opcodes import Opcode
-from ..ir.values import Const, Operand, Reg
+from ..ir.values import Operand, Reg
 
 
 def propagate_copies(func: Function) -> bool:

@@ -24,7 +24,7 @@ to ``J`` unconditionally, and CFG simplification merges the blocks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Tuple
 
 from ..ir.cfg import Liveness, predecessors
 from ..ir.function import BasicBlock, Function

@@ -1,9 +1,17 @@
 """Pass management: ordered rewrites over IR functions.
 
-Passes are plain callables ``(Function) -> bool`` returning whether they
-changed anything.  :func:`optimize_module` runs the standard pipeline the
-experiments use: cleanup passes to fixpoint, then if-conversion (the paper's
-preprocessing step), then cleanup again.
+Passes are plain callables ``(Function) -> bool`` returning whether
+they changed anything.  :class:`PassManager` runs an ordered list of
+them — optionally to a fixpoint — and, when verification is on
+(explicit ``verify=`` or ``$REPRO_VERIFY``), re-verifies the function
+after every pass that reports a change: a pass that breaks a CFG,
+opcode or dataflow invariant (see :mod:`repro.analysis.diagnostics`)
+is caught at the pass boundary, named in the error, instead of
+surfacing later as a miscompile.
+
+:func:`optimize_function` / :func:`optimize_module` run the standard
+pipeline the experiments use: cleanup passes to fixpoint, then
+if-conversion (the paper's preprocessing step), then cleanup again.
 """
 
 from __future__ import annotations
@@ -15,23 +23,84 @@ from ..ir.function import Function, Module
 FunctionPass = Callable[[Function], bool]
 
 
+def _pass_name(p: FunctionPass) -> str:
+    owner = getattr(p, "__self__", None)
+    if owner is not None:
+        return type(owner).__name__
+    return getattr(p, "__name__", None) or type(p).__name__
+
+
+class PassManager:
+    """Runs function passes in order, verifying between them.
+
+    Args:
+        passes: ordered pass list; each is ``(Function) -> bool``.
+        verify: ``True``/``False`` to force verification on/off, or
+            ``None`` (default) to follow ``$REPRO_VERIFY``.
+        module: enclosing module, so the verifier can resolve array
+            symbols and callees (``V104``/``V105``); optional.
+
+    Verification runs after every pass invocation that reported a
+    change (an unchanged function cannot have become invalid), raising
+    :class:`~repro.analysis.diagnostics.VerificationError` naming the
+    offending pass and function.
+    """
+
+    def __init__(
+        self,
+        passes: Iterable[FunctionPass],
+        verify: Optional[bool] = None,
+        module: Optional[Module] = None,
+    ) -> None:
+        self.passes: List[FunctionPass] = list(passes)
+        self.module = module
+        from ..analysis.verifier import verify_enabled
+
+        self.verifying = verify_enabled(verify)
+
+    def _check(self, func: Function, after: FunctionPass) -> None:
+        from ..analysis.diagnostics import VerificationError, errors_of
+        from ..analysis.verifier import verify_function
+
+        problems = errors_of(verify_function(func, self.module))
+        if problems:
+            raise VerificationError(
+                f"pass {_pass_name(after)!r} broke function "
+                f"{func.name!r}", problems)
+
+    def run(self, func: Function) -> bool:
+        """One sweep over the pass list; True if anything changed."""
+        changed_any = False
+        for p in self.passes:
+            changed = p(func)
+            changed_any = changed_any or changed
+            if changed and self.verifying:
+                self._check(func, p)
+        return changed_any
+
+    def run_to_fixpoint(self, func: Function, max_rounds: int = 20) -> bool:
+        """Sweep repeatedly until nothing changes (or round limit)."""
+        changed_any = False
+        for _ in range(max_rounds):
+            if not self.run(func):
+                break
+            changed_any = True
+        return changed_any
+
+
 def run_to_fixpoint(func: Function, passes: Iterable[FunctionPass],
-                    max_rounds: int = 20) -> bool:
+                    max_rounds: int = 20,
+                    verify: Optional[bool] = None,
+                    module: Optional[Module] = None) -> bool:
     """Run *passes* repeatedly until nothing changes (or round limit)."""
-    passes = list(passes)
-    changed_any = False
-    for _ in range(max_rounds):
-        changed = False
-        for p in passes:
-            changed = p(func) or changed
-        changed_any = changed_any or changed
-        if not changed:
-            break
-    return changed_any
+    manager = PassManager(passes, verify=verify, module=module)
+    return manager.run_to_fixpoint(func, max_rounds=max_rounds)
 
 
 def optimize_function(func: Function, if_convert: bool = True,
-                      max_speculated: int = 256) -> None:
+                      max_speculated: int = 256,
+                      verify: Optional[bool] = None,
+                      module: Optional[Module] = None) -> None:
     """The standard optimisation pipeline for one function."""
     from .constant_folding import fold_constants
     from .copyprop import coalesce_copies, propagate_copies
@@ -48,20 +117,25 @@ def optimize_function(func: Function, if_convert: bool = True,
         local_value_numbering,
         eliminate_dead_code,
     ]
-    run_to_fixpoint(func, cleanup)
+    manager = PassManager(cleanup, verify=verify, module=module)
+    manager.run_to_fixpoint(func)
     if if_convert:
         converter = IfConverter(max_speculated=max_speculated)
+        if_manager = PassManager([converter.run], verify=verify,
+                                 module=module)
         for _ in range(20):
-            changed = converter.run(func)
-            changed = run_to_fixpoint(func, cleanup) or changed
+            changed = if_manager.run(func)
+            changed = manager.run_to_fixpoint(func) or changed
             if not changed:
                 break
 
 
 def optimize_module(module: Module, if_convert: bool = True,
-                    max_speculated: int = 256) -> Module:
+                    max_speculated: int = 256,
+                    verify: Optional[bool] = None) -> Module:
     """Optimise every function of *module* in place; returns the module."""
     for func in module.functions.values():
         optimize_function(func, if_convert=if_convert,
-                          max_speculated=max_speculated)
+                          max_speculated=max_speculated,
+                          verify=verify, module=module)
     return module

@@ -13,11 +13,11 @@ Four rewrites, iterated to a fixpoint by the pass manager:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from ..ir.cfg import predecessors, reachable_blocks
 from ..ir.function import Function
-from ..ir.instructions import Instruction, jmp
+from ..ir.instructions import jmp
 from ..ir.opcodes import Opcode
 from ..ir.values import Const
 

@@ -10,7 +10,7 @@ everything the identification/selection algorithms need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
 from .frontend import analyze, lower_program, parse
 from .interp import Interpreter, Memory, ProfileData

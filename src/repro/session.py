@@ -15,7 +15,8 @@ owns the three things worth keeping instead:
 
 The facade exposes the complete API surface — :meth:`prepare`,
 :meth:`identify`, :meth:`select`, :meth:`sweep`, :meth:`speedup`,
-:meth:`run_batch`, :meth:`afu` — with warm-start semantics: repeating a call (in this
+:meth:`run_batch`, :meth:`afu`, :meth:`check` — with warm-start
+semantics: repeating a call (in this
 process or a later one) returns bit-identical results while skipping
 every expensive phase whose inputs did not change.  The store is a pure
 memo; ``Session(store=False)`` computes exactly the same numbers from
@@ -198,6 +199,80 @@ class Session:
                 max_nodes=max_nodes)
         return measure_batch(app, count, model=self.model, n=n,
                              selection=selection, backend=self.backend)
+
+    def check(self, workload: str, algorithm: str = "iterative",
+              nin: int = 4, nout: int = 2, ninstr: int = 16,
+              limits: Optional[SearchLimits] = None,
+              n: Optional[int] = None, unroll: Optional[int] = None,
+              max_nodes: int = 40):
+        """Statically verify one workload end to end (``repro check``).
+
+        Three phases, each reported separately in the returned
+        :class:`~repro.analysis.report.CheckReport`:
+
+        1. **baseline** — the full IR verifier over the optimised
+           module (CFG shape, opcode contracts, def-before-use);
+        2. **selection** — every cut the chosen algorithm returns,
+           re-validated by the independent mask-based checker
+           (convexity, port budgets, forbidden ops, metric agreement);
+        3. **rewritten** — the ISE-rewritten clone: full module
+           verification, ISE/AFU netlist contracts, and preservation
+           of each block's memory/call chain.
+
+        Pure analysis — nothing is executed; ``report.ok`` is the gate
+        currency (warnings don't fail it).
+        """
+        from .analysis import check_cut_record, check_rewrite, verify_module
+        from .analysis.diagnostics import VerificationError
+        from .analysis.report import CheckReport
+        from .exec.rewrite import RewriteError, rewrite_module
+
+        app = self.prepare(workload, n=n, unroll=unroll)
+        report = CheckReport(workload=workload, algorithm=algorithm,
+                             nin=nin, nout=nout, ninstr=ninstr,
+                             functions=len(app.module.functions))
+        report.phases["baseline"] = verify_module(app.module)
+
+        selection_diags = []
+        selection = None
+        try:
+            selection = self.select(
+                workload, algorithm=algorithm, nin=nin, nout=nout,
+                ninstr=ninstr, limits=limits, n=n, unroll=unroll,
+                max_nodes=max_nodes)
+        except VerificationError as exc:
+            # The in-path assertion (on under $REPRO_VERIFY) fired
+            # first; fold its diagnostics into the report instead of
+            # crashing the check verb.
+            selection_diags.extend(exc.diagnostics)
+        if selection is not None:
+            for cut in selection.cuts:
+                report.cuts_checked += 1
+                selection_diags.extend(check_cut_record(cut, nin, nout))
+        report.phases["selection"] = selection_diags
+
+        rewrite_diags = []
+        if selection is not None:
+            try:
+                # verify=False: check_rewrite below reports diagnostics
+                # instead of raising mid-rewrite.
+                result = rewrite_module(app.module, selection.cuts,
+                                        self.model, verify=False)
+            except (RewriteError, VerificationError) as exc:
+                if isinstance(exc, VerificationError):
+                    rewrite_diags.extend(exc.diagnostics)
+                else:
+                    from .analysis.diagnostics import Diagnostic
+
+                    rewrite_diags.append(Diagnostic(
+                        code="V306", message=str(exc)))
+            else:
+                report.rewritten_blocks = result.rewritten_blocks
+                report.skipped = list(result.skipped)
+                rewrite_diags.extend(
+                    check_rewrite(app.module, result.module))
+        report.phases["rewritten"] = rewrite_diags
+        return report
 
     def afu(self, workload: str, ninstr: int = 2, nin: int = 4,
             nout: int = 2, limits: Optional[SearchLimits] = None,

@@ -11,7 +11,7 @@ independent pure-Python implementations used to prove bit-exactness.
 from __future__ import annotations
 
 import random
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8]
 

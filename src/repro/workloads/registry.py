@@ -9,8 +9,8 @@ what the Fig. 11 harness, the examples and the CLI iterate over.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
 
 from ..interp.memory import Memory
 from . import adpcm, crc, fir, g721, gsm, mixer

@@ -13,8 +13,7 @@ import random
 import pytest
 
 from repro.afu import build_datapath, emit_verilog
-from repro.core import Constraints, evaluate_cut, find_best_cut, \
-    select_iterative
+from repro.core import Constraints, evaluate_cut, find_best_cut
 from repro.hwmodel import CostModel
 from repro.ir import Opcode, Reg
 from repro.passes.constant_folding import evaluate_pure_op

@@ -7,11 +7,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.afu.schedule import (
-    CyclicDependenceError,
-    cut_is_schedulable,
-    schedule_with_cuts,
-)
+from repro.afu.schedule import cut_is_schedulable, schedule_with_cuts
 from repro.core import Constraints, SearchLimits, select_iterative
 from repro.hwmodel import CostModel
 from repro.ir.synth import make_dfg, paper_figure4_dfg, random_dag_dfg

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.afu import CycleSimulator, simulate_selection
+from repro.afu import simulate_selection
 from repro.core import Constraints, select_iterative
 from repro.hwmodel import CostModel
 from repro.interp import Memory

@@ -1,0 +1,175 @@
+"""Unit tests for the worklist dataflow framework and its three
+analyses (dominance, reaching definitions, definite assignment)."""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    DefiniteAssignment,
+    Dominance,
+    Liveness,
+    ReachingDefinitions,
+)
+from repro.analysis.dataflow import solve_forward
+from repro.ir import (
+    Const,
+    Function,
+    Opcode,
+    Reg,
+    binop,
+    br,
+    copy_reg,
+    jmp,
+    ret,
+)
+
+
+def diamond():
+    """entry -> (t|f) -> join; x defined on both arms, y on one."""
+    func = Function("f", params=["c", "a"])
+    entry = func.add_block("entry")
+    t = func.add_block("t")
+    f = func.add_block("f")
+    join = func.add_block("join")
+    entry.append(br(Reg("c"), "t", "f"))
+    t.append(copy_reg("x", Reg("a")))
+    t.append(copy_reg("y", Const(1)))
+    t.append(jmp("join"))
+    f.append(copy_reg("x", Const(0)))
+    f.append(jmp("join"))
+    join.append(binop(Opcode.ADD, "r", Reg("x"), Const(1)))
+    join.append(ret(Reg("r")))
+    return func
+
+
+def loop():
+    """entry -> head -> (body -> head | exit); i redefined in body."""
+    func = Function("loop", params=["n"])
+    entry = func.add_block("entry")
+    head = func.add_block("head")
+    body = func.add_block("body")
+    exit_ = func.add_block("exit")
+    entry.append(copy_reg("i", Const(0)))
+    entry.append(jmp("head"))
+    head.append(binop(Opcode.SLT, "c", Reg("i"), Reg("n")))
+    head.append(br(Reg("c"), "body", "exit"))
+    body.append(binop(Opcode.ADD, "i", Reg("i"), Const(1)))
+    body.append(jmp("head"))
+    exit_.append(ret(Reg("i")))
+    return func
+
+
+class TestSolveForward:
+    def test_union_reaches_fixed_point_through_loop(self):
+        func = loop()
+        # Trivial "set of defining blocks per register" analysis.
+        defs = {b.label: {name for insn in b.instructions
+                          for name in insn.defs()}
+                for b in func.blocks}
+
+        def transfer(label, in_set):
+            return in_set | {(label, name) for name in defs[label]}
+
+        in_sets, out_sets = solve_forward(
+            func, init=lambda label: set(), transfer=transfer,
+            meet=lambda sets: set().union(*sets), entry_in=set())
+        # The back edge carries body's definition of i into head.
+        assert ("body", "i") in in_sets["head"]
+        assert ("entry", "i") in in_sets["head"]
+        assert ("body", "i") in out_sets["exit"]
+
+    def test_unreachable_blocks_not_visited(self):
+        func = diamond()
+        dead = func.add_block("dead")
+        dead.append(ret())
+        in_sets, out_sets = solve_forward(
+            func, init=lambda label: set(),
+            transfer=lambda label, s: s,
+            meet=lambda sets: set().union(*sets), entry_in=set())
+        assert "dead" not in in_sets
+        assert "dead" not in out_sets
+
+
+class TestDominance:
+    def test_diamond(self):
+        dom = Dominance(diamond())
+        assert dom.idom["entry"] == "entry"
+        assert dom.idom["t"] == "entry"
+        assert dom.idom["f"] == "entry"
+        # Neither arm dominates the join; the entry does.
+        assert dom.idom["join"] == "entry"
+        assert dom.dominators("join") == ["join", "entry"]
+        assert dom.dominates("entry", "join")
+        assert not dom.dominates("t", "join")
+
+    def test_loop(self):
+        dom = Dominance(loop())
+        assert dom.idom["body"] == "head"
+        assert dom.idom["exit"] == "head"
+        assert dom.dominates("head", "body")
+        # The back edge does not make body dominate head.
+        assert not dom.dominates("body", "head")
+
+    def test_unreachable_absent(self):
+        func = diamond()
+        dead = func.add_block("dead")
+        dead.append(ret())
+        dom = Dominance(func)
+        assert "dead" not in dom.idom
+
+
+class TestReachingDefinitions:
+    def test_both_arm_defs_reach_join(self):
+        func = diamond()
+        reach = ReachingDefinitions(func)
+        assert reach.reaching("join", "x") == [("f", 0), ("t", 0)]
+
+    def test_params_reach_as_entry_sites(self):
+        func = diamond()
+        reach = ReachingDefinitions(func)
+        assert reach.reaching("entry", "a") == [
+            ReachingDefinitions.PARAM_SITE]
+
+    def test_loop_redefinition_kills_along_its_path(self):
+        func = loop()
+        reach = ReachingDefinitions(func)
+        # Both the entry's init and the body's increment may reach head.
+        assert reach.reaching("head", "i") == [("body", 0), ("entry", 0)]
+        # But only the body's definition leaves the body.
+        assert reach.reaching("exit", "i") == [("body", 0), ("entry", 0)]
+
+
+class TestDefiniteAssignment:
+    def test_both_arms_define_x(self):
+        func = diamond()
+        assigned = DefiniteAssignment(func)
+        assert "x" in assigned.defined_at_entry("join")
+        # y only flows down one arm: not definite at the join.
+        assert "y" not in assigned.defined_at_entry("join")
+
+    def test_params_definite_everywhere(self):
+        func = diamond()
+        assigned = DefiniteAssignment(func)
+        for label in ("entry", "t", "f", "join"):
+            assert {"c", "a"} <= assigned.defined_at_entry(label)
+
+    def test_loop_optimistic_init_converges(self):
+        func = loop()
+        assigned = DefiniteAssignment(func)
+        # i is definite at head despite the back edge (defined before
+        # the loop and redefined inside it).
+        assert "i" in assigned.defined_at_entry("head")
+        assert "c" not in assigned.defined_at_entry("entry")
+
+    def test_unreachable_guarantees_nothing(self):
+        func = diamond()
+        dead = func.add_block("dead")
+        dead.append(ret())
+        assigned = DefiniteAssignment(func)
+        assert assigned.defined_at_entry("dead") == set()
+
+
+class TestLivenessReexport:
+    def test_same_class_as_ir_cfg(self):
+        from repro.ir.cfg import Liveness as CfgLiveness
+
+        assert Liveness is CfgLiveness

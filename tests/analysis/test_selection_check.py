@@ -1,0 +1,204 @@
+"""The independent selection checker: golden ``S0xx`` messages, and
+agreement with the two existing implementations (the reference
+``core/cut.py`` recomputation and the search engine itself)."""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.analysis import (
+    VerificationError,
+    assert_cut,
+    check_cut,
+    check_cut_record,
+)
+from repro.analysis.selection_check import reach_masks
+from repro.core import Constraints, select_iterative, select_optimal
+from repro.core.cut import cut_is_feasible, evaluate_cut
+from repro.core.select_area import select_area_constrained
+from repro.hwmodel import CostModel
+from repro.ir import Const, Function, Opcode, Reg, binop, load, ret
+from repro.ir.dfg import build_dfg, function_dfgs
+from repro.ir.synth import random_dag_dfg
+
+MODEL = CostModel()
+
+
+def chain_dfg():
+    """t0 -> t1 -> t2 add chain plus one load; t2 returned.
+
+    Returns ``(dfg, pos)`` where ``pos[k]`` is the DFG node index of
+    body position ``k`` (node numbering is reverse topological, so the
+    two differ).
+    """
+    func = Function("f", params=["p", "q", "r", "s"])
+    entry = func.add_block("entry")
+    entry.append(binop(Opcode.ADD, "t0", Reg("p"), Reg("q")))
+    entry.append(binop(Opcode.ADD, "t1", Reg("t0"), Reg("r")))
+    entry.append(binop(Opcode.ADD, "t2", Reg("t1"), Reg("s")))
+    entry.append(load("m", "arr", Const(0)))
+    entry.append(ret(Reg("t2")))
+    dfg = build_dfg(entry, live_out=set(), name="f/entry")
+    by_label = {node.label: i for i, node in enumerate(dfg.nodes)}
+    pos = {k: by_label[f"add#{k}"] for k in range(3)}
+    pos[3] = by_label["load#3"]
+    return dfg, pos
+
+
+class TestGoldenSelectionCodes:
+    def test_s001_non_convex(self):
+        dfg, pos = chain_dfg()
+        cut = [pos[0], pos[2]]
+        (d,) = [x for x in check_cut(dfg, cut, nin=8, nout=8)
+                if x.code == "S001"]
+        assert d.function == "f" and d.block == "entry"
+        assert d.message == (
+            f"cut {sorted(cut)} is not convex: path re-enters it "
+            f"through excluded node(s) [{pos[1]}]")
+
+    def test_s002_input_budget(self):
+        dfg, pos = chain_dfg()
+        cut = [pos[0]]       # reads p and q: IN = 2.
+        (d,) = check_cut(dfg, cut, nin=1, nout=8)
+        assert d.code == "S002"
+        assert d.message == (f"cut {sorted(cut)} reads 2 value(s), "
+                             f"budget is Nin=1")
+
+    def test_s003_output_budget(self):
+        dfg, pos = chain_dfg()
+        # t0 and t2 both escape: t0 feeds t1 (outside), t2 is returned.
+        cut = [pos[0], pos[1], pos[2]]
+        diags = check_cut(dfg, cut, nin=8, nout=1)
+        assert [d.code for d in diags] == []
+        cut = [pos[0], pos[2]]
+        codes = {d.code for d in check_cut(dfg, cut, nin=8, nout=1)}
+        assert "S003" in codes
+        (d,) = [x for x in check_cut(dfg, cut, nin=8, nout=1)
+                if x.code == "S003"]
+        assert d.message == (f"cut {sorted(cut)} writes 2 value(s), "
+                             f"budget is Nout=1")
+
+    def test_s004_forbidden_node(self):
+        dfg, pos = chain_dfg()
+        cut = [pos[3]]
+        (d,) = check_cut(dfg, cut, nin=8, nout=8)
+        assert d.code == "S004"
+        assert d.message == (f"cut {sorted(cut)} contains forbidden "
+                             f"node(s) load#3")
+
+    def test_s005_out_of_range(self):
+        dfg, _ = chain_dfg()
+        (d,) = check_cut(dfg, [0, 99], nin=8, nout=8)
+        assert d.code == "S005"
+        assert d.message == (f"cut [0, 99] references node indices "
+                             f"[99] outside graph of {dfg.n} node(s)")
+
+    def test_s006_metric_mismatch(self):
+        dfg, pos = chain_dfg()
+        honest = evaluate_cut(dfg, [pos[0], pos[1]], MODEL)
+        forged = dataclasses.replace(honest, num_inputs=1)
+        (d,) = check_cut_record(forged, nin=8, nout=8)
+        assert d.code == "S006"
+        assert d.message == (
+            f"cut {sorted(forged.nodes)} records IN=1, mask "
+            f"recomputation says {honest.num_inputs}")
+
+    def test_honest_cut_record_is_clean(self):
+        dfg, pos = chain_dfg()
+        cut = evaluate_cut(dfg, [pos[0], pos[1]], MODEL)
+        assert check_cut_record(cut, nin=8, nout=8) == []
+
+    def test_empty_cut_is_clean(self):
+        dfg, _ = chain_dfg()
+        assert check_cut(dfg, [], nin=1, nout=1) == []
+
+    def test_assert_cut_names_algorithm_and_block(self):
+        dfg, pos = chain_dfg()
+        cut = evaluate_cut(dfg, [pos[0]], MODEL)
+        with pytest.raises(VerificationError) as info:
+            assert_cut(cut, nin=1, nout=8, algorithm="iterative")
+        assert info.value.context == (
+            f"iterative selection returned an invalid cut "
+            f"{sorted(cut.nodes)} in f/entry")
+        assert [d.code for d in info.value.diagnostics] == ["S002"]
+
+
+class TestReachMasks:
+    def test_transitive_closure_on_chain(self):
+        dfg, pos = chain_dfg()
+        down = reach_masks(dfg)
+        # pos[0] produces t0 consumed by t1 consumed by t2.
+        assert down[pos[0]] & (1 << pos[1])
+        assert down[pos[0]] & (1 << pos[2])
+        assert not down[pos[2]] & (1 << pos[0])
+        assert down[pos[3]] == 0     # the load feeds nothing.
+
+
+class TestAgreementWithReference:
+    """The checker is a third implementation; it must agree with
+    ``cut_is_feasible`` (set-wise reference) on random cuts."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_cuts(self, seed):
+        rng = random.Random(seed)
+        dfg = random_dag_dfg(rng.randint(3, 10), rng,
+                             edge_prob=rng.uniform(0.1, 0.6),
+                             forbidden_prob=0.15, name="f/b0")
+        cons = Constraints(nin=rng.randint(1, 4),
+                           nout=rng.randint(1, 3))
+        for _ in range(200):
+            size = rng.randint(1, dfg.n)
+            cut = rng.sample(range(dfg.n), size)
+            reference = cut_is_feasible(dfg, cut, cons)
+            diags = check_cut(dfg, cut, cons.nin, cons.nout)
+            assert (not diags) == reference, (
+                f"disagreement on {sorted(cut)}: reference="
+                f"{reference}, checker={[d.render() for d in diags]}")
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_evaluate_cut_metrics_always_match(self, seed):
+        rng = random.Random(1000 + seed)
+        dfg = random_dag_dfg(rng.randint(3, 9), rng,
+                             edge_prob=0.3, forbidden_prob=0.1,
+                             name="f/b0")
+        for _ in range(100):
+            cut = rng.sample(range(dfg.n), rng.randint(1, dfg.n))
+            record = evaluate_cut(dfg, cut, MODEL)
+            diags = check_cut_record(record, nin=99, nout=99)
+            # Port budgets are unbounded: only S001/S004 violations
+            # (properties, not bookkeeping) or nothing may remain;
+            # S006 would mean core/cut.py and the masks disagree.
+            assert not any(d.code == "S006" for d in diags)
+
+
+class TestAgreementWithEngine:
+    """Every cut the engine selects must satisfy the independent
+    checker, across a sweep grid of constraint points."""
+
+    GRID = [(2, 1), (3, 2), (4, 2), (6, 3)]
+
+    @pytest.fixture(scope="class")
+    def dfgs(self, fir_app, crc_app):
+        graphs = []
+        for app in (fir_app, crc_app):
+            for func in app.module.functions.values():
+                graphs.extend(function_dfgs(func, min_nodes=2))
+        return graphs
+
+    @pytest.mark.parametrize("nin,nout", GRID)
+    def test_iterative_and_optimal(self, dfgs, nin, nout):
+        cons = Constraints(nin=nin, nout=nout, ninstr=4)
+        for algorithm in (select_iterative, select_optimal):
+            result = algorithm(dfgs, cons, MODEL)
+            for cut in result.cuts:
+                assert check_cut_record(cut, nin, nout) == []
+
+    def test_area_constrained(self, dfgs):
+        cons = Constraints(nin=4, nout=2, ninstr=4)
+        result = select_area_constrained(dfgs, cons, area_budget=8.0,
+                                         model=MODEL)
+        for cut in result.cuts:
+            assert check_cut_record(cut, cons.nin, cons.nout) == []

@@ -1,0 +1,388 @@
+"""Golden tests: one per verifier diagnostic code, pinning the exact
+message.  These are the compatibility surface of the analysis
+subsystem — ``repro check`` consumers and CI gates match on them."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    VerificationError,
+    assert_verified,
+    check_fused_schedule,
+    check_rewrite,
+    verify_enabled,
+    verify_function,
+    verify_module,
+)
+from repro.exec.rewrite import FusedGate
+from repro.ir import (
+    Const,
+    Function,
+    GlobalArray,
+    Instruction,
+    Module,
+    Opcode,
+    Reg,
+    binop,
+    call,
+    copy_reg,
+    jmp,
+    load,
+    ret,
+    store,
+)
+from repro.ir.function import BasicBlock
+from repro.ir.instructions import ISEInstruction
+
+
+def straight(*insns):
+    """One-block function ending in ``ret`` around *insns*."""
+    func = Function("f", params=["p"])
+    entry = func.add_block("entry")
+    for insn in insns:
+        entry.instructions.append(insn)
+    if not entry.is_terminated:
+        entry.instructions.append(ret())
+    return func
+
+
+def only(diags, code):
+    """The diagnostics with *code* (asserting there is at least one)."""
+    found = [d for d in diags if d.code == code]
+    assert found, f"no {code} in {[d.render() for d in diags]}"
+    return found
+
+
+class FakeAFU:
+    """Minimal stand-in honouring the duck-typed AFU surface."""
+
+    def __init__(self, name="afu0", input_ports=("p0",),
+                 output_wires=("n0",), gates=None):
+        self.name = name
+        self.input_ports = tuple(input_ports)
+        self.output_wires = tuple(output_wires)
+        if gates is None:
+            gates = (FusedGate(Opcode.ADD, "n0", ("p0", 1)),)
+        self.gates = tuple(gates)
+        self.latency_cycles = 1
+
+
+class TestCfgCodes:
+    def test_v001_no_blocks(self):
+        diags = verify_function(Function("empty"))
+        (d,) = diags
+        assert d.render() == "V001 empty: function has no basic blocks"
+
+    def test_v002_missing_terminator(self):
+        func = Function("f")
+        func.add_block("entry").append(copy_reg("x", Const(1)))
+        (d,) = only(verify_function(func), "V002")
+        assert d.render() == "V002 f/entry: block has no terminator"
+
+    def test_v003_terminator_not_last(self):
+        func = Function("f")
+        entry = func.add_block("entry")
+        exit_ = func.add_block("exit")
+        exit_.append(ret())
+        entry.append(jmp("exit"))
+        # Bypass the append() guard: splice a second terminator after.
+        entry.instructions.append(jmp("exit"))
+        (d,) = only(verify_function(func), "V003")
+        assert d.render() == ("V003 f/entry: terminator jmp exit at "
+                              "position 0 is not last")
+
+    def test_v004_unknown_target(self):
+        func = Function("f")
+        func.add_block("entry").append(jmp("nowhere"))
+        (d,) = only(verify_function(func), "V004")
+        assert d.render() == ("V004 f/entry: branch target 'nowhere' "
+                              "names no block")
+
+    def test_v005_stale_label_index(self):
+        func = Function("f")
+        func.add_block("entry").append(ret())
+        # Surgery on .blocks without reindex().
+        orphan = BasicBlock("orphan")
+        orphan.append(ret())
+        func.blocks.append(orphan)
+        (d,) = only(verify_function(func), "V005")
+        assert d.render() == ("V005 f/orphan: label index does not map "
+                              "'orphan' to its block (reindex() "
+                              "missing?)")
+
+    def test_v005_duplicate_label(self):
+        func = Function("f")
+        func.add_block("entry").append(ret())
+        twin = BasicBlock("entry")
+        twin.append(ret())
+        func.blocks.append(twin)
+        dups = only(verify_function(func), "V005")
+        assert any(d.render() == "V005 f/entry: duplicate block label "
+                   "'entry'" for d in dups)
+
+    def test_v006_unreachable_is_a_warning(self):
+        func = Function("f")
+        func.add_block("entry").append(ret())
+        func.add_block("dead").append(ret())
+        (d,) = only(verify_function(func), "V006")
+        assert d.severity == "warning"
+        assert d.render() == ("V006 f/dead: block is unreachable from "
+                              "the entry")
+        # Warnings keep the function acceptable to the gate.
+        module = Module()
+        module.add_function(func)
+        assert_verified(module, "warnings pass")
+
+
+class TestOpcodeCodes:
+    def test_v101_wrong_arity(self):
+        func = straight(Instruction(Opcode.ADD, "d", (Const(1),)))
+        (d,) = only(verify_function(func), "V101")
+        assert d.render() == ("V101 f/entry: add expects 2 operand(s), "
+                              "has 1: %d = add 1")
+
+    def test_v101_ret_with_two_operands(self):
+        func = Function("f")
+        entry = func.add_block("entry")
+        entry.append(Instruction(Opcode.RET,
+                                 operands=(Const(1), Const(2))))
+        (d,) = only(verify_function(func), "V101")
+        assert d.render() == ("V101 f/entry: ret expects at most 1 "
+                              "operand, has 2")
+
+    def test_v102_missing_dest(self):
+        insn = binop(Opcode.ADD, "d", Const(1), Const(2))
+        insn.dest = None
+        func = straight(insn)
+        (d,) = only(verify_function(func), "V102")
+        assert d.render() == "V102 f/entry: add requires a destination"
+
+    def test_v103_unexpected_dest(self):
+        insn = store("arr", Const(0), Const(1))
+        insn.dest = "x"
+        func = straight(insn)
+        (d,) = only(verify_function(func), "V103")
+        assert d.render() == ("V103 f/entry: store defines no register "
+                              "but dest is %x")
+
+    def test_v104_missing_array_symbol(self):
+        insn = load("d", "arr", Const(0))
+        insn.array = None
+        func = straight(insn)
+        (d,) = only(verify_function(func), "V104")
+        assert d.render() == "V104 f/entry: load has no array symbol"
+
+    def test_v104_undeclared_array(self):
+        module = Module()
+        func = module.add_function(straight(load("d", "arr", Const(0))))
+        (d,) = only(verify_function(func, module), "V104")
+        assert d.render() == ("V104 f/entry: load addresses undeclared "
+                              "array 'arr'")
+
+    def test_v105_unknown_callee(self):
+        module = Module()
+        func = module.add_function(straight(call(None, "g")))
+        (d,) = only(verify_function(func, module), "V105")
+        assert d.render() == ("V105 f/entry: call to unknown function "
+                              "'g'")
+
+    def test_v105_wrong_call_arity(self):
+        module = Module()
+        g = Function("g", params=["a", "b"])
+        g.add_block("entry").append(ret(Const(0)))
+        module.add_function(g)
+        func = module.add_function(
+            straight(call("r", "g", (Const(1),))))
+        (d,) = only(verify_function(func, module), "V105")
+        assert d.render() == ("V105 f/entry: call to 'g' passes 1 "
+                              "argument(s), expects 2")
+
+    def test_v105_missing_callee(self):
+        insn = call(None, "g")
+        insn.callee = None
+        func = straight(insn)
+        (d,) = only(verify_function(func), "V105")
+        assert d.render() == "V105 f/entry: call has no callee"
+
+    def test_v106_wrong_target_count(self):
+        insn = jmp("exit")
+        insn.targets = ()
+        func = Function("f")
+        func.add_block("entry").append(insn)
+        (d,) = only(verify_function(func), "V106")
+        assert d.render() == ("V106 f/entry: jmp carries 0 target(s), "
+                              "expects 1")
+
+
+class TestDataflowCodes:
+    def test_v201_use_before_def(self):
+        func = straight(binop(Opcode.ADD, "r", Reg("x"), Const(1)))
+        (d,) = only(verify_function(func), "V201")
+        assert d.render() == ("V201 f/entry: %x may be read before "
+                              "definition in %r = add %x, 1")
+
+    def test_v201_one_arm_definition_is_flagged(self):
+        from repro.ir import br
+
+        func = Function("f", params=["c"])
+        entry = func.add_block("entry")
+        t = func.add_block("t")
+        join = func.add_block("join")
+        entry.append(br(Reg("c"), "t", "join"))
+        t.append(copy_reg("x", Const(1)))
+        t.append(jmp("join"))
+        join.append(binop(Opcode.ADD, "r", Reg("x"), Const(1)))
+        join.append(ret(Reg("r")))
+        (d,) = only(verify_function(func), "V201")
+        assert d.block == "join"
+
+    def test_v202_duplicate_dest(self):
+        afu = FakeAFU(output_wires=("n0", "n0"))
+        insn = ISEInstruction(afu, (Reg("p"),), dests=("a", "a"))
+        func = straight(insn)
+        (d,) = only(verify_function(func), "V202")
+        assert d.render() == ("V202 f/entry: instruction defines %a "
+                              "more than once: %a, %a = ise afu0(%p)")
+
+
+class TestIseCodes:
+    def run_ise(self, afu, operands=(Reg("p"),), dests=("a",)):
+        return verify_function(
+            straight(ISEInstruction(afu, operands, dests=dests)))
+
+    def test_v301_operand_port_mismatch(self):
+        (d,) = only(self.run_ise(FakeAFU(), operands=()), "V301")
+        assert d.render() == ("V301 f/entry: ise afu0 passes 0 "
+                              "operand(s) to 1 input port(s)")
+
+    def test_v302_dest_wire_mismatch(self):
+        (d,) = only(self.run_ise(FakeAFU(), dests=()), "V302")
+        assert d.render() == ("V302 f/entry: ise afu0 binds 0 dest(s) "
+                              "to 1 output wire(s)")
+
+    def test_v303_undriven_gate_input(self):
+        afu = FakeAFU(gates=(FusedGate(Opcode.ADD, "n0", ("zzz", 1)),))
+        (d,) = only(self.run_ise(afu), "V303")
+        assert d.render() == ("V303 f/entry: ise afu0: gate n0 reads "
+                              "undriven wire 'zzz'")
+
+    def test_v303_undriven_output_wire(self):
+        afu = FakeAFU(output_wires=("nope",))
+        (d,) = only(self.run_ise(afu), "V303")
+        assert d.render() == ("V303 f/entry: ise afu0: output wire "
+                              "'nope' is driven by no gate")
+
+    def test_v304_afu_illegal_gate(self):
+        afu = FakeAFU(gates=(FusedGate(Opcode.LOAD, "n0", ("p0",)),))
+        (d,) = only(self.run_ise(afu), "V304")
+        assert d.render() == ("V304 f/entry: ise afu0: gate n0 has "
+                              "AFU-illegal opcode load")
+
+    def test_well_formed_ise_is_clean(self):
+        assert self.run_ise(FakeAFU()) == []
+
+
+def two_load_module(order):
+    module = Module()
+    module.add_global(GlobalArray("A", 4))
+    module.add_global(GlobalArray("B", 4))
+    func = Function("f")
+    entry = func.add_block("entry")
+    for array, dest in order:
+        entry.append(load(dest, array, Const(0)))
+    entry.append(ret(Reg("a")))
+    module.add_function(func)
+    return module
+
+
+class TestRewriteCodes:
+    def test_v305_memory_chain_reordered(self):
+        original = two_load_module([("A", "a"), ("B", "b")])
+        swapped = two_load_module([("B", "b"), ("A", "a")])
+        (d,) = only(check_rewrite(original, swapped), "V305")
+        assert d.render() == (
+            "V305 f/entry: memory/call chain changed from "
+            "[('load', 'A'), ('load', 'B')] to "
+            "[('load', 'B'), ('load', 'A')]")
+
+    def test_v305_clean_when_chain_preserved(self):
+        original = two_load_module([("A", "a"), ("B", "b")])
+        clone = two_load_module([("A", "a"), ("B", "b")])
+        assert check_rewrite(original, clone) == []
+
+    def test_v306_register_carried_cycle(self):
+        body = [
+            binop(Opcode.ADD, "a", Reg("p"), Const(1)),
+            binop(Opcode.ADD, "b", Reg("a"), Const(1)),
+            binop(Opcode.ADD, "c", Reg("b"), Const(1)),
+        ]
+        d = check_fused_schedule(body, [{0, 2}])
+        assert d is not None
+        assert d.render() == ("V306 <module>: dependence cycle through "
+                              "the fused region(s) at positions "
+                              "[[0, 2]]")
+
+    def test_v306_memory_carried_cycle(self):
+        body = [
+            store("A", Const(0), Reg("p")),
+            load("x", "A", Const(1)),
+            store("A", Const(2), Reg("p")),
+        ]
+        assert check_fused_schedule(body, [{0, 2}]) is not None
+
+    def test_contiguous_region_schedules(self):
+        body = [
+            binop(Opcode.ADD, "a", Reg("p"), Const(1)),
+            binop(Opcode.ADD, "b", Reg("a"), Const(1)),
+            binop(Opcode.ADD, "c", Reg("b"), Const(1)),
+        ]
+        assert check_fused_schedule(body, [{0, 1}]) is None
+        assert check_fused_schedule(body, [{1, 2}]) is None
+        assert check_fused_schedule(body, []) is None
+
+
+class TestModuleSurface:
+    def test_verify_module_concatenates(self):
+        module = Module()
+        module.add_function(Function("empty"))
+        good = Function("good")
+        good.add_block("entry").append(ret())
+        module.add_function(good)
+        diags = verify_module(module)
+        assert [d.code for d in diags] == ["V001"]
+
+    def test_assert_verified_raises_with_context(self):
+        module = Module()
+        module.add_function(Function("empty"))
+        with pytest.raises(VerificationError) as info:
+            assert_verified(module, "seed module")
+        assert info.value.context == "seed module"
+        assert [d.code for d in info.value.diagnostics] == ["V001"]
+
+    def test_workloads_are_clean(self, adpcm_decode_app, fir_app):
+        for app in (adpcm_decode_app, fir_app):
+            assert verify_module(app.module) == []
+
+
+class TestVerifyEnabled:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        assert verify_enabled(False) is False
+        monkeypatch.delenv("REPRO_VERIFY")
+        assert verify_enabled(True) is True
+
+    @pytest.mark.parametrize("value", ["", "0", "off", "OFF", "false",
+                                       "no"])
+    def test_off_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_VERIFY", value)
+        assert verify_enabled() is False
+
+    @pytest.mark.parametrize("value", ["1", "on", "yes", "anything"])
+    def test_on_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_VERIFY", value)
+        assert verify_enabled() is True
+
+    def test_unset_is_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VERIFY", raising=False)
+        assert verify_enabled() is False

@@ -10,6 +10,27 @@ from repro.pipeline import prepare_application
 
 
 @pytest.fixture(scope="session", autouse=True)
+def _verification_on():
+    """Force ``$REPRO_VERIFY`` on for the whole suite.
+
+    Verification is opt-in on hot paths (benchmarks stay unaffected),
+    but every test run exercises the pass-boundary, selection and
+    rewrite checks — a regression that produces ill-formed IR or an
+    infeasible cut fails loudly here even if no assertion targets it.
+    Tests probing the off switch monkeypatch the variable locally.
+    """
+    import os
+
+    old = os.environ.get("REPRO_VERIFY")
+    os.environ["REPRO_VERIFY"] = "1"
+    yield
+    if old is None:
+        os.environ.pop("REPRO_VERIFY", None)
+    else:
+        os.environ["REPRO_VERIFY"] = old
+
+
+@pytest.fixture(scope="session", autouse=True)
 def _isolated_store(tmp_path_factory):
     """Point the default artifact store at a per-session temp directory.
 

@@ -9,7 +9,7 @@ import pytest
 from repro.core import Constraints, select_clubbing, select_maxmiso
 from repro.core.baselines import clubs_of_block, maxmiso_cuts, \
     maxmiso_partition
-from repro.core.cut import cut_is_feasible, evaluate_cut
+from repro.core.cut import cut_is_feasible
 from repro.core import select_iterative
 from repro.hwmodel import CostModel
 from repro.ir.opcodes import Opcode

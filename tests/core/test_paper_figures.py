@@ -13,8 +13,6 @@ import pytest
 
 from repro.core import Constraints, enumerate_feasible_cuts, find_best_cut
 from repro.core.bruteforce import all_feasible_cuts
-from repro.hwmodel import CostModel
-from repro.ir.opcodes import Opcode
 from repro.ir.synth import paper_figure4_dfg
 
 

@@ -18,7 +18,7 @@ from repro.core.select_area import (
 )
 from repro.hwmodel import CostModel, cut_area
 from repro.ir.opcodes import Opcode
-from repro.ir.synth import make_dfg, random_dag_dfg
+from repro.ir.synth import make_dfg
 
 MODEL = CostModel()
 CONS = Constraints(nin=4, nout=2, ninstr=16)

@@ -9,7 +9,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core import Constraints, select_iterative, select_optimal
 from repro.core.bruteforce import best_disjoint_cuts_bruteforce
-from repro.core.selection import SelectionResult, make_result
 from repro.hwmodel import CostModel
 from repro.ir.synth import random_dag_dfg
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 import random
 from dataclasses import asdict
 
-import pytest
 
 from repro.core import (
     Constraints,

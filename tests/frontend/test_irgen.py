@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.frontend import compile_source
-from repro.interp import Interpreter, Memory, execute
+from repro.interp import execute
 from repro.ir import verify_function
 from repro.passes import optimize_module
 

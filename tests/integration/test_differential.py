@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.frontend import analyze, lower_program, parse

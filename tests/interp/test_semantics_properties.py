@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import struct
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.ir.opcodes import Opcode

@@ -5,20 +5,16 @@ from __future__ import annotations
 import random
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.ir import (
     Const,
     Function,
-    Liveness,
     Opcode,
     Reg,
     binop,
     build_dfg,
     copy_reg,
     function_dfgs,
-    jmp,
-    load,
     ret,
     store,
 )

@@ -18,7 +18,6 @@ from repro.ir import (
     ret,
     select,
     store,
-    unop,
 )
 
 

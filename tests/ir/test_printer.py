@@ -5,11 +5,10 @@ from __future__ import annotations
 import pytest
 
 from repro.frontend import compile_source
-from repro.interp import Interpreter, Memory, execute
+from repro.interp import Interpreter, Memory
 from repro.ir.printer import IRParseError, parse_module, print_module, \
     roundtrip
 from repro.passes import optimize_module
-from repro.pipeline import prepare_application
 from repro.workloads import WORKLOADS, get_workload
 
 

@@ -7,7 +7,7 @@ import pytest
 from repro.frontend import compile_source
 from repro.interp import execute
 from repro.ir import Opcode, verify_function
-from repro.passes import IfConverter, optimize_module, simplify_cfg
+from repro.passes import IfConverter, optimize_module
 from repro.passes.pass_manager import optimize_function
 
 

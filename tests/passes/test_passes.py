@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.frontend import compile_source
 from repro.ir import (
     Const,
     Function,

@@ -4,9 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.frontend import compile_source
-from repro.interp import Interpreter, Memory
-from repro.passes import optimize_module
 from repro.pipeline import prepare_application
 from repro.workloads import WORKLOADS, get_workload, paper_benchmarks
 from repro.workloads import adpcm, crc, fir, gsm, mixer
