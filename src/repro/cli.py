@@ -24,6 +24,10 @@ Subcommands:
   independent mask-based constraint checker, and the rewritten clone
   (ISE contracts, memory-chain preservation) — text or ``--json``,
   exit 1 on any error diagnostic, nothing executed;
+* ``fuzz`` — differential fuzzing: seeded generated programs through
+  the whole stack (three backends, baseline vs rewritten, single vs
+  batched lanes, verifier + selection checker), failures shrunk to
+  minimal reproducers; ``--soak`` for open-ended runs;
 * ``afu`` — generate Verilog for the selected custom instructions;
 * ``cache`` — inspect or maintain the persistent artifact store.
 
@@ -515,6 +519,97 @@ def cmd_check(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_fuzz(args) -> int:
+    """Differential fuzzing campaign (DESIGN.md §14).
+
+    Each generated program runs through the full pipeline — three
+    backends, baseline vs. rewritten, single vs. batched lanes, the
+    verifier and the selection checker — and any bit-level divergence
+    is a failure, shrunk to a minimal reproducer under
+    ``--artifacts``.  An invalid-program sweep of the same size rides
+    along, holding the frontend to structured diagnostics.  ``--soak``
+    repeats rounds (advancing the base seed) until interrupted.
+
+    stdout carries the byte-stable summary (or ``--json``); per-round
+    soak telemetry goes to stderr like every other verb's timing.
+    """
+    from .fuzz import check_invalid_corpus
+
+    session = _make_session(args)
+    rounds = 0
+    programs = 0
+    failed: List[str] = []
+    totals = {"cuts": 0, "rewritten_blocks": 0, "traps": 0}
+    fallbacks: dict = {}
+    by_shape: dict = {}
+    last = None
+    start = time.perf_counter()
+    try:
+        while True:
+            base = args.seed + rounds * args.count
+            result = session.fuzz(
+                count=args.count, seed=base, shape=args.shape,
+                artifacts=args.artifacts, nin=args.nin,
+                nout=args.nout, ninstr=args.ninstr,
+                limits=_limits(args))
+            problems = check_invalid_corpus(count=args.count, seed=base)
+            rounds += 1
+            programs += result.programs
+            totals["cuts"] += result.cuts
+            totals["rewritten_blocks"] += result.rewritten_blocks
+            totals["traps"] += result.traps
+            for shape, num in result.by_shape.items():
+                by_shape[shape] = by_shape.get(shape, 0) + num
+            for code, num in result.fallback_codes.items():
+                fallbacks[code] = fallbacks.get(code, 0) + num
+            for record in result.failures:
+                where = (f" -> {record.artifact_dir}"
+                         if record.artifact_dir else "")
+                failed.append(
+                    f"seed {record.seed} shape {record.shape} "
+                    f"[{', '.join(record.stages)}]{where}")
+            failed.extend(problems)
+            last = result
+            if not args.soak:
+                break
+            rate = programs / max(time.perf_counter() - start, 1e-9)
+            print(f"soak round {rounds}: seeds {base}.."
+                  f"{base + args.count - 1}, {len(result.failures)} "
+                  f"failure(s), {len(problems)} frontend problem(s), "
+                  f"{rate:.1f} programs/s", file=sys.stderr)
+    except KeyboardInterrupt:
+        print(f"soak interrupted after {rounds} round(s)",
+              file=sys.stderr)
+    if args.json and last is not None:
+        payload = last.as_dict() if rounds == 1 else {
+            "rounds": rounds, "programs": programs, **totals,
+            "by_shape": dict(sorted(by_shape.items())),
+            "fallback_codes": dict(sorted(fallbacks.items())),
+            "failures": failed, "ok": not failed,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if not failed else 1
+    shapes = " ".join(f"{shape}={num}"
+                      for shape, num in sorted(by_shape.items()))
+    print(f"fuzz: {programs} program(s), base seed {args.seed}"
+          + (f", {rounds} round(s)" if args.soak else ""))
+    print(f"shapes:    {shapes}")
+    print(f"cuts:      {totals['cuts']} "
+          f"(rewritten blocks {totals['rewritten_blocks']})")
+    print(f"traps:     {totals['traps']}")
+    if fallbacks:
+        detail = ", ".join(f"{code}x{num}"
+                           for code, num in sorted(fallbacks.items()))
+        print(f"fallbacks: {detail}")
+    print(f"failures:  {len(failed)}")
+    for line in failed:
+        print(f"  {line}")
+    rate = programs / max(time.perf_counter() - start, 1e-9)
+    print(f"{rate:.1f} programs/s through the differential oracle",
+          file=sys.stderr)
+    return 0 if not failed else 1
+
+
 def cmd_afu(args) -> int:
     session = _make_session(args)
     modules = session.afu(args.workload, ninstr=args.ninstr,
@@ -769,6 +864,39 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store(p)
     _add_backend(p)
     p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: generated programs through three "
+             "backends, rewrite and batch, bit-identical or it fails")
+    p.add_argument("--count", type=int, default=200,
+                   help="programs per campaign/round (default 200)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed; program i uses seed+i (default 0)")
+    from .fuzz import SHAPES as _FUZZ_SHAPES
+
+    p.add_argument("--shape", choices=list(_FUZZ_SHAPES), default=None,
+                   help="pin one generator shape (default: round-robin "
+                        "over all)")
+    p.add_argument("--soak", action="store_true",
+                   help="repeat rounds with advancing seeds until "
+                        "interrupted (telemetry per round on stderr)")
+    p.add_argument("--artifacts", default=None, metavar="DIR",
+                   help="write failing cases (original, reduced "
+                        "reproducer, report) under this directory")
+    p.add_argument("--nin", type=int, default=4,
+                   help="read ports for the selection phase (default 4)")
+    p.add_argument("--nout", type=int, default=2,
+                   help="write ports for the selection phase (default 2)")
+    p.add_argument("--ninstr", type=int, default=8,
+                   help="instruction budget for the selection phase "
+                        "(default 8)")
+    p.add_argument("--limit", type=int, default=None,
+                   help="max cuts considered per search")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable campaign summary")
+    _add_store(p)
+    p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser("afu", help="emit Verilog for selected AFUs")
     _add_common(p)

@@ -1,0 +1,182 @@
+"""Shrink a failing generated program to a minimal reproducer.
+
+Delta-debugging over source lines: a candidate is *interesting* when it
+is still frontend-valid **and** still fails the differential oracle at
+the same post-frontend stage.  Two passes alternate to a fixpoint:
+
+* **ddmin** — classic Zeller/Hildebrandt chunk removal over the lines
+  of the program, restarting at coarse granularity after every
+  successful cut;
+* **brace unwrap** — for every ``... {`` line, try deleting it together
+  with its matching ``}`` while keeping the body (turning
+  ``if (c) { S; }`` into plain ``S;``), which line-chunk removal alone
+  can never do without losing the body.
+
+The reducer is oblivious to MiniC syntax beyond brace matching:
+syntactically broken candidates simply fail the frontend and are
+rejected as uninteresting, so no grammar knowledge is required to stay
+sound.  Determinism is inherited from the oracle — no randomness here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence
+
+from .generator import GeneratedProgram
+from .oracle import PHASE_OF_STAGE, DifferentialReport, run_differential
+
+__all__ = ["ReductionResult", "failure_stages", "reduce_program"]
+
+
+@dataclass(frozen=True)
+class ReductionResult:
+    """Outcome of one reduction: the shrunk source plus bookkeeping."""
+
+    source: str
+    original_lines: int
+    reduced_lines: int
+    stage: str
+    tests: int
+
+    @property
+    def shrank(self) -> bool:
+        return self.reduced_lines < self.original_lines
+
+
+def failure_stages(report: DifferentialReport) -> frozenset:
+    return frozenset(f.stage for f in report.failures)
+
+
+def _lines(source: str) -> List[str]:
+    return [line for line in source.splitlines() if line.strip()]
+
+
+def _matching_brace(lines: Sequence[str], start: int) -> Optional[int]:
+    """Index of the line closing the brace opened at ``lines[start]``."""
+    depth = 0
+    for idx in range(start, len(lines)):
+        depth += lines[idx].count("{") - lines[idx].count("}")
+        if depth == 0 and idx > start:
+            return idx
+    return None
+
+
+def reduce_program(
+    program: GeneratedProgram,
+    interesting: Optional[Callable[[str], bool]] = None,
+    max_tests: int = 2_000,
+    **oracle_kwargs,
+) -> ReductionResult:
+    """Shrink *program* while it keeps failing the oracle.
+
+    Args:
+        program: the failing case; its argument sets drive every
+            candidate, so the reproducer fails on the same inputs.
+        interesting: optional predicate ``f(source) -> bool`` replacing
+            the default "same post-frontend oracle stage still fails".
+        max_tests: hard cap on oracle invocations (reduction is
+            O(lines²) in the worst case).
+        **oracle_kwargs: forwarded to :func:`run_differential`
+            (typically ``inject=`` when reproducing a planted fault).
+
+    Returns:
+        A :class:`ReductionResult`; if the original program does not
+        actually fail, it is returned unshrunk with ``stage=""``.
+    """
+    tests = 0
+
+    def run(source: str, **extra) -> DifferentialReport:
+        nonlocal tests
+        tests += 1
+        return run_differential(replace(program, source=source),
+                                **oracle_kwargs, **extra)
+
+    original = run(program.source)
+    stages = failure_stages(original) - {"frontend"}
+    if not stages:
+        return ReductionResult(
+            source=program.source,
+            original_lines=len(_lines(program.source)),
+            reduced_lines=len(_lines(program.source)),
+            stage="", tests=tests)
+
+    if interesting is None:
+        # Re-running phases beyond the failing one would only slow the
+        # shrink down; cap the oracle at the deepest failing phase.  A
+        # step cap scaled to the original runtime kills candidates that
+        # reduction turned into infinite loops (e.g. a deleted loop
+        # increment) without walking the full runaway budget.
+        depth = max(PHASE_OF_STAGE.get(s, 4) for s in stages)
+        extra = {"phases": depth}
+        if "max_steps" not in oracle_kwargs:
+            # Scale off the *reference* runtime — the injected module's
+            # own step count is unusable when the fault itself creates
+            # an infinite loop.
+            extra["max_steps"] = max(10_000,
+                                     original.reference_steps * 50)
+
+        def interesting(source: str) -> bool:
+            report = run(source, **extra)
+            return bool(failure_stages(report) & stages)
+    else:
+        user_check = interesting
+
+        def interesting(source: str) -> bool:
+            nonlocal tests
+            tests += 1
+            return user_check(source)
+
+    def keeps_failing(lines: Sequence[str]) -> bool:
+        if tests >= max_tests:
+            return False
+        return interesting("\n".join(lines) + "\n")
+
+    lines = _lines(program.source)
+    original_count = len(lines)
+
+    changed = True
+    while changed and tests < max_tests:
+        changed = False
+
+        # Pass 1: ddmin chunk removal.
+        granularity = 2
+        while len(lines) >= 2 and tests < max_tests:
+            chunk = max(1, len(lines) // granularity)
+            removed_any = False
+            start = 0
+            while start < len(lines):
+                candidate = lines[:start] + lines[start + chunk:]
+                if candidate and keeps_failing(candidate):
+                    lines = candidate
+                    removed_any = True
+                    changed = True
+                else:
+                    start += chunk
+            if removed_any:
+                granularity = max(2, granularity - 1)
+            elif chunk == 1:
+                break
+            else:
+                granularity = min(len(lines), granularity * 2)
+
+        # Pass 2: unwrap brace pairs, keeping their bodies.
+        idx = 0
+        while idx < len(lines) and tests < max_tests:
+            if lines[idx].rstrip().endswith("{"):
+                close = _matching_brace(lines, idx)
+                if close is not None:
+                    candidate = (lines[:idx] + lines[idx + 1:close]
+                                 + lines[close + 1:])
+                    if candidate and keeps_failing(candidate):
+                        lines = candidate
+                        changed = True
+                        continue
+            idx += 1
+
+    return ReductionResult(
+        source="\n".join(lines) + "\n",
+        original_lines=original_count,
+        reduced_lines=len(lines),
+        stage=min(stages),
+        tests=tests)

@@ -15,7 +15,8 @@ owns the three things worth keeping instead:
 
 The facade exposes the complete API surface — :meth:`prepare`,
 :meth:`identify`, :meth:`select`, :meth:`sweep`, :meth:`speedup`,
-:meth:`run_batch`, :meth:`afu`, :meth:`check` — with warm-start
+:meth:`run_batch`, :meth:`afu`, :meth:`check`, :meth:`fuzz` — with
+warm-start
 semantics: repeating a call (in this
 process or a later one) returns bit-identical results while skipping
 every expensive phase whose inputs did not change.  The store is a pure
@@ -273,6 +274,32 @@ class Session:
                     check_rewrite(app.module, result.module))
         report.phases["rewritten"] = rewrite_diags
         return report
+
+    def fuzz(self, count: int = 100, seed: int = 0,
+             shape: Optional[str] = None,
+             artifacts: Optional[str] = None,
+             nin: int = 4, nout: int = 2, ninstr: int = 8,
+             limits: Optional[SearchLimits] = None,
+             on_progress=None):
+        """Differential fuzzing campaign (``repro fuzz``).
+
+        Generates *count* seeded MiniC programs and runs each through
+        the full differential oracle — walker vs ``block`` vs
+        ``compiled``, baseline vs rewritten, single vs batched lanes,
+        verifier and selection checker on every phase
+        (:func:`repro.fuzz.run_campaign`).  Failures are shrunk to
+        minimal reproducers under *artifacts*.  Generated modules are
+        session-independent throwaways, so nothing here touches the
+        store; the session contributes its cost model and search
+        budget.
+        """
+        from .fuzz import run_campaign
+
+        return run_campaign(
+            count=count, seed=seed, shape=shape, artifacts=artifacts,
+            on_progress=on_progress, model=self.model,
+            limits=self._limits(limits), nin=nin, nout=nout,
+            ninstr=ninstr)
 
     def afu(self, workload: str, ninstr: int = 2, nin: int = 4,
             nout: int = 2, limits: Optional[SearchLimits] = None,

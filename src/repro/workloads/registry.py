@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence
 
 from ..interp.memory import Memory
-from . import adpcm, crc, fir, g721, gsm, mixer
+from . import adpcm, crc, fir, g721, gsm, mixer, sha
 
 DriverFn = Callable[[Memory, int], Sequence[int]]
 VerifyFn = Callable[[Memory, int], None]
@@ -148,6 +148,20 @@ def _mixer_verify(memory: Memory, n: int) -> None:
     assert actual == expected, "mixer digest mismatch"
 
 
+# ----------------------------------------------------------------------
+# sha (SHA-1 block transform; n counts 16-word blocks)
+# ----------------------------------------------------------------------
+def _sha_driver(memory: Memory, n: int) -> Sequence[int]:
+    memory.write_array("msg", sha.make_input(n))
+    return [n]
+
+
+def _sha_verify(memory: Memory, n: int) -> None:
+    expected = list(sha.sha1_golden(sha.make_input(n)))
+    actual = memory.read_array("hash_out", 5)
+    assert actual == expected, "sha digest mismatch"
+
+
 WORKLOADS: Dict[str, Workload] = {
     w.name: w for w in [
         Workload(
@@ -207,6 +221,16 @@ WORKLOADS: Dict[str, Workload] = {
             default_n=128,
             description="G.721 zero predictor (fmult custom-float "
                         "multiply, MediaBench)",
+        ),
+        Workload(
+            name="sha",
+            source=sha.SOURCE,
+            entry="sha1",
+            driver=_sha_driver,
+            verify=_sha_verify,
+            default_n=8,
+            description="SHA-1 block transform (80 rounds + message "
+                        "schedule; n = 16-word blocks, MiBench crypto)",
         ),
         Workload(
             name="mixer",

@@ -1,0 +1,163 @@
+"""SHA-1 block transform (MiBench/crypto style) — the full compression.
+
+Unlike the :mod:`mixer` toy (one invented round function), this is the
+real SHA-1 kernel: per 16-word block, the 80-entry message schedule
+(xor of four taps, rotated left by one) followed by four 20-round
+phases, each with its own boolean function and round constant.  The
+workload is the classic ISE showcase — every round is a pure 5-input
+dataflow cone (``rotl5(a) + f(b,c,d) + e + w + K``) whose rotates are
+``shl | lshr`` pairs the identifier fuses, and the schedule expansion
+is a 4-input xor/rotate chain — so identified cuts track the paper's
+``Nin`` constraint tightly on a kernel people actually accelerate.
+
+``n`` counts 16-word blocks, not words: the driver writes ``16*n``
+message words and the chained 5-word state lands in ``hash_out``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+MAX_BLOCKS = 64
+MAX_WORDS = MAX_BLOCKS * 16
+
+# Round constants and initial state as signed 32-bit literals (MiniC
+# ints are signed; values above 0x7FFFFFFF go in as negative decimals).
+_K2_SIGNED = 0x8F1BBCDC - (1 << 32)   # -1894007588
+_K3_SIGNED = 0xCA62C1D6 - (1 << 32)   # -899497514
+_H1_SIGNED = 0xEFCDAB89 - (1 << 32)   # -271733879
+_H2_SIGNED = 0x98BADCFE - (1 << 32)   # -1732584194
+_H4_SIGNED = 0xC3D2E1F0 - (1 << 32)   # -1009589776
+
+SOURCE = f"""
+int msg[{MAX_WORDS}];
+int w[80];
+int hash_out[5];
+
+void sha1(int nblocks) {{
+  int h0 = 0x67452301;
+  int h1 = {_H1_SIGNED};
+  int h2 = {_H2_SIGNED};
+  int h3 = 0x10325476;
+  int h4 = {_H4_SIGNED};
+  int blk;
+  for (blk = 0; blk < nblocks; blk++) {{
+    int base = blk * 16;
+    int t;
+    for (t = 0; t < 16; t++) {{
+      w[t] = msg[base + t];
+    }}
+    for (t = 16; t < 80; t++) {{
+      int x = w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16];
+      w[t] = (x << 1) | ((x >> 31) & 1);
+    }}
+    int a = h0;
+    int b = h1;
+    int c = h2;
+    int d = h3;
+    int e = h4;
+    for (t = 0; t < 20; t++) {{
+      int f = (b & c) | (~b & d);
+      int tmp = ((a << 5) | ((a >> 27) & 31)) + f + e + w[t]
+                + 0x5A827999;
+      e = d;
+      d = c;
+      c = (b << 30) | ((b >> 2) & 1073741823);
+      b = a;
+      a = tmp;
+    }}
+    for (t = 20; t < 40; t++) {{
+      int f = b ^ c ^ d;
+      int tmp = ((a << 5) | ((a >> 27) & 31)) + f + e + w[t]
+                + 0x6ED9EBA1;
+      e = d;
+      d = c;
+      c = (b << 30) | ((b >> 2) & 1073741823);
+      b = a;
+      a = tmp;
+    }}
+    for (t = 40; t < 60; t++) {{
+      int f = (b & c) | (b & d) | (c & d);
+      int tmp = ((a << 5) | ((a >> 27) & 31)) + f + e + w[t]
+                + ({_K2_SIGNED});
+      e = d;
+      d = c;
+      c = (b << 30) | ((b >> 2) & 1073741823);
+      b = a;
+      a = tmp;
+    }}
+    for (t = 60; t < 80; t++) {{
+      int f = b ^ c ^ d;
+      int tmp = ((a << 5) | ((a >> 27) & 31)) + f + e + w[t]
+                + ({_K3_SIGNED});
+      e = d;
+      d = c;
+      c = (b << 30) | ((b >> 2) & 1073741823);
+      b = a;
+      a = tmp;
+    }}
+    h0 = h0 + a;
+    h1 = h1 + b;
+    h2 = h2 + c;
+    h3 = h3 + d;
+    h4 = h4 + e;
+  }}
+  hash_out[0] = h0;
+  hash_out[1] = h1;
+  hash_out[2] = h2;
+  hash_out[3] = h3;
+  hash_out[4] = h4;
+}}
+"""
+
+
+def _u32(value: int) -> int:
+    return value & 0xFFFFFFFF
+
+
+def _wrap32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value > 0x7FFFFFFF else value
+
+
+def _rotl(value: int, amount: int) -> int:
+    value = _u32(value)
+    return _u32((value << amount) | (value >> (32 - amount)))
+
+
+def sha1_golden(words: Sequence[int]) -> Tuple[int, int, int, int, int]:
+    """Reference SHA-1 over whole 16-word blocks, bit-exact against the
+    MiniC kernel (no padding — the kernel is the block transform)."""
+    assert len(words) % 16 == 0, "sha1 operates on 16-word blocks"
+    h = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0]
+    for base in range(0, len(words), 16):
+        w = [_u32(word) for word in words[base:base + 16]]
+        for t in range(16, 80):
+            w.append(_rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16],
+                           1))
+        a, b, c, d, e = h
+        for t in range(80):
+            if t < 20:
+                f, k = (b & c) | (~b & d), 0x5A827999
+            elif t < 40:
+                f, k = b ^ c ^ d, 0x6ED9EBA1
+            elif t < 60:
+                f, k = (b & c) | (b & d) | (c & d), 0x8F1BBCDC
+            else:
+                f, k = b ^ c ^ d, 0xCA62C1D6
+            a, b, c, d, e = (
+                _u32(_rotl(a, 5) + _u32(f) + e + w[t] + k),
+                a,
+                _rotl(b, 30),
+                c,
+                d,
+            )
+        h = [_u32(x + y) for x, y in zip(h, (a, b, c, d, e))]
+    return tuple(_wrap32(x) for x in h)
+
+
+def make_input(nblocks: int, seed: int = 7) -> List[int]:
+    """``16 * nblocks`` pseudo-random message words (signed 32-bit)."""
+    rng = random.Random(seed)
+    return [_wrap32(rng.getrandbits(32)) for _ in range(16 * nblocks)]

@@ -3,7 +3,14 @@ are built once per session."""
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import pytest
+
+# Test subdirectories have no __init__.py, so the shared strategy
+# module (tests/strategies.py) is imported as a plain top-level module.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from repro.hwmodel import CostModel
 from repro.pipeline import prepare_application

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Re-pin the generated corpus cases after an intentional generator
+change.
+
+Regenerates every ``<shape>-seed<N>.json`` under ``corpus/`` from its
+recorded (seed, shape), validates it through the full differential
+oracle, and rewrites the file.  Hand-written ``hand-*.json`` cases are
+left untouched — those pin bug classes, not generator output.
+
+Run:  PYTHONPATH=src python tests/fuzz/repin_corpus.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.fuzz import generate_program, run_differential
+
+CORPUS = Path(__file__).parent / "corpus"
+
+
+def main() -> int:
+    failed = 0
+    for path in sorted(CORPUS.glob("*.json")):
+        if path.stem.startswith("hand-"):
+            print(f"{path.stem}: hand-written, skipped")
+            continue
+        case = json.loads(path.read_text())
+        program = generate_program(case["seed"], case["shape"])
+        report = run_differential(program)
+        if not report.ok:
+            print(f"{path.stem}: REGENERATED CASE FAILS THE ORACLE — "
+                  f"not rewritten ({report.failures})")
+            failed += 1
+            continue
+        case.update(
+            seed=program.seed, shape=program.shape,
+            entry=program.entry, source=program.source,
+            arg_sets=[list(args) for args in program.arg_sets])
+        case["note"] = (f"pinned {program.shape} case: {report.cuts} "
+                        f"cuts, {report.rewritten_blocks} blocks "
+                        f"rewritten, {report.baseline_steps} steps")
+        path.write_text(json.dumps(case, indent=2) + "\n")
+        print(f"{path.stem}: re-pinned ({report.cuts} cuts)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

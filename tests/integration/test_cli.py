@@ -23,7 +23,7 @@ class TestList:
         by_name = {r["name"]: r for r in records}
         assert set(by_name) == {
             "adpcm-decode", "adpcm-encode", "gsm", "fir", "crc32",
-            "g721", "mixer"}
+            "g721", "mixer", "sha"}
         fir = by_name["fir"]
         assert fir["entry"] == "fir_filter"
         assert fir["default_n"] == 256

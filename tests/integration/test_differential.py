@@ -1,113 +1,26 @@
-"""Differential testing: random MiniC programs through the full pipeline.
+"""Differential testing: generated MiniC programs through the pipeline.
 
-A generator produces random (but always terminating and trap-free) MiniC
-functions; each is executed (a) unoptimised, (b) with the cleanup
-pipeline, (c) with cleanup + if-conversion, and (d) unrolled where
-applicable.  All four must agree on the returned value and on the final
-global-array state — the strongest whole-compiler correctness check in
-the suite.
+The seeded generator (:mod:`repro.fuzz.generator`, via the shared
+``tests/strategies.py`` module) produces terminating, trap-free
+programs in paper-relevant shapes; each is executed (a) unoptimised,
+(b) with the cleanup pipeline, (c) with cleanup + if-conversion, and
+(d) unrolled where applicable.  All variants must agree on the
+returned value and the final global-array state.  A second property
+drives whole programs through :func:`repro.fuzz.run_differential` —
+the same oracle ``repro fuzz`` soaks, asserting bit-identity across
+the three backends, baseline vs rewritten modules and single vs
+batched lanes.
 """
 
 from __future__ import annotations
 
-import random
-
 from hypothesis import given, settings, strategies as st
 
+import strategies as sh
 from repro.frontend import analyze, lower_program, parse
+from repro.fuzz import SHAPES, generate_program, run_differential
 from repro.interp import Interpreter, Memory
 from repro.passes import optimize_module, unroll_loops
-
-
-class ProgramGenerator:
-    """Generates random MiniC functions over a fixed global layout.
-
-    Restrictions that guarantee clean execution:
-    * array indices are always masked to the array size (power of two);
-    * division/modulo right-hand sides are ``(x & 7) + 1`` (never zero);
-    * loops are counted with small constant trip counts.
-    """
-
-    ARRAY = "mem"
-    ARRAY_SIZE = 16
-
-    def __init__(self, rng: random.Random, max_depth: int = 3) -> None:
-        self.rng = rng
-        self.max_depth = max_depth
-        self.locals = ["a", "b", "c"]
-        self._next_var = 0
-        self._next_loop = 0
-
-    # ------------------------------------------------------------------
-    def expr(self, depth: int = 0) -> str:
-        rng = self.rng
-        if depth >= self.max_depth or rng.random() < 0.3:
-            choice = rng.random()
-            if choice < 0.4:
-                return str(rng.randint(-100, 100))
-            if choice < 0.8:
-                return rng.choice(self.locals)
-            return (f"{self.ARRAY}[({rng.choice(self.locals)}) & "
-                    f"{self.ARRAY_SIZE - 1}]")
-        kind = rng.random()
-        if kind < 0.55:
-            op = rng.choice(["+", "-", "*", "&", "|", "^", "<<", ">>",
-                             "<", "<=", "==", "!=", ">", ">="])
-            left = self.expr(depth + 1)
-            right = self.expr(depth + 1)
-            if op in ("<<", ">>"):
-                right = f"(({right}) & 7)"
-            return f"(({left}) {op} ({right}))"
-        if kind < 0.65:
-            op = rng.choice(["/", "%"])
-            return (f"(({self.expr(depth + 1)}) {op} "
-                    f"((({self.expr(depth + 1)}) & 7) + 1))")
-        if kind < 0.8:
-            op = rng.choice(["-", "~", "!"])
-            return f"({op}({self.expr(depth + 1)}))"
-        if kind < 0.9:
-            return (f"(({self.expr(depth + 1)}) ? "
-                    f"({self.expr(depth + 1)}) : "
-                    f"({self.expr(depth + 1)}))")
-        op = rng.choice(["&&", "||"])
-        return f"(({self.expr(depth + 1)}) {op} ({self.expr(depth + 1)}))"
-
-    def statement(self, depth: int = 0) -> str:
-        rng = self.rng
-        kind = rng.random()
-        if depth >= 2 or kind < 0.45:
-            target = rng.choice(self.locals)
-            return f"{target} = {self.expr()};"
-        if kind < 0.6:
-            index = f"({rng.choice(self.locals)}) & {self.ARRAY_SIZE - 1}"
-            return f"{self.ARRAY}[{index}] = {self.expr()};"
-        if kind < 0.8:
-            then_body = self.block(depth + 1)
-            if rng.random() < 0.5:
-                return f"if ({self.expr()}) {then_body}"
-            return (f"if ({self.expr()}) {then_body} "
-                    f"else {self.block(depth + 1)}")
-        trip = rng.randint(1, 6)
-        var = f"i{self._next_loop}"
-        self._next_loop += 1
-        return (f"for (int {var} = 0; {var} < {trip}; {var}++) "
-                f"{self.block(depth + 1)}")
-
-    def block(self, depth: int) -> str:
-        n = self.rng.randint(1, 3)
-        return "{ " + " ".join(self.statement(depth)
-                               for _ in range(n)) + " }"
-
-    def program(self) -> str:
-        body = " ".join(self.statement() for _ in range(4))
-        return f"""
-        int {self.ARRAY}[{self.ARRAY_SIZE}] = {{3, 1, 4, 1, 5, 9, 2, 6,
-                                                5, 3, 5, 8, 9, 7, 9, 3}};
-        int f(int a, int b, int c) {{
-          {body}
-          return a ^ b ^ c;
-        }}
-        """
 
 
 def run_variant(source: str, args, optimize: bool, if_convert: bool,
@@ -121,29 +34,39 @@ def run_variant(source: str, args, optimize: bool, if_convert: bool,
     memory = Memory(module)
     interp = Interpreter(module, memory=memory, max_steps=2_000_000)
     value = interp.run("f", args).value
-    return value, memory.read_array(ProgramGenerator.ARRAY)
+    return value, memory.arrays
 
 
 @settings(max_examples=60, deadline=None)
-@given(st.integers(0, 2 ** 31), st.integers(-50, 50), st.integers(-50, 50),
-       st.integers(-50, 50))
-def test_optimizations_preserve_semantics(seed, a, b, c):
-    source = ProgramGenerator(random.Random(seed)).program()
+@given(sh.programs(), sh.small_args, sh.small_args, sh.small_args)
+def test_optimizations_preserve_semantics(program, a, b, c):
     args = [a, b, c]
-    reference = run_variant(source, args, optimize=False, if_convert=False)
-    cleaned = run_variant(source, args, optimize=True, if_convert=False)
-    converted = run_variant(source, args, optimize=True, if_convert=True)
+    reference = run_variant(program.source, args, optimize=False,
+                            if_convert=False)
+    cleaned = run_variant(program.source, args, optimize=True,
+                          if_convert=False)
+    converted = run_variant(program.source, args, optimize=True,
+                            if_convert=True)
     assert cleaned == reference
     assert converted == reference
 
 
 @settings(max_examples=30, deadline=None)
-@given(st.integers(0, 2 ** 31), st.integers(-20, 20))
-def test_unrolling_preserves_semantics(seed, a):
-    source = ProgramGenerator(random.Random(seed)).program()
+@given(sh.programs(), st.integers(-20, 20))
+def test_unrolling_preserves_semantics(program, a):
     args = [a, a + 1, a + 2]
-    reference = run_variant(source, args, optimize=True, if_convert=True)
+    reference = run_variant(program.source, args, optimize=True,
+                            if_convert=True)
     for factor in (2, 3):
-        unrolled = run_variant(source, args, optimize=True,
+        unrolled = run_variant(program.source, args, optimize=True,
                                if_convert=True, unroll=factor)
         assert unrolled == reference
+
+
+@settings(max_examples=15, deadline=None)
+@given(sh.seeds, st.sampled_from(SHAPES))
+def test_full_differential_oracle(seed, shape):
+    """The complete fuzz oracle holds on arbitrary (seed, shape):
+    backends, rewrite and batch lanes all bit-identical."""
+    report = run_differential(generate_program(seed, shape))
+    assert report.ok, "\n".join(str(f) for f in report.failures)

@@ -45,7 +45,7 @@ from repro.workloads.registry import WORKLOADS, get_workload
 #: Small profiling sizes keep the whole-registry sweep quick.
 RUN_SIZES = {
     "adpcm-decode": 48, "adpcm-encode": 48, "gsm": 24, "fir": 24,
-    "crc32": 12, "g721": 16, "mixer": 24,
+    "crc32": 12, "g721": 16, "mixer": 24, "sha": 2,
 }
 
 LIMITS = SearchLimits(max_considered=200_000)

@@ -15,8 +15,7 @@ from hypothesis import given, strategies as st
 
 from repro.ir.opcodes import Opcode
 from repro.passes.constant_folding import evaluate_pure_op
-
-i32 = st.integers(-(2 ** 31), 2 ** 31 - 1)
+from strategies import i32
 
 
 def pack32(value: int) -> int:

@@ -1,0 +1,99 @@
+"""Shared hypothesis strategies over the seeded program generator.
+
+One place for "give me a random-but-reproducible MiniC program (or the
+module it compiles to)", so property tests across ``tests/interp/``,
+``tests/analysis/`` and ``tests/integration/`` draw from the same
+corpus the fuzzer soaks — a shrink found by any suite is a seed every
+suite can replay.  Shrinking stays meaningful because programs are
+*derived* from (seed, shape): hypothesis minimises the seed, and
+:func:`repro.fuzz.generate_program` turns it back into source.
+
+Import as a plain module (``import strategies``) — the tests/ conftest
+puts this directory on ``sys.path``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.frontend import analyze, lower_program, parse
+from repro.fuzz import (
+    SHAPES,
+    GeneratedProgram,
+    generate_invalid,
+    generate_program,
+)
+from repro.ir.opcodes import Opcode
+from repro.passes import optimize_module
+
+__all__ = ["SHAPES", "compile_program", "i32", "inject_opcode_flip",
+           "invalid_programs", "modules", "programs", "seeds",
+           "small_args"]
+
+#: Full signed 32-bit range — the IR's numeric domain.
+i32 = st.integers(-(2 ** 31), 2 ** 31 - 1)
+
+#: Generator seeds.  A bounded range keeps hypothesis shrinks readable
+#: (the minimal counterexample is a small seed you can replay by hand).
+seeds = st.integers(0, 2 ** 20)
+
+#: Small argument values: generated programs mask and clamp internally,
+#: so magnitude adds nothing — small values shrink better.
+small_args = st.integers(-100, 100)
+
+
+def programs(shapes=SHAPES) -> st.SearchStrategy[GeneratedProgram]:
+    """Generated MiniC programs, optionally pinned to a shape subset."""
+    return st.builds(generate_program, seeds,
+                     st.sampled_from(tuple(shapes)))
+
+
+def invalid_programs() -> st.SearchStrategy:
+    """Corrupted programs with a known failing frontend stage."""
+    return st.builds(generate_invalid, seeds)
+
+
+def compile_program(program: GeneratedProgram, optimize: bool = True,
+                    if_convert: bool = True):
+    """Lower one generated program to an IR module (optionally through
+    the cleanup pipeline) — the common prefix of most property tests."""
+    ast = parse(program.source)
+    module = lower_program(
+        ast, analyze(ast),
+        name=f"fuzz-{program.shape}-{program.seed}")
+    if optimize:
+        optimize_module(module, if_convert=if_convert)
+    return module
+
+
+#: Opcode substitutions used to plant miscompiles: each flip preserves
+#: arity and IR well-formedness but changes arithmetic, so the oracle
+#: must catch it as an "optimizer" divergence.
+_FLIPS = {Opcode.ADD: Opcode.SUB, Opcode.SUB: Opcode.ADD,
+          Opcode.XOR: Opcode.OR, Opcode.OR: Opcode.AND,
+          Opcode.MUL: Opcode.ADD}
+
+
+def inject_opcode_flip(module) -> bool:
+    """Flip the first flippable opcode in *module* in place.
+
+    The canonical planted miscompile for reducer and campaign tests:
+    returns ``True`` when a flip landed (generated programs always
+    contain at least one ADD/XOR/MUL, so a ``False`` is a test bug).
+    """
+    for func in module.functions.values():
+        for block in func.blocks:
+            for insn in block.instructions:
+                replacement = _FLIPS.get(insn.opcode)
+                if replacement is not None:
+                    insn.opcode = replacement
+                    return True
+    return False
+
+
+def modules(shapes=SHAPES, optimize: bool = True,
+            if_convert: bool = True) -> st.SearchStrategy:
+    """Optimised IR modules compiled from generated programs."""
+    return programs(shapes).map(
+        lambda p: compile_program(p, optimize=optimize,
+                                  if_convert=if_convert))
