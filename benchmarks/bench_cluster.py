@@ -1,0 +1,215 @@
+"""Cluster fabric scaling — work stealing, sharding, bit-identity.
+
+Three measurements, one JSON artifact
+(``benchmarks/results/BENCH_cluster.json``):
+
+1. **Scheduler scaling** — a bag of sleep-calibrated units (pure
+   wait, so wall-clock scales across worker *processes* regardless of
+   how many CPUs the runner has) through ``run_cluster`` at 1, 2 and
+   4 workers.  Acceptance bars: >= 1.7x at two workers, >= 3.0x at
+   four.
+2. **Skew resistance** — one oversized unit plus a tail of small
+   ones.  Largest-first hand-out must keep the makespan near the
+   theoretical ideal (the oversized unit pins one worker while the
+   tail drains through the other); the same bag with inverted hints
+   (smallest-first) is recorded for comparison.
+3. **Sweep bit-identity** — a real Fig. 11-style grid, serial vs.
+   ``cluster=2`` with separate SQLite stores: rows (modulo wall
+   time) and persisted artifact key sets must match exactly.  The
+   cluster-vs-serial wall-clock ratio is recorded always but only
+   gated when the runner has the CPUs to show it (identification is
+   CPU-bound, unlike the calibrated units above).
+
+Runs standalone (``python benchmarks/bench_cluster.py``) or under the
+pytest benchmark harness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.cluster import run_cluster
+from repro.explore import SweepSpec, run_sweep
+from repro.store import ArtifactStore
+
+try:
+    from _bench_utils import report
+except ImportError:  # standalone run: benchmarks/ not on sys.path
+    sys.path.insert(0, str(Path(__file__).parent))
+    from _bench_utils import report
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_SLEEP_FN = "repro.cluster.worker:_sleep_unit"
+
+#: Calibrated scheduler bag: 16 x 0.5s of pure wait (8s serial).
+#: Long enough that per-process fork overhead is noise next to the
+#: sharding win, short enough for CI.
+_UNITS = [0.5] * 16
+
+#: Skew bag: one unit as long as the whole tail.
+_SKEW = [1.6] + [0.2] * 8
+
+#: The measured grid for the bit-identity leg (small on purpose: the
+#: point is identity and sharding overhead, not throughput).
+SPEC = SweepSpec(
+    workloads=("fir", "crc32"),
+    ports=((2, 1), (4, 2)),
+    ninstrs=(2, 4),
+    algorithms=("iterative", "maxmiso"),
+    limit=100_000,
+    n=16,
+)
+
+
+def _strip_timing(rows):
+    return [{k: v for k, v in row.items() if k != "elapsed_s"}
+            for row in rows]
+
+
+def _timed_cluster(payloads, workers, hints=None):
+    """(wall seconds, worker name set) of one run_cluster invocation."""
+    start = time.perf_counter()
+    results, reports = run_cluster(_SLEEP_FN, payloads,
+                                   size_hints=hints, workers=workers)
+    elapsed = time.perf_counter() - start
+    assert results == payloads, "cluster changed unit results"
+    return elapsed, {r.worker for r in reports}
+
+
+def _bench_scheduler() -> dict:
+    """Leg 1: sleep-unit scaling at 1/2/4 workers, with gates."""
+    serial_s, _ = _timed_cluster(_UNITS, workers=0)
+    two_s, two_workers = _timed_cluster(_UNITS, workers=2)
+    four_s, four_workers = _timed_cluster(_UNITS, workers=4)
+    degraded = (two_workers == {"leader-inline"}
+                or four_workers == {"leader-inline"})
+    record = {
+        "units": len(_UNITS),
+        "unit_s": _UNITS[0],
+        "serial_s": serial_s,
+        "workers2_s": two_s,
+        "workers4_s": four_s,
+        "speedup2": serial_s / two_s,
+        "speedup4": serial_s / four_s,
+        "degraded_to_inline": degraded,
+    }
+    if not degraded:
+        assert record["speedup2"] >= 1.7, record
+        assert record["speedup4"] >= 3.0, record
+    return record
+
+
+def _bench_skew() -> dict:
+    """Leg 2: largest-first keeps a skewed bag near the ideal."""
+    total = sum(_SKEW)
+    ideal = max(max(_SKEW), total / 2)
+    largest_s, workers = _timed_cluster(_SKEW, workers=2, hints=_SKEW)
+    inverted = [-h for h in _SKEW]
+    smallest_s, _ = _timed_cluster(_SKEW, workers=2, hints=inverted)
+    record = {
+        "bag": _SKEW,
+        "ideal_s": ideal,
+        "largest_first_s": largest_s,
+        "smallest_first_s": smallest_s,
+        "degraded_to_inline": workers == {"leader-inline"},
+    }
+    if not record["degraded_to_inline"]:
+        # The oversized unit must not serialize the tail: the
+        # largest-first makespan stays within 45% of the two-worker
+        # ideal (fork + wire overhead is the slack).  The bound is
+        # discriminating: a smallest-first schedule of this bag cannot
+        # finish under 150% of the ideal even with zero overhead.
+        assert largest_s <= ideal * 1.45, record
+    return record
+
+
+def _bench_sweep_identity() -> dict:
+    """Leg 3: real grid, serial vs cluster=2, bit-identity + ratio."""
+    serial_dir = tempfile.mkdtemp(prefix="bench-cluster-serial-")
+    cluster_dir = tempfile.mkdtemp(prefix="bench-cluster-shard-")
+    try:
+        serial_store = ArtifactStore(
+            f"sqlite:{serial_dir}/store.sqlite")
+        start = time.perf_counter()
+        serial = run_sweep(SPEC, store=serial_store)
+        serial_s = time.perf_counter() - start
+        cluster_store = ArtifactStore(
+            f"sqlite:{cluster_dir}/store.sqlite")
+        start = time.perf_counter()
+        clustered = run_sweep(SPEC, store=cluster_store, cluster=2)
+        cluster_s = time.perf_counter() - start
+        assert _strip_timing(serial.rows) == \
+            _strip_timing(clustered.rows), "cluster changed sweep rows"
+        serial_keys = sorted(serial_store.backend.keys())
+        cluster_keys = sorted(cluster_store.backend.keys())
+        assert serial_keys == cluster_keys, \
+            "cluster changed the persisted artifact key set"
+        cpus = os.cpu_count() or 1
+        record = {
+            "points": len(serial.rows),
+            "warm_units": serial.warm_units,
+            "serial_s": serial_s,
+            "cluster2_s": cluster_s,
+            "ratio": serial_s / cluster_s,
+            "rows_bit_identical": True,
+            "store_keys_identical": True,
+            "cpu_count": cpus,
+            "cpu_gated": cpus >= 2,
+        }
+        if record["cpu_gated"]:
+            # Only meaningful with real parallel CPUs: the warm phase
+            # must not pay more than it gains.  (The sleep-unit gates
+            # above cover the scheduler itself on any runner.)
+            assert record["ratio"] >= 1.0, record
+        serial_store.close()
+        cluster_store.close()
+        return record
+    finally:
+        shutil.rmtree(serial_dir, ignore_errors=True)
+        shutil.rmtree(cluster_dir, ignore_errors=True)
+
+
+def run_cluster_benchmark() -> dict:
+    """Measure everything; return (and persist) the JSON payload."""
+    payload = {
+        "scheduler": _bench_scheduler(),
+        "skew": _bench_skew(),
+        "sweep": _bench_sweep_identity(),
+    }
+    sched = payload["scheduler"]
+    skew = payload["skew"]
+    sweep = payload["sweep"]
+    report("cluster",
+           f"cluster: {sched['units']} sleep units "
+           f"{sched['serial_s']:.1f}s serial -> "
+           f"{sched['speedup2']:.2f}x @2w, "
+           f"{sched['speedup4']:.2f}x @4w; skew makespan "
+           f"{skew['largest_first_s']:.2f}s (ideal "
+           f"{skew['ideal_s']:.2f}s); sweep {sweep['points']} points "
+           f"rows+keys identical, serial/cluster2 "
+           f"{sweep['ratio']:.2f}x on {sweep['cpu_count']} CPU(s)")
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / "BENCH_cluster.json", "w") as fh:
+        json.dump(payload, fh, indent=2)
+    return payload
+
+
+def bench_cluster_fabric(benchmark):
+    payload = run_cluster_benchmark()
+    benchmark.pedantic(
+        run_cluster, args=(_SLEEP_FN, _UNITS),
+        kwargs={"workers": 2}, iterations=1, rounds=1)
+    assert payload["sweep"]["rows_bit_identical"]
+
+
+if __name__ == "__main__":
+    out = run_cluster_benchmark()
+    print(json.dumps(out, indent=2))

@@ -29,7 +29,13 @@ Subcommands:
   batched lanes, verifier + selection checker), failures shrunk to
   minimal reproducers; ``--soak`` for open-ended runs;
 * ``afu`` — generate Verilog for the selected custom instructions;
-* ``cache`` — inspect or maintain the persistent artifact store.
+* ``cache`` — inspect or maintain the persistent artifact store;
+* ``store`` — run store services: ``repro store serve`` exports a
+  store over TCP so other processes and nodes mount it as
+  ``--store-dir tcp://HOST:PORT``;
+* ``worker`` — join a running ``repro sweep --listen`` leader and
+  pull warm-phase units until its queue drains (``--cluster N``
+  shards the same queue over local processes).
 
 Verbs that execute programs accept ``--backend walk|block|compiled``
 (default: ``$REPRO_BACKEND``, else the compiled backend, DESIGN.md
@@ -296,7 +302,8 @@ def cmd_sweep(args) -> int:
     session = _make_session(args)
     echo = (lambda line: print(line, file=sys.stderr)) \
         if not args.quiet else None
-    outcome = session.sweep(spec, use_cache=not args.no_cache, echo=echo)
+    outcome = session.sweep(spec, use_cache=not args.no_cache, echo=echo,
+                            cluster=args.cluster, listen=args.listen)
     print(format_table(outcome.rows))
     cache_note = ""
     if outcome.cache_stats is not None:
@@ -625,6 +632,44 @@ def cmd_afu(args) -> int:
     return 0
 
 
+def cmd_worker(args) -> int:
+    from .cluster import worker_loop
+
+    echo = (lambda line: print(line, file=sys.stderr)) \
+        if not args.quiet else None
+    try:
+        done = worker_loop(args.connect, name=args.name, echo=echo)
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(f"worker: cannot serve {args.connect}: {exc}")
+    print(f"{done} unit(s) completed")
+    return 0
+
+
+def cmd_store(args) -> int:
+    from .store import StoreServer, open_backend
+    from .store.artifacts import default_store_spec
+    from .wire import parse_address
+
+    spec = args.store_dir or default_store_spec()
+    if spec is None:
+        raise SystemExit("store: persistent store disabled by "
+                         "$REPRO_STORE; pass --store-dir")
+    host, port = parse_address(args.listen, default_port=9723)
+    backend = open_backend(spec)
+    server = StoreServer(backend, host=host, port=port)
+    print(f"serving {backend.spec} on {server.address} "
+          f"(clients: --store-dir tcp://{server.address}); "
+          f"Ctrl-C to stop", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("store: interrupted", file=sys.stderr)
+    finally:
+        server.shutdown()
+        backend.close()
+    return 0
+
+
 def cmd_cache(args) -> int:
     store = _resolve_store_args(args)
     if store is None:
@@ -755,10 +800,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the flat per-point table here")
     p.add_argument("--quiet", action="store_true",
                    help="suppress progress lines on stderr")
+    p.add_argument("--cluster", type=int, default=None, metavar="N",
+                   help="shard the warm phase across N local worker "
+                        "processes through the leader/worker fabric "
+                        "(results bit-identical to serial)")
+    p.add_argument("--listen", default=None, metavar="HOST:PORT",
+                   help="additionally accept remote 'repro worker "
+                        "--connect' nodes on this address (use a "
+                        "shared tcp:// or sqlite: --store-dir so "
+                        "they reach the same artifacts)")
     _add_workers(p)
     _add_store(p)
     _add_backend(p)
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "worker",
+        help="join a running 'repro sweep --listen' leader and pull "
+             "warm units until its queue drains")
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="address of the leader to serve")
+    p.add_argument("--name", default=None,
+                   help="worker name in the leader's telemetry "
+                        "(default: hostname-derived)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-unit progress lines on stderr")
+    p.set_defaults(fn=cmd_worker)
 
     p = sub.add_parser(
         "speedup",
@@ -918,6 +985,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="store root (default: $REPRO_STORE, else "
                         "~/.cache/repro)")
     p.set_defaults(fn=cmd_cache)
+
+    p = sub.add_parser(
+        "store",
+        help="run store services (serve: export a store over TCP "
+             "for tcp:// clients and remote sweep workers)")
+    p.add_argument("action", choices=["serve"],
+                   help="serve: accept tcp:// store clients until "
+                        "interrupted")
+    p.add_argument("--listen", default="127.0.0.1:9723",
+                   metavar="HOST:PORT",
+                   help="bind address (default 127.0.0.1:9723; trusted "
+                        "networks only — the protocol is unauthenticated)")
+    p.add_argument("--store-dir", default=None, metavar="PATH",
+                   help="backing store spec: a directory or "
+                        "sqlite:PATH (default: $REPRO_STORE, else "
+                        "~/.cache/repro)")
+    p.set_defaults(fn=cmd_store)
 
     return parser
 

@@ -1,0 +1,30 @@
+"""Leader/worker sweep sharding over TCP (DESIGN.md §15).
+
+A sweep's warm phase is a bag of independent, idempotent *(block,
+constraint)* identification units whose results are content-addressed
+— exactly the shape that shards across machines.  This package is the
+fabric:
+
+* :class:`~repro.cluster.leader.ClusterLeader` — owns the unit queue,
+  hands units out **largest-first** to whichever worker asks next
+  (work stealing by construction: an idle worker pulls the next unit,
+  so one oversized Optimal block occupies one worker while every
+  other unit drains through the rest), requeues units lost to a dead
+  worker, and records per-unit telemetry;
+* :func:`~repro.cluster.worker.worker_loop` — the worker side:
+  connect, pull, execute, report, repeat (``repro worker --connect``);
+* :func:`~repro.cluster.leader.run_cluster` — the one-call local
+  topology: start a leader, fork N store-connected local worker
+  processes, optionally also listen for remote workers, collect
+  everything (``repro sweep --cluster N [--listen HOST:PORT]``).
+
+Results are bit-identical to a serial sweep regardless of topology:
+units are pure functions of their payload, the shared artifact store
+(or the returned entry lists) is the only communication medium, and
+the leader evaluates the grid itself from the merged cache.
+"""
+
+from .leader import ClusterLeader, run_cluster
+from .worker import worker_loop
+
+__all__ = ["ClusterLeader", "run_cluster", "worker_loop"]

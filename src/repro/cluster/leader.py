@@ -1,0 +1,345 @@
+"""The leader side of the sweep cluster.
+
+The leader owns the bag of units and serves it over the same framed
+wire protocol the store server speaks.  Scheduling is pull-based work
+stealing: the queue is a max-heap on the units' size hints, and
+whichever worker asks next receives the largest pending unit — so the
+one oversized Optimal block pins exactly one worker while every other
+unit drains through the rest, and a fast worker automatically "steals"
+the queue share a slow one cannot take.  Robustness invariants:
+
+* a unit is *outstanding* from hand-out to result; if the worker's
+  connection drops first, the unit is requeued for the next puller;
+* duplicate results for a unit (a worker that reported and then died,
+  plus the requeued re-run) are benign: units are pure, so the copies
+  are identical and the first one wins;
+* :func:`run_cluster` is never stranded — if every worker dies (or
+  none could be forked), the leader runs the leftovers in-process,
+  so the cluster path degrades to serial, never to a hang.
+
+Results are reassembled in unit order, bit-identical to a serial map
+over the payloads, with per-unit telemetry
+(:class:`~repro.core.parallel.UnitReport`) in completion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import socketserver
+import threading
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.parallel import UnitReport
+from ..wire import WireError, parse_address, recv_msg, send_msg
+from .worker import resolve_callable
+
+__all__ = ["ClusterLeader", "run_cluster"]
+
+#: Default port of ``repro sweep --listen`` (store server uses 9723).
+DEFAULT_PORT = 9724
+
+#: Failures that mean "cannot fork local workers here" — the leader
+#: then runs the units itself instead of giving up.
+_SPAWN_ERRORS = (OSError, ImportError, NotImplementedError,
+                 PermissionError, ValueError)
+
+
+class _LeaderServer(socketserver.ThreadingTCPServer):
+    """TCP server whose handler threads share one ClusterLeader."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, leader: "ClusterLeader") -> None:
+        """Bind on *address* and attach *leader* for the handlers."""
+        super().__init__(address, _Handler)
+        self.leader = leader
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One connected worker: hello → welcome, then get/result rounds."""
+
+    def handle(self) -> None:
+        """Serve one worker connection until EOF; requeue on loss."""
+        leader: ClusterLeader = self.server.leader
+        sock = self.request
+        sock.settimeout(leader.idle_timeout)
+        claimed: Optional[int] = None
+        name = "?"
+        try:
+            while True:
+                message = recv_msg(sock)
+                if message is None:
+                    break
+                op = message[0]
+                if op == "hello":
+                    name = str(message[1])
+                    send_msg(sock, ("welcome", {
+                        "fn": leader.fn_path,
+                        "units": leader.pending_count(),
+                        "store": leader.store_spec,
+                    }))
+                elif op == "get":
+                    status, index, payload = leader.take(name)
+                    if status == "unit":
+                        claimed = index
+                        send_msg(sock, ("unit", index, payload))
+                    elif status == "wait":
+                        send_msg(sock, ("wait",))
+                    else:
+                        send_msg(sock, ("done",))
+                elif op == "result":
+                    _tag, index, result, elapsed, reporter = message
+                    leader.complete(index, result, elapsed,
+                                    str(reporter))
+                    claimed = None
+                    send_msg(sock, ("ok",))
+                elif op == "ping":
+                    send_msg(sock, ("pong",))
+                else:
+                    send_msg(sock, ("error", f"unknown op {op!r}"))
+        except (WireError, OSError):
+            pass
+        finally:
+            if claimed is not None:
+                leader.requeue(claimed)
+
+
+class ClusterLeader:
+    """Unit queue + result collector behind a TCP accept loop.
+
+    Serves *payloads* largest-first (by *size_hints*) to connecting
+    workers, which execute the module-level callable named by
+    *fn_path* (``module:callable``).  ``take``/``complete``/``requeue``
+    are the scheduling core — also used directly by the leader's own
+    in-process fallback — and are thread-safe.
+    """
+
+    def __init__(self, fn_path: str, payloads: Sequence,
+                 size_hints: Optional[Sequence[float]] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 store_spec: Optional[str] = None,
+                 idle_timeout: float = 3600.0) -> None:
+        """Stage *payloads* for serving; call :meth:`start` to listen.
+
+        ``port=0`` binds an ephemeral port (read it back from
+        :attr:`address`).  *store_spec* is advisory metadata echoed to
+        workers in the welcome (payloads carry their own store spec).
+        """
+        self.fn_path = fn_path
+        self.store_spec = store_spec
+        self.idle_timeout = idle_timeout
+        self._payloads = list(payloads)
+        hints = (list(size_hints) if size_hints is not None
+                 else [0.0] * len(self._payloads))
+        if len(hints) != len(self._payloads):
+            raise ValueError("size_hints length mismatch")
+        self._hints = [float(h) for h in hints]
+        # Max-heap on hint, ties broken by unit order.
+        self._pending = [(-self._hints[i], i)
+                         for i in range(len(self._payloads))]
+        heapq.heapify(self._pending)
+        self._outstanding: dict = {}
+        self._results: dict = {}
+        self._reports: List[UnitReport] = []
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+        if not self._payloads:
+            self._done.set()
+        self._server = _LeaderServer((host, port), self)
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Scheduling core (thread-safe; shared by handlers and fallback).
+    # ------------------------------------------------------------------
+    def take(self, worker: str) -> Tuple[str, Optional[int], object]:
+        """Claim the largest pending unit for *worker*.
+
+        Returns ``("unit", index, payload)``, or ``("wait", None,
+        None)`` when the queue is empty but units are still
+        outstanding elsewhere (one may be requeued yet), or
+        ``("done", None, None)`` when every unit has a result.
+        """
+        with self._lock:
+            if self._pending:
+                _neg, index = heapq.heappop(self._pending)
+                self._outstanding[index] = worker
+                return "unit", index, self._payloads[index]
+            if len(self._results) >= len(self._payloads):
+                return "done", None, None
+            return "wait", None, None
+
+    def complete(self, index: int, result, elapsed: float,
+                 worker: str) -> None:
+        """Record *result* for unit *index* (duplicates are ignored —
+        idempotent units make re-runs after a requeue identical)."""
+        with self._lock:
+            self._outstanding.pop(index, None)
+            if index in self._results:
+                return
+            self._results[index] = result
+            self._reports.append(UnitReport(
+                index=index, size_hint=self._hints[index],
+                elapsed_s=float(elapsed), worker=worker))
+            if len(self._results) >= len(self._payloads):
+                self._done.set()
+
+    def requeue(self, index: int) -> None:
+        """Return a lost unit (worker died mid-run) to the queue."""
+        with self._lock:
+            self._outstanding.pop(index, None)
+            if index not in self._results:
+                heapq.heappush(self._pending,
+                               (-self._hints[index], index))
+
+    def pending_count(self) -> int:
+        """Units not yet handed out (outstanding ones excluded)."""
+        with self._lock:
+            return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def start(self) -> "ClusterLeader":
+        """Start accepting workers on a daemon thread; returns self."""
+        # Tight poll interval: shutdown() blocks for up to one poll,
+        # and half a second of teardown would dwarf a small warm phase.
+        self._thread = threading.Thread(
+            target=lambda: self._server.serve_forever(poll_interval=0.05),
+            name="repro-cluster-leader", daemon=True)
+        self._thread.start()
+        return self
+
+    @property
+    def address(self) -> str:
+        """``host:port`` workers connect to (wildcard → loopback)."""
+        host, port = self._server.server_address[:2]
+        if host in ("0.0.0.0", "::"):
+            host = "127.0.0.1"
+        return f"{host}:{port}"
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until every unit has a result (or *timeout*)."""
+        return self._done.wait(timeout)
+
+    def run_pending_inline(self, fn: Optional[Callable] = None,
+                           poll_s: float = 0.05) -> int:
+        """Drain the queue in the calling process (fallback path).
+
+        Used when no workers could be forked or all of them died:
+        the leader claims and executes units itself until every unit
+        is done, briefly polling while units are outstanding on still
+        -connected remote workers.  Returns the units run inline.
+        """
+        fn = fn or resolve_callable(self.fn_path)
+        ran = 0
+        while True:
+            status, index, payload = self.take("leader-inline")
+            if status == "done":
+                return ran
+            if status == "wait":
+                time.sleep(poll_s)
+                continue
+            start = time.perf_counter()
+            result = fn(payload)
+            self.complete(index, result,
+                          time.perf_counter() - start, "leader-inline")
+            ran += 1
+
+    def results(self) -> Tuple[List, List[UnitReport]]:
+        """``(results in unit order, reports in completion order)`` —
+        call after :meth:`wait` returns true."""
+        with self._lock:
+            ordered = [self._results.get(i)
+                       for i in range(len(self._payloads))]
+            return ordered, list(self._reports)
+
+    def shutdown(self) -> None:
+        """Stop accepting workers and release the socket (idempotent).
+
+        Handler threads already serving a connection are daemonic and
+        finish (or die with the process) on their own.
+        """
+        self._server.shutdown()
+        self._server.server_close()
+
+
+def run_cluster(
+    fn_path: str,
+    payloads: Sequence,
+    size_hints: Optional[Sequence[float]] = None,
+    workers: int = 0,
+    listen: Optional[str] = None,
+    store_spec: Optional[str] = None,
+    echo: Optional[Callable[[str], None]] = None,
+    poll_s: float = 0.1,
+) -> Tuple[List, List[UnitReport]]:
+    """Map *payloads* through a leader/worker cluster, in unit order.
+
+    Starts a :class:`ClusterLeader` for the module-level callable
+    named by *fn_path*, forks *workers* local worker processes
+    against it, and — when *listen* gives a ``HOST:PORT`` — also
+    accepts remote ``repro worker --connect`` nodes on that address.
+    Blocks until every unit has a result and returns ``(results,
+    unit_reports)`` exactly like
+    :func:`~repro.core.parallel.scheduled_map`.
+
+    Never hangs on worker loss: units lost to a dead worker are
+    requeued, and if no workers remain (or none could be forked) the
+    leftovers run in the calling process — degradation is to serial
+    execution, not to failure.
+    """
+    say = echo or (lambda _line: None)
+    if not payloads:
+        return [], []
+    host, port = ("127.0.0.1", 0)
+    if listen:
+        host, port = parse_address(listen, default_port=DEFAULT_PORT)
+    leader = ClusterLeader(fn_path, payloads, size_hints=size_hints,
+                           host=host, port=port,
+                           store_spec=store_spec).start()
+    procs: List = []
+    try:
+        if workers > 0:
+            try:
+                import multiprocessing
+                for i in range(workers):
+                    proc = multiprocessing.Process(
+                        target=_spawn_target,
+                        args=(leader.address, i), daemon=True)
+                    proc.start()
+                    procs.append(proc)
+            except _SPAWN_ERRORS:
+                procs = [p for p in procs if p.is_alive()]
+        if listen:
+            say(f"cluster: leader on {leader.address} "
+                f"({len(payloads)} unit(s), {len(procs)} local "
+                f"worker(s); repro worker --connect {leader.address})")
+        if not procs and not listen:
+            # Nothing will ever pull: run everything in-process.
+            leader.run_pending_inline()
+        while not leader.wait(timeout=poll_s):
+            if procs and not any(p.is_alive() for p in procs):
+                # Every local worker died (crash, OOM-kill).  Their
+                # closed sockets requeued whatever they held; finish
+                # the leftovers here rather than hang.
+                say("cluster: local workers exited early; "
+                    "running remaining units inline")
+                leader.run_pending_inline()
+        for proc in procs:
+            proc.join(timeout=10.0)
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        leader.shutdown()
+    results, reports = leader.results()
+    return results, reports
+
+
+def _spawn_target(address: str, index: int) -> None:
+    """Module-level fork target (kept here so ``run_cluster`` and the
+    worker loop stay importable under ``spawn`` start methods)."""
+    from .worker import _local_worker
+    _local_worker(address, index)

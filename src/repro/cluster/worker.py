@@ -1,0 +1,119 @@
+"""The worker side of the sweep cluster (``repro worker``).
+
+A worker is a pull loop: connect to the leader, announce itself, then
+repeatedly request a unit, execute it, and send the result back.  The
+unit payloads are self-contained (they carry the store spec the
+leader's planner embedded), and the *function* each unit runs is named
+by the leader in its welcome message as a ``module:callable`` path —
+the worker resolves it by import, so the protocol is transport-level
+generic while the trust model stays "your own cluster" (the same
+trusted-network assumption the store server documents).
+
+Workers are stateless and disposable: a worker that crashes mid-unit
+costs nothing but that unit's recompute — the leader requeues it for
+the next puller.  Units are idempotent (content-addressed results), so
+the double execution a crash can cause is benign.
+"""
+
+from __future__ import annotations
+
+import importlib
+import socket
+import time
+from typing import Callable, Optional
+
+from ..wire import WireError, connect, recv_msg, send_msg
+
+#: Seconds a worker sleeps when the leader says "wait" (queue empty
+#: but units still outstanding elsewhere — one may yet be requeued).
+WAIT_POLL_S = 0.05
+
+
+def resolve_callable(path: str) -> Callable:
+    """Import the ``module:callable`` path a leader names for units."""
+    module_name, sep, attr = path.partition(":")
+    if not sep:
+        raise ValueError(f"bad callable path {path!r} "
+                         f"(expected module:callable)")
+    fn = getattr(importlib.import_module(module_name), attr)
+    if not callable(fn):
+        raise ValueError(f"{path!r} is not callable")
+    return fn
+
+
+def _sleep_unit(payload):
+    """Calibration unit: sleep for ``payload`` seconds and echo it.
+
+    The scheduler benchmark and the cluster tests use this to measure
+    the fabric itself (dispatch, stealing, reassembly) with perfectly
+    controlled unit durations, independent of CPU count.
+    """
+    seconds = payload[0] if isinstance(payload, tuple) else payload
+    time.sleep(float(seconds))
+    return payload
+
+
+def worker_loop(address: str, name: Optional[str] = None,
+                timeout: float = 3600.0,
+                echo: Optional[Callable[[str], None]] = None) -> int:
+    """Serve one leader until its queue drains; returns units done.
+
+    Connects to ``HOST:PORT``, resolves the unit callable the leader
+    announces, then pulls units until the leader answers ``done``.
+    Raises ``ConnectionError``/``OSError`` if the leader is
+    unreachable; a connection lost mid-run simply ends the loop (the
+    leader requeues whatever this worker held).
+    """
+    say = echo or (lambda _line: None)
+    worker_name = name or f"{socket.gethostname()}-{id(object()):x}"
+    sock = connect(address, timeout=timeout)
+    done = 0
+    try:
+        send_msg(sock, ("hello", worker_name))
+        welcome = recv_msg(sock)
+        if not welcome or welcome[0] != "welcome":
+            raise WireError(f"unexpected greeting {welcome!r}")
+        meta = welcome[1]
+        fn = resolve_callable(meta["fn"])
+        say(f"{worker_name}: connected to {address}, "
+            f"{meta.get('units', '?')} unit(s) pending, fn {meta['fn']}"
+            + (f", store {meta['store']}" if meta.get("store") else ""))
+        while True:
+            send_msg(sock, ("get",))
+            message = recv_msg(sock)
+            if message is None or message[0] == "done":
+                break
+            if message[0] == "wait":
+                time.sleep(WAIT_POLL_S)
+                continue
+            if message[0] != "unit":
+                raise WireError(f"unexpected reply {message[0]!r}")
+            _tag, index, payload = message
+            start = time.perf_counter()
+            result = fn(payload)
+            elapsed = time.perf_counter() - start
+            send_msg(sock, ("result", index, result, elapsed,
+                            worker_name))
+            ack = recv_msg(sock)
+            if ack is None:
+                break
+            done += 1
+            say(f"{worker_name}: unit {index} in {elapsed:.2f}s")
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+    say(f"{worker_name}: queue drained, {done} unit(s) done")
+    return done
+
+
+def _local_worker(address: str, index: int) -> None:
+    """Module-level process target for the leader's local workers
+    (must be importable after ``fork``/``spawn``)."""
+    try:
+        worker_loop(address, name=f"local{index}")
+    except (ConnectionError, OSError, WireError):
+        # A leader that already finished (or died) is not the worker's
+        # problem; the leader side accounts for lost units.
+        pass

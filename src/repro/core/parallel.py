@@ -3,14 +3,24 @@
 The identification of the best cut in one basic block is completely
 independent of every other block, so the first round of each selection
 strategy (one exhaustive search per DFG) parallelises embarrassingly.
-This module provides the single primitive the strategies need — an
-ordered ``map`` over picklable work items — together with the knob that
-controls it:
+This module provides the primitives the strategies and the sweep
+runner need, together with the knob that controls them:
 
 * ``workers=`` argument on ``select_iterative`` / ``select_optimal`` /
   ``select_area_constrained`` (and ``--workers`` on the CLI);
 * the ``REPRO_WORKERS`` environment variable as the default when the
   argument is omitted.
+
+:func:`scheduled_map` is the work-stealing scheduler: units are
+dispatched **largest-first** (by a caller-supplied size hint) into a
+shared process pool, completions are consumed **unordered**
+(``as_completed``), and results are reassembled **in input order** —
+so one oversized unit can no longer serialize the tail of a sweep
+behind an arbitrary chunk boundary, while results stay bit-identical
+to the serial path.  Per-unit wall time and the executing worker are
+reported for telemetry (``SweepOutcome.unit_reports``).
+:func:`parallel_map` keeps the classic ordered-``map`` surface on top
+of the same scheduler.
 
 The default is serial (``workers=1``): results are bit-identical either
 way, but forking has a real cost, so parallelism is opt-in.  Any failure
@@ -22,7 +32,17 @@ parallelism is a performance knob, never a correctness requirement.
 from __future__ import annotations
 
 import os
-from typing import Callable, List, Optional, Sequence, TypeVar
+import sys
+import time
+from dataclasses import asdict, dataclass
+from typing import (
+    Callable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -30,12 +50,20 @@ R = TypeVar("R")
 #: Environment variable consulted when ``workers`` is not given.
 WORKERS_ENV = "REPRO_WORKERS"
 
+#: Infrastructure failures that degrade to the serial path.  Exceptions
+#: raised by the mapped function itself are real errors and propagate.
+_POOL_ERRORS: Tuple = (OSError, ImportError, NotImplementedError,
+                       PermissionError)
+
 
 def resolve_workers(workers: Optional[int] = None) -> int:
     """Number of worker processes to use.
 
     Precedence: explicit argument, then ``REPRO_WORKERS``, then 1
-    (serial).  ``0`` and negative values mean "one per CPU".
+    (serial).  ``0`` and negative values mean "one per CPU".  An
+    unparsable ``REPRO_WORKERS`` value falls back to serial with a
+    one-line warning on stderr — silently ignoring a typo'd knob cost
+    real debugging time.
     """
     if workers is None:
         env = os.environ.get(WORKERS_ENV, "").strip()
@@ -44,10 +72,125 @@ def resolve_workers(workers: Optional[int] = None) -> int:
         try:
             workers = int(env)
         except ValueError:
+            print(f"warning: unparsable {WORKERS_ENV}={env!r} ignored; "
+                  f"running serial (use an integer; 0 = one per CPU)",
+                  file=sys.stderr)
             return 1
     if workers <= 0:
         workers = os.cpu_count() or 1
     return max(1, workers)
+
+
+@dataclass
+class UnitReport:
+    """Telemetry of one scheduled unit: who ran it, for how long."""
+
+    index: int
+    size_hint: float
+    elapsed_s: float
+    worker: str
+
+    def as_dict(self) -> dict:
+        """Flat JSON-ready record (the sweep artifact's telemetry)."""
+        return asdict(self)
+
+
+def _dispatch_order(count: int,
+                    size_hints: Optional[Sequence[float]]) -> List[int]:
+    """Unit indexes in dispatch order: largest hint first (stable on
+    ties, so equal-sized units keep input order); input order when no
+    hints are given."""
+    if size_hints is None:
+        return list(range(count))
+    return sorted(range(count), key=lambda i: (-size_hints[i], i))
+
+
+def _timed_unit(job: Tuple) -> Tuple:
+    """Module-level pool entry: run one unit, clock it, name the
+    worker.  Must stay picklable (it crosses the process boundary)."""
+    fn, index, item = job
+    start = time.perf_counter()
+    result = fn(item)
+    return index, result, time.perf_counter() - start, f"pid{os.getpid()}"
+
+
+def scheduled_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    workers: Optional[int] = None,
+    size_hints: Optional[Sequence[float]] = None,
+) -> Tuple[List[R], List[UnitReport]]:
+    """Work-stealing ``map``: unordered completion, ordered results.
+
+    Units are submitted largest-first (by *size_hints*; input order
+    without hints) into one process pool whose idle workers pull the
+    next pending unit — dynamic load balancing, so a skewed unit-size
+    distribution keeps every worker busy instead of serializing the
+    tail behind the biggest unit.  Results are reassembled in input
+    order, bit-identical to ``[fn(x) for x in items]``; the second
+    return value reports per-unit wall time and worker for telemetry.
+
+    *fn* must be a module-level (picklable) callable.  With one
+    worker, one item, or any pool-infrastructure failure, the serial
+    path runs instead (identical results, ``worker="serial"``).
+    """
+    workers = resolve_workers(workers)
+    order = _dispatch_order(len(items), size_hints)
+
+    def _serial() -> Tuple[List[R], List[UnitReport]]:
+        results: List[Optional[R]] = [None] * len(items)
+        reports: List[UnitReport] = []
+        for index in order:
+            start = time.perf_counter()
+            results[index] = fn(items[index])
+            reports.append(UnitReport(
+                index=index,
+                size_hint=(float(size_hints[index])
+                           if size_hints is not None else 0.0),
+                elapsed_s=time.perf_counter() - start,
+                worker="serial"))
+        return results, reports  # type: ignore[return-value]
+
+    if workers <= 1 or len(items) <= 1:
+        return _serial()
+
+    import pickle
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+    from concurrent.futures.process import BrokenProcessPool
+
+    results: List[Optional[R]] = [None] * len(items)
+    reports: List[UnitReport] = []
+    try:
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(items))) as pool:
+            futures = [pool.submit(_timed_unit, (fn, index, items[index]))
+                       for index in order]
+            for future in as_completed(futures):
+                index, result, elapsed, worker = future.result()
+                results[index] = result
+                reports.append(UnitReport(
+                    index=index,
+                    size_hint=(float(size_hints[index])
+                               if size_hints is not None else 0.0),
+                    elapsed_s=elapsed,
+                    worker=worker))
+    except (BrokenProcessPool, pickle.PicklingError,
+            AttributeError) + _POOL_ERRORS:
+        # AttributeError covers multiprocessing's refusal to pickle
+        # local callables (it raises that, not PicklingError).
+        # Environment/payload problems degrade to the serial path:
+        # identical results, just slower.  (Units are pure functions of
+        # their item, so re-running any that already completed in the
+        # pool cannot change the outcome.)
+        return _serial()
+    return results, reports  # type: ignore[return-value]
+
+
+def _apply_chunk(job: Tuple) -> List:
+    """Module-level pool entry for :func:`parallel_map`'s chunking:
+    map *fn* over one chunk of items in order."""
+    fn, chunk = job
+    return [fn(item) for item in chunk]
 
 
 def parallel_map(
@@ -58,30 +201,23 @@ def parallel_map(
 ) -> List[R]:
     """Ordered ``[fn(x) for x in items]``, fanned out across processes.
 
+    A thin wrapper over :func:`scheduled_map`: items are grouped into
+    *chunksize*-sized units (worth raising when there are many small
+    items — one inter-process message per chunk), dispatched in input
+    order, completed unordered, and flattened back to input order.
     *fn* must be a module-level (picklable) callable and the items and
     results must pickle.  With one worker, one item, or any executor
-    failure, the plain serial comprehension runs instead.  *chunksize*
-    batches items per inter-process message — worth raising when there
-    are many small items (e.g. the sweep runner's (block, constraint)
-    units).
+    failure, the plain serial comprehension runs instead.
     """
     workers = resolve_workers(workers)
     if workers <= 1 or len(items) <= 1:
         return [fn(x) for x in items]
-    import pickle
-    from concurrent.futures import ProcessPoolExecutor
-    from concurrent.futures.process import BrokenProcessPool
-
-    try:
-        with ProcessPoolExecutor(
-                max_workers=min(workers, len(items))) as pool:
-            return list(pool.map(fn, items, chunksize=max(1, chunksize)))
-    except (OSError, ImportError, NotImplementedError, PermissionError,
-            BrokenProcessPool, pickle.PicklingError):
-        # Environment/payload problems degrade to the serial path:
-        # identical results, just slower.  Exceptions raised by *fn*
-        # itself are real errors and propagate.
-        return [fn(x) for x in items]
+    chunksize = max(1, chunksize)
+    chunks = [(fn, list(items[i:i + chunksize]))
+              for i in range(0, len(items), chunksize)]
+    grouped, _reports = scheduled_map(_apply_chunk, chunks,
+                                      workers=workers)
+    return [result for group in grouped for result in group]
 
 
 def cached_parallel_map(

@@ -36,6 +36,9 @@ def rows_payload(outcome: SweepOutcome) -> dict:
             "warm_units": outcome.warm_units,
             "cache_entries": outcome.cache_entries,
             "cache_stats": outcome.cache_stats,
+            "unit_reports": outcome.unit_reports,
+            "warm_workers": sorted({report["worker"] for report
+                                    in outcome.unit_reports}),
         },
         "rows": outcome.rows,
     }

@@ -7,14 +7,19 @@ phases:
    exactly once (the seed CLI re-did this per grid point);
 2. **Warm** — the unique identification obligations implied by the grid
    are planned at *(block, constraint)* granularity, deduplicated by
-   cache key, and fanned out over :func:`repro.core.parallel.
-   parallel_map`.  Each worker fills a local
-   :class:`~repro.explore.cache.SearchCache` and returns its entries;
-   the parent merges them, which shares the memo across processes
-   without OS-level shared memory.  A worker warms a *chain* (the
-   find-best/collapse sequence the iterative algorithm replays), a
-   candidate *pool* (for area-constrained rows) or a *multi*-cut seed
-   (for Optimal rows);
+   cache key, and fanned out largest-first over the work-stealing
+   :func:`repro.core.parallel.scheduled_map` (or, with ``cluster=``/
+   ``listen=``, over the leader/worker fabric of
+   :mod:`repro.cluster`).  Each worker fills a local
+   :class:`~repro.explore.cache.SearchCache` and returns its entries
+   (or spills them into the shared persistent store); the parent
+   merges them, which shares the memo across processes — and, through
+   a ``tcp://`` or ``sqlite:`` store, across nodes — without OS-level
+   shared memory.  A worker warms a *chain* (the find-best/collapse
+   sequence the iterative algorithm replays), a candidate *pool* (for
+   area-constrained rows) or a *multi*-cut seed (for Optimal rows);
+   per-unit wall time and worker identity land in
+   ``SweepOutcome.unit_reports``;
 3. **Evaluate** — every grid point runs through the ordinary selection
    algorithms with the shared cache.  Identification is a hit by then,
    and everything on top is polynomial — this is where a sweep over
@@ -42,7 +47,7 @@ from ..core import (
     select_maxmiso,
     select_optimal,
 )
-from ..core.parallel import parallel_map
+from ..core.parallel import scheduled_map
 from ..core.select_area import _block_candidates, select_area_constrained
 from ..core.selection import SelectionResult
 from ..hwmodel.merit import cut_area
@@ -60,12 +65,13 @@ def _warm_unit(job: Tuple) -> List[Tuple[Tuple, object]]:
     identification obligations into a local cache and return its
     entries (picklable) for the parent to merge.
 
-    When the job names a persistent store root, the worker's cache spills
-    every entry straight into the shared disk store and returns nothing —
-    the parent (and any later process) reads the entries back through its
-    own backing tier instead of a pickled round-trip."""
-    dfg, nin, nout, model_name, limits, tasks, store_root = job
-    backing = ArtifactStore(store_root) if store_root is not None else None
+    When the job names a persistent store spec (a directory path,
+    ``sqlite:PATH`` or ``tcp://HOST:PORT``), the worker's cache spills
+    every entry straight into that shared store and returns nothing —
+    the parent (and any later process, on any node) reads the entries
+    back through its own backing tier instead of a pickled round-trip."""
+    dfg, nin, nout, model_name, limits, tasks, store_spec = job
+    backing = ArtifactStore(store_spec) if store_spec is not None else None
     cache = SearchCache(backing=backing)
     model = resolve_model(model_name)
     cons = Constraints(nin=nin, nout=nout)
@@ -92,6 +98,25 @@ def _warm_unit(job: Tuple) -> List[Tuple[Tuple, object]]:
     return [] if backing is not None else cache.entries()
 
 
+#: Relative cost weight of one warm task kind, multiplied by the task
+#: argument (chain depth / pool size / cut count).  Identification is
+#: exponential in block size, so the DFG node count dominates the hint;
+#: the weights only rank tasks on the *same* block.
+_TASK_WEIGHTS = {"chain": 1.0, "pool": 1.0, "multi": 2.0}
+
+
+def _unit_hint(job: Tuple) -> float:
+    """Scheduling size hint of one warm job: DFG node count times the
+    summed task weights.  Hints only need to *rank* units — the
+    work-stealing scheduler dispatches largest-first so the plausibly
+    longest-running (block, constraint) unit starts immediately
+    instead of serializing the tail of the warm phase."""
+    dfg, _nin, _nout, _model, _limits, tasks, _store = job
+    weight = sum(_TASK_WEIGHTS.get(kind, 1.0) * max(1, arg)
+                 for kind, arg in tasks)
+    return float(dfg.n) * weight
+
+
 def _task_covered(task: _WarmTask, cache: SearchCache, dfg, cons,
                   model, limits) -> bool:
     """True when a pre-warmed cache already holds this task's entries.
@@ -110,7 +135,7 @@ def _plan_units(
     spec: SweepSpec,
     apps: Dict[str, Application],
     cache: SearchCache,
-    store_root: Optional[str] = None,
+    store_spec: Optional[str] = None,
 ) -> List[Tuple]:
     """The unique (block, constraint) warm jobs the grid implies,
     deduplicated by (graph digest, ports, model) and filtered down to
@@ -159,7 +184,7 @@ def _plan_units(
                         entry[4].extend(t for t in tasks
                                         if t not in entry[4])
     return [(dfg, nin, nout, model_name, spec.limits, tuple(tasks),
-             store_root)
+             store_spec)
             for dfg, nin, nout, model_name, tasks in planned.values()]
 
 
@@ -176,6 +201,7 @@ class SweepOutcome:
     cache_stats: Optional[dict] = None
     cache_entries: int = 0
     code_memo: Optional[dict] = None
+    unit_reports: List[dict] = field(default_factory=list)
 
     @property
     def sweep_s(self) -> float:
@@ -330,6 +356,8 @@ def run_sweep(
     store: Optional[ArtifactStore] = None,
     prepare: Optional[Callable] = None,
     backend: Optional[str] = None,
+    cluster: Optional[int] = None,
+    listen: Optional[str] = None,
 ) -> SweepOutcome:
     """Execute the whole grid; see the module docstring for the phases.
 
@@ -357,6 +385,15 @@ def run_sweep(
         backend: execution backend for profiling and ``measure=True``
             runs (``"walk"``/``"compiled"``; default ``$REPRO_BACKEND``,
             else compiled).  Rows are byte-identical either way.
+        cluster: when given, the warm phase runs through the
+            leader/worker fabric (:func:`repro.cluster.run_cluster`)
+            with this many local worker processes instead of the
+            in-process pool.  Rows are bit-identical either way.
+        listen: ``HOST:PORT`` the cluster leader additionally accepts
+            remote ``repro worker --connect`` nodes on (implies the
+            cluster path even with ``cluster=0``); point the store at
+            a shared medium (``tcp://`` / ``sqlite:``) so remote
+            workers reach the same artifacts.
     """
     say = echo or (lambda _line: None)
     outcome = SweepOutcome(spec=spec)
@@ -383,14 +420,24 @@ def run_sweep(
 
     if cache is not None:
         start = time.perf_counter()
-        store_root = (str(store.root)
+        store_spec = (store.spec
                       if store is not None and cache.backing is store
                       else None)
-        jobs = _plan_units(spec, apps, cache, store_root=store_root)
+        jobs = _plan_units(spec, apps, cache, store_spec=store_spec)
         outcome.warm_units = len(jobs)
-        for entries in parallel_map(_warm_unit, jobs, workers=workers,
-                                    chunksize=4):
+        hints = [_unit_hint(job) for job in jobs]
+        if cluster is not None or listen:
+            from ..cluster import run_cluster
+            unit_entries, reports = run_cluster(
+                "repro.explore.runner:_warm_unit", jobs,
+                size_hints=hints, workers=(cluster or 0),
+                listen=listen, store_spec=store_spec, echo=say)
+        else:
+            unit_entries, reports = scheduled_map(
+                _warm_unit, jobs, workers=workers, size_hints=hints)
+        for entries in unit_entries:
             cache.merge(entries)
+        outcome.unit_reports = [report.as_dict() for report in reports]
         outcome.warm_s = time.perf_counter() - start
         say(f"warmed {len(jobs)} (block, constraint) unit(s) -> "
             f"{len(cache)} cache entries in {outcome.warm_s:.2f}s")

@@ -141,16 +141,21 @@ class Session:
             area_budget, area_method=area_method, cache=self.cache)
 
     # ------------------------------------------------------------------
-    def sweep(self, spec, use_cache: bool = True, echo=None):
+    def sweep(self, spec, use_cache: bool = True, echo=None,
+              cluster=None, listen=None):
         """Run a whole design-space grid (:func:`repro.explore.
         run_sweep`) through the session's cache and store — a repeated
-        identical sweep skips preparation and the warm phase entirely."""
+        identical sweep skips preparation and the warm phase entirely.
+        ``cluster``/``listen`` route the warm phase through the
+        leader/worker fabric (``repro sweep --cluster N``); rows are
+        bit-identical to the in-process path."""
         from .explore.runner import run_sweep
 
         return run_sweep(spec, use_cache=use_cache,
                          cache=self.cache if use_cache else None,
                          workers=self.workers, echo=echo,
                          store=self.store, backend=self.backend,
+                         cluster=cluster, listen=listen,
                          prepare=lambda name, size, unr: self.prepare(
                              name, n=size, unroll=unr))
 

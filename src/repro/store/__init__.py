@@ -1,13 +1,18 @@
-"""Persistent content-addressed artifact storage (DESIGN.md §10).
+"""Persistent content-addressed artifact storage (DESIGN.md §10, §15).
 
 Every expensive product of the toolchain — compiled+profiled
 applications, exponential identification results, baseline execution
 runs — is content-addressed by SHA-256 over everything it depends on
 (:mod:`repro.store.keys`) and persisted across processes and
 invocations by :class:`repro.store.artifacts.ArtifactStore`.  The
-:class:`repro.session.Session` facade wires the store through every
-layer; results are bit-identical with the store enabled, disabled or
-pre-warmed — persistence only ever skips recomputation.
+*medium* behind a store is a pluggable
+:class:`~repro.store.backend.StoreBackend`: a directory tree
+(default), a WAL-mode SQLite file (``sqlite:PATH``), or a thin TCP
+client (``tcp://HOST:PORT``) talking to ``repro store serve`` — which
+is how a sweep cluster's workers on other nodes share one artifact
+medium.  The :class:`repro.session.Session` facade wires the store
+through every layer; results are bit-identical with the store enabled,
+disabled or pre-warmed — persistence only ever skips recomputation.
 """
 
 from .artifacts import (
@@ -16,8 +21,15 @@ from .artifacts import (
     StoreInfo,
     StoreStats,
     default_store_dir,
+    default_store_spec,
     resolve_store,
     stock_store_dir,
+)
+from .backend import (
+    BackendError,
+    DirectoryBackend,
+    StoreBackend,
+    open_backend,
 )
 from .keys import (
     PIPELINE_VERSION,
@@ -29,10 +41,15 @@ from .keys import (
     model_digest,
     workload_key,
 )
+from .net import NetworkBackend, StoreServer
+from .sqlite import SQLiteBackend
 
 __all__ = [
     "ArtifactStore", "StoreStats", "StoreInfo", "resolve_store",
-    "default_store_dir", "stock_store_dir", "STORE_ENV",
+    "default_store_dir", "default_store_spec", "stock_store_dir",
+    "STORE_ENV",
+    "StoreBackend", "DirectoryBackend", "SQLiteBackend",
+    "NetworkBackend", "StoreServer", "open_backend", "BackendError",
     "canonical_digest", "callable_fingerprint", "dfg_digest",
     "model_digest", "limits_key", "workload_key",
     "PIPELINE_VERSION", "SEARCH_VERSION",

@@ -6,57 +6,67 @@ payloads, where *kind* names an artifact family (``"app"`` for compiled
 ``"baseline"`` for baseline execution runs) and *key* is a SHA-256 hex
 digest derived from content (:mod:`repro.store.keys`).  Properties:
 
-* **Two tiers.**  Every hit is promoted into an in-process dict (the hot
-  tier); the disk tier under ``<root>/v<N>/<kind>/<key[:2]>/<key>.pkl``
-  survives the process and is shared by concurrent workers.
-* **Atomic writes.**  Payloads are pickled to a unique temp file in the
-  destination directory and published with ``os.replace`` — readers see
-  either the old file or the complete new one, never a torn write.
-  Concurrent writers of the same key race benignly: content addressing
-  means they are writing identical bytes.
-* **Versioned schemas.**  The layout version is part of the path and a
-  header tuple is pickled with every payload; artifacts from a different
-  schema (or foreign files) read as misses, never as wrong data.
-* **Corruption tolerance.**  A truncated, corrupt or unreadable file is
+* **Two tiers.**  Every hit is promoted into an in-process LRU (the hot
+  tier); the persistent tier is a pluggable
+  :class:`~repro.store.backend.StoreBackend` — a directory tree, a
+  WAL-mode SQLite file, or a TCP client to ``repro store serve`` —
+  that survives the process and is shared by concurrent workers.
+* **Atomic writes.**  Payloads are pickled once here and published
+  atomically by the backend — readers see the old blob or the complete
+  new one, never a torn write.  Concurrent writers of the same key
+  race benignly: content addressing means they write identical bytes.
+* **Versioned schemas.**  A header tuple is pickled with every payload;
+  artifacts from a different schema (or foreign blobs) read as misses,
+  never as wrong data.
+* **Corruption tolerance.**  A truncated, corrupt or unreadable blob is
   a *miss*, counted in ``stats.errors`` and removed, never an exception
-  crossing the store boundary.
-* **Statistics.**  ``stats`` counts hits (split by tier), misses, puts
-  and errors — the numbers ``repro cache stats`` and the session
-  benchmark report.
+  crossing the store boundary; an unreachable backend degrades the same
+  way.
+* **Statistics.**  ``stats`` counts hits (split by tier), misses, puts,
+  errors and hot-tier evictions — the numbers ``repro cache stats``
+  and the session benchmark report.
 
 The default root is ``~/.cache/repro``, overridden by the
-``REPRO_STORE`` environment variable (a path, or ``0``/``off``/``none``
-to disable persistence wherever the default store would be used).
+``REPRO_STORE`` environment variable (a backend spec — a path,
+``sqlite:PATH`` or ``tcp://HOST:PORT`` — or ``0``/``off``/``none`` to
+disable persistence wherever the default store would be used).
 """
 
 from __future__ import annotations
 
-import itertools
 import os
 import pickle
-import shutil
-import time
-from dataclasses import asdict, dataclass, field
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-#: Environment variable overriding the default store root (or disabling
+from .backend import (
+    SCHEMA_VERSION,
+    BackendError,
+    StoreBackend,
+    StoreInfo,
+    open_backend,
+)
+
+__all__ = [
+    "ArtifactStore", "StoreStats", "StoreInfo", "resolve_store",
+    "default_store_dir", "default_store_spec", "stock_store_dir",
+    "STORE_ENV", "SCHEMA_VERSION",
+]
+
+#: Environment variable overriding the default store spec (or disabling
 #: the default store entirely with ``0`` / ``off`` / ``none`` / ``"" ``).
 STORE_ENV = "REPRO_STORE"
 
 #: Values of :data:`STORE_ENV` that mean "no persistent store".
 _DISABLED = {"0", "off", "none", "disabled"}
 
-#: On-disk layout version: part of every path and payload header.
-SCHEMA_VERSION = 1
-
 _HEADER = ("repro-store", SCHEMA_VERSION)
 
-#: Errors that mean "this artifact file is unusable", never propagated.
+#: Errors that mean "this artifact blob is unusable", never propagated.
 _READ_ERRORS = (OSError, EOFError, pickle.UnpicklingError, AttributeError,
                 ImportError, IndexError, KeyError, TypeError, ValueError)
-
-_tmp_counter = itertools.count()
 
 
 def stock_store_dir() -> Path:
@@ -65,16 +75,25 @@ def stock_store_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
-def default_store_dir() -> Optional[Path]:
-    """The store root the environment selects: ``$REPRO_STORE`` if set
-    (``None`` when it names one of the disabled values), else
-    :func:`stock_store_dir`."""
+def default_store_spec() -> Optional[str]:
+    """The backend spec the environment selects: ``$REPRO_STORE`` if
+    set (``None`` when it names one of the disabled values), else the
+    stock directory root."""
     env = os.environ.get(STORE_ENV)
     if env is not None:
         if env.strip().lower() in _DISABLED or not env.strip():
             return None
-        return Path(env).expanduser()
-    return stock_store_dir()
+        return env
+    return str(stock_store_dir())
+
+
+def default_store_dir() -> Optional[Path]:
+    """:func:`default_store_spec` as a path (historical accessor; for
+    ``tcp://`` / ``sqlite:`` specs prefer the spec form)."""
+    spec = default_store_spec()
+    if spec is None:
+        return None
+    return Path(spec).expanduser()
 
 
 @dataclass
@@ -87,6 +106,7 @@ class StoreStats:
     memory_hits: int = 0
     disk_hits: int = 0
     errors: int = 0
+    evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -101,40 +121,45 @@ class StoreStats:
         return record
 
 
-@dataclass
-class StoreInfo:
-    """Snapshot of the disk tier, per kind (``repro cache stats``)."""
-
-    root: str
-    entries: int = 0
-    bytes: int = 0
-    kinds: Dict[str, int] = field(default_factory=dict)
-
-
 class ArtifactStore:
-    """Disk-backed content-addressed artifact store (see module doc)."""
+    """Backend-agnostic content-addressed artifact store (module doc)."""
 
-    def __init__(self, root: Optional[os.PathLike] = None,
-                 hot_limit: int = 4096) -> None:
-        """Open (creating lazily) the store rooted at *root*.
+    def __init__(self, root=None, hot_limit: int = 4096) -> None:
+        """Open the store over the medium *root* names.
 
         Args:
-            root: store directory; defaults to :func:`default_store_dir`
-                (raises ``ValueError`` if the environment disables it).
-            hot_limit: in-memory hot-tier entry bound; the hot tier is
-                dropped wholesale when it fills (artifacts stay on disk).
+            root: a backend spec — directory path, ``sqlite:PATH``,
+                ``tcp://HOST:PORT`` — or a live
+                :class:`~repro.store.backend.StoreBackend`; defaults
+                to :func:`default_store_spec` (raises ``ValueError``
+                if the environment disables it).
+            hot_limit: in-memory hot-tier entry bound, enforced by
+                one-at-a-time LRU eviction (artifacts stay persistent).
         """
         if root is None:
-            root = default_store_dir()
+            root = default_store_spec()
             if root is None:
                 raise ValueError(
                     f"persistent store disabled by ${STORE_ENV}; "
                     f"pass an explicit root to force one")
-        self.root = Path(root)
-        self.base = self.root / f"v{SCHEMA_VERSION}"
+        self.backend: StoreBackend = open_backend(root)
+        self.root = getattr(self.backend, "root", self.backend.spec)
         self.hot_limit = hot_limit
         self.stats = StoreStats()
-        self._hot: Dict[Tuple[str, str], object] = {}
+        self._hot: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
+
+    @property
+    def spec(self) -> str:
+        """Picklable reconnect string (:func:`repro.store.backend.
+        open_backend` reopens it) — how worker processes and remote
+        nodes are pointed at this store's medium."""
+        return self.backend.spec
+
+    @property
+    def base(self):
+        """The directory backend's versioned tree root (layout
+        introspection; only meaningful for directory media)."""
+        return getattr(self.backend, "base", None)
 
     # ------------------------------------------------------------------
     def key(self, kind: str, payload) -> str:
@@ -144,37 +169,36 @@ class ArtifactStore:
         from .keys import canonical_digest
         return canonical_digest("store-key-v1", kind, payload)
 
-    def _path(self, kind: str, key: str) -> Path:
-        return self.base / kind / key[:2] / f"{key}.pkl"
-
     # ------------------------------------------------------------------
     def get(self, kind: str, key: str):
-        """The stored payload, or ``None`` on a miss.  Disk hits are
-        promoted to the hot tier; unreadable files count as misses."""
+        """The stored payload, or ``None`` on a miss.  Backend hits are
+        promoted to the hot tier; unreadable blobs count as misses."""
         hot_key = (kind, key)
         value = self._hot.get(hot_key)
         if value is not None:
+            self._hot.move_to_end(hot_key)
             self.stats.hits += 1
             self.stats.memory_hits += 1
             return value
-        path = self._path(kind, key)
         try:
-            with open(path, "rb") as fh:
-                header, stored_kind, value = pickle.load(fh)
-            if header != _HEADER or stored_kind != kind or value is None:
-                raise ValueError("artifact header mismatch")
-        except FileNotFoundError:
-            self.stats.misses += 1
-            return None
-        except _READ_ERRORS:
-            # Truncated/corrupt/foreign file: a miss, not a crash.  Drop
-            # it so the slot can be rewritten cleanly.
+            blob = self.backend.load(kind, key)
+        except BackendError:
             self.stats.errors += 1
             self.stats.misses += 1
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+            return None
+        if blob is None:
+            self.stats.misses += 1
+            return None
+        try:
+            header, stored_kind, value = pickle.loads(blob)
+            if header != _HEADER or stored_kind != kind or value is None:
+                raise ValueError("artifact header mismatch")
+        except _READ_ERRORS:
+            # Truncated/corrupt/foreign blob: a miss, not a crash.
+            # Drop it so the slot can be rewritten cleanly.
+            self.stats.errors += 1
+            self.stats.misses += 1
+            self.backend.delete(kind, key)
             return None
         self.stats.hits += 1
         self.stats.disk_hits += 1
@@ -185,109 +209,83 @@ class ArtifactStore:
         """Persist *value* under ``(kind, key)`` atomically.
 
         ``None`` payloads are rejected (``None`` is the miss sentinel).
-        I/O failures degrade to hot-tier-only caching — persistence is a
-        performance layer, never a correctness requirement.
+        Backend failures degrade to hot-tier-only caching — persistence
+        is a performance layer, never a correctness requirement.
         """
         if value is None:
             raise ValueError("cannot store None (the miss sentinel)")
         self._remember((kind, key), value)
         self.stats.puts += 1
-        path = self._path(kind, key)
-        tmp = path.with_name(
-            f".{key}.{os.getpid()}.{next(_tmp_counter)}.tmp")
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            with open(tmp, "wb") as fh:
-                pickle.dump((_HEADER, kind, value), fh,
-                            protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except (OSError, pickle.PicklingError):
+            blob = pickle.dumps((_HEADER, kind, value),
+                                protocol=pickle.HIGHEST_PROTOCOL)
+            self.backend.store(kind, key, blob)
+        except (BackendError, pickle.PicklingError):
             self.stats.errors += 1
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
 
     def contains(self, kind: str, key: str) -> bool:
         """Presence check (no payload decode, no hit/miss accounting)."""
-        return ((kind, key) in self._hot
-                or self._path(kind, key).is_file())
+        if (kind, key) in self._hot:
+            return True
+        try:
+            return self.backend.contains(kind, key)
+        except BackendError:
+            return False
 
     def _remember(self, hot_key: Tuple[str, str], value) -> None:
-        if len(self._hot) >= self.hot_limit:
-            self._hot.clear()
+        """Insert into the hot tier, evicting the least recently used
+        entries one at a time at ``hot_limit`` (never the whole tier —
+        a hot working set must survive a stream of cold inserts)."""
+        if hot_key in self._hot:
+            self._hot.move_to_end(hot_key)
+        else:
+            while len(self._hot) >= self.hot_limit:
+                self._hot.popitem(last=False)
+                self.stats.evictions += 1
         self._hot[hot_key] = value
 
     # ------------------------------------------------------------------
     # Maintenance (the ``repro cache`` verb).
     # ------------------------------------------------------------------
-    def _files(self) -> Iterator[Path]:
-        if not self.base.is_dir():
-            return
-        for path in self.base.rglob("*.pkl"):
-            if path.is_file():
-                yield path
-
     def info(self) -> StoreInfo:
-        """Entry/byte counts of the disk tier, split per artifact kind."""
-        info = StoreInfo(root=str(self.root))
-        for path in self._files():
-            kind = path.relative_to(self.base).parts[0]
-            try:
-                info.bytes += path.stat().st_size
-            except OSError:
-                continue
-            info.entries += 1
-            info.kinds[kind] = info.kinds.get(kind, 0) + 1
-        return info
+        """Entry/byte counts of the persistent tier, per artifact kind."""
+        try:
+            return self.backend.info()
+        except BackendError:
+            return StoreInfo(root=str(self.root))
 
     def clear(self) -> int:
-        """Drop both tiers; returns the number of disk entries removed."""
-        removed = sum(1 for _ in self._files())
+        """Drop both tiers; returns the number of entries removed."""
         self._hot.clear()
-        shutil.rmtree(self.base, ignore_errors=True)
-        return removed
+        try:
+            return self.backend.clear()
+        except BackendError:
+            return 0
 
     def gc(self, max_age_days: float = 30.0) -> Tuple[int, int]:
-        """Remove disk artifacts older than *max_age_days* (by mtime);
+        """Remove persistent artifacts older than *max_age_days*;
         returns ``(entries_removed, bytes_freed)``.  The hot tier is
-        dropped too — it may alias removed entries.  Also sweeps
-        orphaned ``*.tmp`` files left by writers killed mid-``put``
-        (anything older than an hour is certainly not in flight)."""
-        cutoff = time.time() - max_age_days * 86400.0
-        removed = 0
-        freed = 0
-        for path in list(self._files()):
-            try:
-                stat = path.stat()
-                if stat.st_mtime < cutoff:
-                    os.unlink(path)
-                    removed += 1
-                    freed += stat.st_size
-            except OSError:
-                continue
-        if self.base.is_dir():
-            tmp_cutoff = max(cutoff, time.time() - 3600.0)
-            for path in list(self.base.rglob("*.tmp")):
-                try:
-                    stat = path.stat()
-                    if stat.st_mtime < tmp_cutoff:
-                        os.unlink(path)
-                        freed += stat.st_size
-                except OSError:
-                    continue
+        dropped too — it may alias removed entries."""
         self._hot.clear()
-        return removed, freed
+        try:
+            return self.backend.gc(max_age_days)
+        except BackendError:
+            return 0, 0
+
+    def close(self) -> None:
+        """Release the backend's connections/handles (idempotent)."""
+        self.backend.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<ArtifactStore {self.root}>"
+        return f"<ArtifactStore {self.spec}>"
 
 
 def resolve_store(store="auto") -> Optional[ArtifactStore]:
     """Normalise a store argument into an ``ArtifactStore`` or ``None``.
 
     ``"auto"`` opens the environment-selected default (``None`` when
-    ``$REPRO_STORE`` disables it); ``None``/``False`` disable; a path
+    ``$REPRO_STORE`` disables it); ``None``/``False`` disable; a spec
+    (path, ``sqlite:PATH``, ``tcp://HOST:PORT``) or a live backend
     opens a store there; an ``ArtifactStore`` passes through.
     """
     if store is None or store is False:
@@ -295,6 +293,6 @@ def resolve_store(store="auto") -> Optional[ArtifactStore]:
     if isinstance(store, ArtifactStore):
         return store
     if store == "auto" or store is True:
-        root = default_store_dir()
-        return ArtifactStore(root) if root is not None else None
+        spec = default_store_spec()
+        return ArtifactStore(spec) if spec is not None else None
     return ArtifactStore(store)

@@ -1,0 +1,251 @@
+"""The thin TCP store tier: ``repro store serve`` and its client.
+
+A :class:`StoreServer` wraps any local backend (directory or sqlite)
+and serves it over the framed-pickle wire protocol
+(:mod:`repro.wire`); a :class:`NetworkBackend` is the matching client,
+plugging into :class:`~repro.store.artifacts.ArtifactStore` like any
+other medium.  Together they give a sweep cluster one shared artifact
+medium across *nodes*: remote workers write identification results
+through ``tcp://leader:port`` while the leader reads them back out of
+the same underlying file tree or database.
+
+The server relays opaque blobs — artifact payloads are never unpickled
+server-side, so the policy layer's schema/corruption handling runs
+only in the clients that actually consume the bytes.  Each connection
+is served by a daemon thread and may issue any number of requests;
+client operations reconnect once on a dropped socket, then degrade to
+:class:`~repro.store.backend.BackendError` (which the policy layer
+counts as a miss/dropped write — the fabric keeps working, just
+colder).
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from typing import Iterator, Optional, Tuple
+
+from ..wire import WireError, connect, parse_address, recv_msg, send_msg
+from .backend import BackendError, StoreBackend, StoreInfo
+
+#: Default port of ``repro store serve`` (and of ``tcp://HOST`` specs
+#: that omit one).
+DEFAULT_PORT = 9723
+
+#: Socket timeout for client operations, seconds.
+CLIENT_TIMEOUT = 30.0
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    def handle(self):  # noqa: D102 - socketserver plumbing
+        backend = self.server.backend      # type: ignore[attr-defined]
+        sock = self.request
+        sock.settimeout(self.server.idle_timeout)  # type: ignore
+        while True:
+            try:
+                message = recv_msg(sock)
+            except (WireError, OSError):
+                return
+            if message is None:            # clean disconnect
+                return
+            try:
+                reply = ("ok", self._dispatch(backend, message))
+            except (BackendError, WireError) as exc:
+                reply = ("err", str(exc))
+            except Exception as exc:       # never kill the server
+                reply = ("err", f"{type(exc).__name__}: {exc}")
+            try:
+                send_msg(sock, reply)
+            except (WireError, OSError):
+                return
+
+    @staticmethod
+    def _dispatch(backend: StoreBackend, message: Tuple):
+        op = message[0]
+        if op == "load":
+            return backend.load(message[1], message[2])
+        if op == "store":
+            backend.store(message[1], message[2], message[3])
+            return None
+        if op == "contains":
+            return backend.contains(message[1], message[2])
+        if op == "delete":
+            backend.delete(message[1], message[2])
+            return None
+        if op == "keys":
+            return list(backend.keys())
+        if op == "info":
+            info = backend.info()
+            return (info.root, info.entries, info.bytes, info.kinds)
+        if op == "clear":
+            return backend.clear()
+        if op == "gc":
+            return backend.gc(message[1])
+        if op == "ping":
+            return {"spec": backend.spec}
+        raise WireError(f"unknown store op {op!r}")
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class StoreServer:
+    """Serve a local backend over TCP (the ``repro store serve`` verb).
+
+    ``StoreServer(backend).start()`` binds and serves in a daemon
+    thread (tests, embedding in a leader process);
+    :meth:`serve_forever` blocks instead (the CLI).  ``port=0`` picks
+    an ephemeral port, reported by :attr:`address`.
+    """
+
+    def __init__(self, backend: StoreBackend, host: str = "0.0.0.0",
+                 port: int = DEFAULT_PORT,
+                 idle_timeout: float = 600.0) -> None:
+        """Bind immediately; serving starts with :meth:`start` or
+        :meth:`serve_forever`."""
+        self.backend = backend
+        self._server = _Server((host, port), _Handler)
+        self._server.backend = backend           # type: ignore[attr-defined]
+        self._server.idle_timeout = idle_timeout  # type: ignore
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> str:
+        """The bound ``HOST:PORT`` (resolves ``port=0`` bindings)."""
+        host, port = self._server.server_address[:2]
+        return f"{host}:{port}"
+
+    @property
+    def spec(self) -> str:
+        """Client spec for this server, with a connectable host: the
+        wildcard bind address is rewritten to the loopback."""
+        host, port = self._server.server_address[:2]
+        if host in ("0.0.0.0", "::"):
+            host = "127.0.0.1"
+        return f"tcp://{host}:{port}"
+
+    def start(self) -> "StoreServer":
+        """Serve in a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, kwargs={"poll_interval": 0.1},
+            name="repro-store-server", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self._server.serve_forever(poll_interval=0.5)
+
+    def shutdown(self) -> None:
+        """Stop serving and close the listening socket (idempotent)."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+class NetworkBackend(StoreBackend):
+    """TCP client medium: every operation is one framed round-trip.
+
+    Holds a persistent connection (re-established once per operation
+    after a drop); concurrent use from one process is serialised by a
+    lock — worker *processes* each open their own client, which is the
+    actual concurrency path of the fabric.
+    """
+
+    def __init__(self, spec: str, timeout: float = CLIENT_TIMEOUT) -> None:
+        """Parse ``tcp://HOST:PORT`` (port defaults to
+        :data:`DEFAULT_PORT`); connects lazily on first use."""
+        host, port = parse_address(spec, default_port=DEFAULT_PORT)
+        self.address = f"{host}:{port}"
+        self.spec = f"tcp://{self.address}"
+        self.root = self.spec
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+
+    # ------------------------------------------------------------------
+    def _roundtrip(self, message: Tuple):
+        with self._lock:
+            for attempt in (0, 1):
+                if self._sock is None:
+                    try:
+                        self._sock = connect(self.address, self.timeout)
+                    except OSError as exc:
+                        raise BackendError(
+                            f"cannot reach store {self.spec}: {exc}")
+                try:
+                    send_msg(self._sock, message)
+                    reply = recv_msg(self._sock)
+                    if reply is None:
+                        raise WireError("server closed the connection")
+                    break
+                except (WireError, OSError) as exc:
+                    self._close_locked()
+                    if attempt:       # second strike: give up
+                        raise BackendError(
+                            f"store {self.spec} unavailable: {exc}")
+        status, value = reply
+        if status != "ok":
+            raise BackendError(f"store {self.spec}: {value}")
+        return value
+
+    def _close_locked(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    # ------------------------------------------------------------------
+    def load(self, kind: str, key: str):
+        """Fetch one blob (``None`` on a remote miss)."""
+        return self._roundtrip(("load", kind, key))
+
+    def store(self, kind: str, key: str, blob: bytes) -> None:
+        """Ship one blob to the server."""
+        self._roundtrip(("store", kind, key, blob))
+
+    def contains(self, kind: str, key: str) -> bool:
+        """Remote presence check (no blob transfer)."""
+        return bool(self._roundtrip(("contains", kind, key)))
+
+    def delete(self, kind: str, key: str) -> None:
+        """Best-effort remote removal (unreachable server: no-op)."""
+        try:
+            self._roundtrip(("delete", kind, key))
+        except BackendError:
+            pass
+
+    def keys(self) -> Iterator[Tuple[str, str]]:
+        """Every remote ``(kind, key)`` pair, in one reply."""
+        yield from [tuple(pair) for pair in self._roundtrip(("keys",))]
+
+    def info(self) -> StoreInfo:
+        """The server backend's counts (its root, not the client's)."""
+        root, entries, size, kinds = self._roundtrip(("info",))
+        return StoreInfo(root=root, entries=entries, bytes=size,
+                         kinds=dict(kinds))
+
+    def clear(self) -> int:
+        """Clear the server's medium; returns entries removed."""
+        return int(self._roundtrip(("clear",)))
+
+    def gc(self, max_age_days: float) -> Tuple[int, int]:
+        """Run the age sweep server-side."""
+        removed, freed = self._roundtrip(("gc", max_age_days))
+        return int(removed), int(freed)
+
+    def ping(self) -> dict:
+        """Server liveness + its backend spec (connection check)."""
+        return dict(self._roundtrip(("ping",)))
+
+    def close(self) -> None:
+        """Drop the client connection (reopened lazily on next use)."""
+        with self._lock:
+            self._close_locked()

@@ -1,0 +1,106 @@
+"""Length-prefixed pickle frames: the shared wire format.
+
+Both network tiers of the distributed fabric — the artifact-store
+server (:mod:`repro.store.net`) and the sweep cluster leader
+(:mod:`repro.cluster`) — exchange small control tuples over TCP.  This
+module is the single place the framing lives: a 4-byte big-endian
+length prefix followed by a pickled message.  Messages are plain
+tuples of strings, numbers, ``bytes`` blobs and nested tuples — the
+artifact payloads themselves travel as opaque byte strings and are
+never unpickled by the server.
+
+The protocol is for a *trusted* network (your own cluster): pickle is
+not hardened against adversarial peers, exactly like the on-disk store
+tier is not hardened against adversarial files.  A magic preamble on
+every frame rejects accidental cross-protocol connections early.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Optional, Tuple
+
+#: Frame preamble: rejects accidental connections from foreign
+#: protocols (an HTTP client, a stray health checker) with a clean
+#: error instead of a pickle traceback.
+MAGIC = b"rpw1"
+
+#: Frames above this size are refused — artifact payloads are small
+#: pickles (node sets, stats dicts); anything larger is a protocol
+#: error, not a legitimate message.
+MAX_FRAME = 256 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class WireError(ConnectionError):
+    """A malformed frame or a peer that vanished mid-message."""
+
+
+def send_msg(sock: socket.socket, message: Tuple) -> None:
+    """Send one framed message (magic + length + pickle) on *sock*."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME:
+        raise WireError(f"frame of {len(payload)} bytes exceeds "
+                        f"MAX_FRAME ({MAX_FRAME})")
+    sock.sendall(MAGIC + _LEN.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Exactly *count* bytes, or ``None`` on a clean EOF at a frame
+    boundary (mid-frame EOF raises :class:`WireError`)."""
+    chunks = []
+    got = 0
+    while got < count:
+        chunk = sock.recv(min(count - got, 1 << 20))
+        if not chunk:
+            if got == 0:
+                return None
+            raise WireError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(sock: socket.socket) -> Optional[Tuple]:
+    """Receive one framed message, or ``None`` on a clean disconnect."""
+    head = _recv_exact(sock, len(MAGIC) + _LEN.size)
+    if head is None:
+        return None
+    if head[:len(MAGIC)] != MAGIC:
+        raise WireError(f"bad frame magic {head[:len(MAGIC)]!r}")
+    (length,) = _LEN.unpack(head[len(MAGIC):])
+    if length > MAX_FRAME:
+        raise WireError(f"frame of {length} bytes exceeds MAX_FRAME")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise WireError("peer closed the connection mid-frame")
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:       # pickle raises a small zoo here
+        raise WireError(f"undecodable frame: {exc}")
+
+
+def parse_address(text: str, default_port: int = 0) -> Tuple[str, int]:
+    """``HOST:PORT`` (or bare ``HOST``) into a ``(host, port)`` pair."""
+    text = text.strip()
+    if text.startswith("tcp://"):
+        text = text[len("tcp://"):]
+    host, sep, port = text.rpartition(":")
+    if not sep:
+        return text or "127.0.0.1", default_port
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise ValueError(f"bad address {text!r} (expected HOST:PORT)")
+
+
+def connect(address: str, timeout: float = 30.0) -> socket.socket:
+    """A connected TCP socket to ``HOST:PORT`` with *timeout* applied
+    to every subsequent send/recv as well as the connect itself."""
+    host, port = parse_address(address)
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(timeout)
+    return sock

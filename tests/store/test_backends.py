@@ -1,0 +1,157 @@
+"""Backend conformance suite: every medium honours the same contract.
+
+One parametrized fixture yields a directory backend, a WAL-mode SQLite
+backend and a network backend (a live ``repro store serve`` loop over
+SQLite), and every test in this file runs against all three — blob
+round-trips, enumeration, maintenance, corruption tolerance through
+``ArtifactStore``, and multi-process writer safety.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.store import (
+    ArtifactStore,
+    DirectoryBackend,
+    NetworkBackend,
+    SQLiteBackend,
+    StoreServer,
+    open_backend,
+)
+
+
+@pytest.fixture(params=["directory", "sqlite", "network"])
+def backend(request, tmp_path):
+    """One live backend per medium (network = client over a real
+    in-process store server with a SQLite medium behind it)."""
+    if request.param == "directory":
+        medium = DirectoryBackend(tmp_path / "tree")
+        yield medium
+        medium.close()
+    elif request.param == "sqlite":
+        medium = SQLiteBackend(tmp_path / "store.sqlite")
+        yield medium
+        medium.close()
+    else:
+        served = SQLiteBackend(tmp_path / "served.sqlite")
+        server = StoreServer(served, host="127.0.0.1", port=0).start()
+        client = NetworkBackend(server.spec)
+        yield client
+        client.close()
+        server.shutdown()
+        served.close()
+
+
+KEY = "ab" * 32
+
+
+class TestConformance:
+    def test_roundtrip(self, backend):
+        assert backend.load("app", KEY) is None
+        backend.store("app", KEY, b"payload-bytes")
+        assert backend.load("app", KEY) == b"payload-bytes"
+
+    def test_contains_and_delete(self, backend):
+        assert not backend.contains("search", KEY)
+        backend.store("search", KEY, b"x")
+        assert backend.contains("search", KEY)
+        backend.delete("search", KEY)
+        assert not backend.contains("search", KEY)
+        backend.delete("search", KEY)  # idempotent
+
+    def test_overwrite_wins(self, backend):
+        backend.store("app", KEY, b"old")
+        backend.store("app", KEY, b"new")
+        assert backend.load("app", KEY) == b"new"
+
+    def test_keys_enumerates_all_kinds(self, backend):
+        backend.store("app", KEY, b"a")
+        backend.store("search", KEY, b"b")
+        assert sorted(backend.keys()) == [("app", KEY), ("search", KEY)]
+
+    def test_info_counts_entries_and_kinds(self, backend):
+        backend.store("app", KEY, b"abcd")
+        backend.store("search", KEY, b"efgh")
+        info = backend.info()
+        assert info.entries == 2
+        assert info.bytes >= 8
+        assert info.kinds == {"app": 1, "search": 1}
+
+    def test_clear(self, backend):
+        backend.store("app", KEY, b"a")
+        backend.store("search", KEY, b"b")
+        assert backend.clear() == 2
+        assert backend.info().entries == 0
+
+    def test_gc_drops_old_keeps_new(self, backend):
+        backend.store("app", KEY, b"fresh")
+        removed, _freed = backend.gc(max_age_days=30.0)
+        assert removed == 0
+        assert backend.load("app", KEY) == b"fresh"
+        removed, freed = backend.gc(max_age_days=0.0)
+        assert removed == 1
+        assert freed >= 5
+        assert backend.load("app", KEY) is None
+
+    def test_spec_reopens_same_medium(self, backend):
+        backend.store("app", KEY, b"shared")
+        reopened = open_backend(backend.spec)
+        try:
+            assert reopened.load("app", KEY) == b"shared"
+        finally:
+            reopened.close()
+
+    def test_corrupt_blob_is_a_miss_through_the_store(self, backend):
+        # Policy (header check, corruption-is-a-miss) lives above the
+        # backend, so every medium inherits it identically.
+        store = ArtifactStore(backend)
+        backend.store("app", KEY, b"not a pickled artifact")
+        assert store.get("app", KEY) is None
+        assert store.stats.errors == 1
+        assert store.stats.misses == 1
+        assert not backend.contains("app", KEY)  # dropped for rewrite
+
+    def test_foreign_schema_is_a_miss(self, backend):
+        store = ArtifactStore(backend)
+        blob = pickle.dumps((("other-tool", 9), "app", {"v": 1}))
+        backend.store("app", KEY, blob)
+        assert store.get("app", KEY) is None
+        assert store.stats.errors == 1
+
+    def test_concurrent_writers_are_safe(self, backend):
+        ctx = multiprocessing.get_context()
+        workers = [
+            ctx.Process(target=_hammer, args=(backend.spec, lane))
+            for lane in range(2)
+        ]
+        try:
+            for proc in workers:
+                proc.start()
+        except OSError:
+            pytest.skip("no multiprocessing in this environment")
+        for proc in workers:
+            proc.join(timeout=60)
+        assert all(proc.exitcode == 0 for proc in workers)
+        store = ArtifactStore(backend)
+        for lane in range(2):
+            for i in range(25):
+                key = f"{lane:02d}{i:02d}".ljust(64, "e")
+                assert store.get("app", key) == {"lane": lane, "i": i}
+        # Both lanes also raced on one shared key with identical
+        # content (the content-addressed case): any winner is correct.
+        assert store.get("app", "f" * 64) == {"shared": True}
+
+
+def _hammer(spec: str, lane: int) -> None:
+    """Subprocess body for the concurrent-writer test (module level so
+    it pickles under any multiprocessing start method)."""
+    store = ArtifactStore(spec)
+    for i in range(25):
+        key = f"{lane:02d}{i:02d}".ljust(64, "e")
+        store.put("app", key, {"lane": lane, "i": i})
+        store.put("app", "f" * 64, {"shared": True})
+    store.close()

@@ -29,6 +29,15 @@ MODULES = [
     "repro.interp",
     "repro.interp.batch",
     "repro.interp.compile",
+    "repro.store",
+    "repro.store.backend",
+    "repro.store.sqlite",
+    "repro.store.net",
+    "repro.cluster",
+    "repro.cluster.leader",
+    "repro.cluster.worker",
+    "repro.wire",
+    "repro.core.parallel",
 ]
 
 #: Anything shorter than this is a label, not documentation.
