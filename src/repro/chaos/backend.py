@@ -1,0 +1,146 @@
+"""A fault-injecting wrapper around any :class:`StoreBackend`.
+
+:class:`FaultyBackend` sits between a real medium and its consumer —
+client-side (wrapping a ``NetworkBackend`` inside an
+``ArtifactStore``) or server-side (wrapping the backend a
+``StoreServer`` serves, so every connected client sees the same
+seeded fault schedule).  Each operation first asks the
+:class:`~repro.chaos.plan.FaultPlan` what to inject at the ``store``
+site, with the operation name (``load``/``store``/``contains``/...)
+as the op key:
+
+* ``error`` → raise :class:`~repro.store.backend.BackendError`
+  (an answering-but-failing medium: disk full, rejected request);
+* ``unavailable`` → raise
+  :class:`~repro.store.backend.StoreUnavailable` (medium gone);
+* ``delay`` → sleep ``delay_s`` before the operation (slow disk,
+  saturated link);
+* ``corrupt`` → run the operation, then bit-flip the blob a ``load``
+  returned (torn write, bad sector) — the policy layer must read it
+  as a miss, never as wrong data.
+
+Everything else delegates untouched, so a zero-fault plan makes the
+wrapper a (cheap) identity layer — which is what the chaos benchmark
+gates.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator, Optional, Tuple
+
+from ..store.backend import (
+    BackendError,
+    StoreBackend,
+    StoreInfo,
+    StoreUnavailable,
+)
+from .plan import FaultPlan, FaultSpec
+
+__all__ = ["FaultyBackend"]
+
+
+class FaultyBackend(StoreBackend):
+    """Inject a plan's ``store``-site faults in front of *inner*.
+
+    ``injected`` counts faults actually injected (delays included);
+    the wrapper is transparent for anything the plan leaves alone.
+    """
+
+    def __init__(self, inner: StoreBackend, plan: FaultPlan) -> None:
+        """Wrap *inner*; the spec (and thus reconnect identity) is the
+        inner backend's — a FaultyBackend is an in-process veneer,
+        never something a worker reopens by spec."""
+        self.inner = inner
+        self.plan = plan
+        self.spec = inner.spec
+        self.root = getattr(inner, "root", inner.spec)
+        self.injected = 0
+
+    # ------------------------------------------------------------------
+    def _faults(self, op: str) -> Optional[FaultSpec]:
+        """Apply pre-operation faults for *op*; returns a ``corrupt``
+        spec to apply post-operation, if one was drawn."""
+        corrupt: Optional[FaultSpec] = None
+        for spec in self.plan.draw("store", op):
+            self.injected += 1
+            if spec.kind == "delay":
+                time.sleep(spec.delay_s)
+            elif spec.kind == "unavailable":
+                raise StoreUnavailable(
+                    f"chaos: injected outage on {op} ({self.spec})")
+            elif spec.kind == "corrupt":
+                corrupt = spec
+            else:                          # "error"
+                raise BackendError(
+                    f"chaos: injected {spec.kind} on {op} "
+                    f"({self.spec})")
+        return corrupt
+
+    @staticmethod
+    def _mangle(blob: bytes) -> bytes:
+        """Deterministically damage *blob* (flip one mid-payload byte
+        and truncate the tail) — enough that the policy layer's schema
+        check must reject it."""
+        if not blob:
+            return b"\xff"
+        cut = max(1, len(blob) - len(blob) // 4)
+        middle = cut // 2
+        damaged = bytearray(blob[:cut])
+        damaged[middle] ^= 0xFF
+        return bytes(damaged)
+
+    # ------------------------------------------------------------------
+    def load(self, kind: str, key: str):
+        """Inner load, possibly failed, delayed or corrupted."""
+        corrupt = self._faults("load")
+        blob = self.inner.load(kind, key)
+        if corrupt is not None and blob is not None:
+            return self._mangle(blob)
+        return blob
+
+    def store(self, kind: str, key: str, blob: bytes) -> None:
+        """Inner store, possibly failed or delayed (never corrupted —
+        a corrupt *write* would poison the medium for fault-free
+        readers; corruption is injected on the read path)."""
+        self._faults("store")
+        self.inner.store(kind, key, blob)
+
+    def contains(self, kind: str, key: str) -> bool:
+        """Inner contains, possibly failed or delayed."""
+        self._faults("contains")
+        return self.inner.contains(kind, key)
+
+    def delete(self, kind: str, key: str) -> None:
+        """Inner delete, possibly failed or delayed."""
+        self._faults("delete")
+        self.inner.delete(kind, key)
+
+    def keys(self) -> Iterator[Tuple[str, str]]:
+        """Inner key iteration, possibly failed or delayed."""
+        self._faults("keys")
+        yield from self.inner.keys()
+
+    def info(self) -> StoreInfo:
+        """Inner info, possibly failed or delayed."""
+        self._faults("info")
+        return self.inner.info()
+
+    def clear(self) -> int:
+        """Inner clear, possibly failed or delayed."""
+        self._faults("clear")
+        return self.inner.clear()
+
+    def gc(self, max_age_days: float) -> Tuple[int, int]:
+        """Inner gc, possibly failed or delayed."""
+        self._faults("gc")
+        return self.inner.gc(max_age_days)
+
+    def close(self) -> None:
+        """Close the inner medium (never fault-injected: teardown
+        must always succeed)."""
+        self.inner.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<FaultyBackend over {self.inner!r}, "
+                f"{self.injected} injected>")

@@ -1,0 +1,76 @@
+"""Wire-protocol fault injection: resets, truncated frames, stalls.
+
+:mod:`repro.wire` exposes one process-wide hook
+(:func:`repro.wire.set_fault_hook`) called before every frame is sent
+or received.  :func:`fault_hook` builds a hook from a
+:class:`~repro.chaos.plan.FaultPlan`'s ``wire``-site specs (ops
+``send``/``recv``):
+
+* ``reset`` — close the socket under the caller and raise, the moment
+  a peer vanishes mid-conversation;
+* ``truncate`` (send only) — ship a prefix of the real frame, then
+  close and raise: the peer reads a mid-frame EOF, the hardest wire
+  failure to get right;
+* ``stall`` — sleep ``delay_s`` before the frame moves (a saturated
+  or half-dead link), feeding the leader's unit deadlines.
+
+The hook is process-wide, so it also fires inside server handler
+threads — which is how the chaos runner breaks connections it never
+holds.  :func:`wire_faults` scopes installation to a ``with`` block
+and restores whatever hook was there before.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from contextlib import contextmanager
+from typing import Callable, Optional
+
+from ..wire import WireError, set_fault_hook
+from .plan import FaultPlan
+
+__all__ = ["fault_hook", "wire_faults"]
+
+
+def fault_hook(plan: FaultPlan) -> Callable:
+    """A :func:`repro.wire.set_fault_hook`-compatible hook injecting
+    *plan*'s ``wire``-site faults."""
+
+    def hook(sock: socket.socket, op: str,
+             frame: Optional[bytes]) -> None:
+        for spec in plan.draw("wire", op):
+            if spec.kind == "stall":
+                time.sleep(spec.delay_s)
+            elif spec.kind == "truncate" and op == "send" and frame:
+                try:
+                    sock.sendall(frame[:max(1, len(frame) // 2)])
+                    sock.close()
+                except OSError:
+                    pass
+                raise WireError(
+                    "chaos: injected truncated frame on send")
+            else:                          # "reset" (and recv-truncate)
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                raise WireError(
+                    f"chaos: injected connection reset on {op}")
+
+    return hook
+
+
+@contextmanager
+def wire_faults(plan: Optional[FaultPlan]):
+    """Install *plan*'s wire faults for the ``with`` scope (no-op when
+    *plan* is ``None`` or has no ``wire`` specs); restores the
+    previous hook on exit."""
+    armed = plan is not None and any(s.site == "wire"
+                                     for s in plan.specs)
+    previous = set_fault_hook(fault_hook(plan)) if armed else None
+    try:
+        yield
+    finally:
+        if armed:
+            set_fault_hook(previous)

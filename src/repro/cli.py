@@ -28,6 +28,10 @@ Subcommands:
   the whole stack (three backends, baseline vs rewritten, single vs
   batched lanes, verifier + selection checker), failures shrunk to
   minimal reproducers; ``--soak`` for open-ended runs;
+* ``chaos`` — seeded fault-injection soak (DESIGN.md §16): a
+  store-backed cluster sweep under injected store/wire/worker faults
+  plus a mid-run store-server restart, asserted bit-identical to the
+  fault-free serial run (exit 1 on any divergence);
 * ``afu`` — generate Verilog for the selected custom instructions;
 * ``cache`` — inspect or maintain the persistent artifact store;
 * ``store`` — run store services: ``repro store serve`` exports a
@@ -670,6 +674,54 @@ def cmd_store(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from .chaos import run_chaos
+
+    echo = (lambda line: print(line, file=sys.stderr)) \
+        if not args.quiet else None
+    workloads = tuple(_csv_list(args.workloads))
+    ports = []
+    for token in _csv_list(args.ports):
+        try:
+            nin, nout = token.lower().split("x")
+            ports.append((int(nin), int(nout)))
+        except ValueError:
+            raise SystemExit(f"bad --ports entry {token!r} "
+                             f"(expected NINxNOUT, e.g. 4x2)")
+    ninstrs = tuple(_csv_ints(args.ninstr))
+    algorithms = tuple(_csv_list(args.algos))
+    report = run_chaos(
+        seed=args.seed, workers=args.cluster, workloads=workloads,
+        ports=tuple(ports), ninstrs=ninstrs, algorithms=algorithms,
+        limit=args.limit, n=args.n, server=args.server,
+        unit_attempts=args.unit_attempts,
+        unit_deadline=args.unit_deadline,
+        cluster_deadline=args.deadline,
+        workdir=args.workdir, echo=echo)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        verdict = "OK" if report.ok else "FAILED"
+        print(f"chaos soak {verdict} (seed {report.seed}, "
+              f"server {report.server}, {report.workers} worker(s))")
+        print(f"  rows:      {report.rows} "
+              f"({'bit-identical' if report.rows_identical else 'DIVERGED'})")
+        keys = {True: "bit-identical", False: "DIVERGED",
+                None: "skipped (server down)"}[report.keys_identical]
+        print(f"  store:     keys {keys}; {report.retries} retrie(s), "
+              f"{report.store_errors} error(s), "
+              f"{report.degraded_events} degraded event(s)")
+        print(f"  injected:  {report.injected_store} store fault(s), "
+              f"{report.injected_wire} wire fault(s)")
+        failed = sorted(unit["index"] for unit in report.failed_units)
+        verdict = ("exactly the poison unit" if report.failed_expected
+                   else "UNEXPECTED")
+        print(f"  failed:    unit(s) {failed} ({verdict})")
+        for note in report.notes:
+            print(f"  note:      {note}")
+    return 0 if report.ok else 1
+
+
 def cmd_cache(args) -> int:
     store = _resolve_store_args(args)
     if store is None:
@@ -964,6 +1016,57 @@ def build_parser() -> argparse.ArgumentParser:
                    help="machine-readable campaign summary")
     _add_store(p)
     p.set_defaults(fn=cmd_fuzz)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection soak: a store-backed cluster "
+             "sweep under store/wire/worker faults, asserted "
+             "bit-identical to the fault-free run")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault-schedule seed (default 0); same seed, "
+                        "same faults")
+    p.add_argument("--cluster", type=int, default=2, metavar="N",
+                   help="local worker processes for the chaos sweep "
+                        "(default 2)")
+    p.add_argument("--workloads", default="fir,crc32",
+                   help="comma-separated registry names "
+                        "(default fir,crc32)")
+    p.add_argument("--ports", default="2x1,2x2,4x1,4x2",
+                   help="comma-separated NINxNOUT pairs "
+                        "(default 2x1,2x2,4x1,4x2)")
+    p.add_argument("--ninstr", default="2",
+                   help="comma-separated instruction budgets "
+                        "(default 2)")
+    p.add_argument("--algos", default="iterative,maxmiso",
+                   help="comma-separated algorithms (default "
+                        "iterative,maxmiso)")
+    p.add_argument("--n", type=int, default=16,
+                   help="profiling run size (default 16)")
+    p.add_argument("--limit", type=int, default=100000,
+                   help="max cuts considered per identification")
+    p.add_argument("--server", choices=["restart", "down", "up"],
+                   default="restart",
+                   help="store-server profile: restart it mid-sweep "
+                        "(retries must absorb the outage), leave it "
+                        "down (degraded mode must kick in), or leave "
+                        "it up (pure injected faults)")
+    p.add_argument("--unit-attempts", type=int, default=4,
+                   help="per-unit attempt cap before quarantine "
+                        "(default 4)")
+    p.add_argument("--unit-deadline", type=float, default=60.0,
+                   help="seconds a unit may sit on one worker before "
+                        "requeue (default 60)")
+    p.add_argument("--deadline", type=float, default=600.0,
+                   help="overall chaos-sweep deadline in seconds "
+                        "(default 600)")
+    p.add_argument("--workdir", default=None, metavar="DIR",
+                   help="keep the soak's stores here (default: a "
+                        "fresh temp dir)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report on stdout")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress progress lines on stderr")
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("afu", help="emit Verilog for selected AFUs")
     _add_common(p)

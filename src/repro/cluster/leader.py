@@ -13,13 +13,24 @@ the queue share a slow one cannot take.  Robustness invariants:
 * duplicate results for a unit (a worker that reported and then died,
   plus the requeued re-run) are benign: units are pure, so the copies
   are identical and the first one wins;
+* a unit whose function *raises* is quarantined, not fatal: the worker
+  reports ``("error", index, traceback, elapsed, name)`` and keeps
+  serving, the leader retries the unit up to ``max_attempts``
+  hand-outs, then records a structured failure (``UnitReport`` with
+  ``status="error"``) and the sweep finishes around it — one poison
+  unit can no longer cascade through the whole fleet;
+* a unit held past ``unit_deadline`` seconds (hung worker) is requeued
+  by :meth:`ClusterLeader.expire_deadlines` under the same attempts
+  cap, and an overall ``deadline`` on :func:`run_cluster` abandons
+  whatever is unresolved (recorded as failures) instead of hanging;
 * :func:`run_cluster` is never stranded — if every worker dies (or
   none could be forked), the leader runs the leftovers in-process,
   so the cluster path degrades to serial, never to a hang.
 
-Results are reassembled in unit order, bit-identical to a serial map
-over the payloads, with per-unit telemetry
-(:class:`~repro.core.parallel.UnitReport`) in completion order.
+Results are reassembled in unit order (``None`` for failed units),
+bit-identical to a serial map over the payloads, with per-unit
+telemetry (:class:`~repro.core.parallel.UnitReport`) in completion
+order.
 """
 
 from __future__ import annotations
@@ -28,6 +39,7 @@ import heapq
 import socketserver
 import threading
 import time
+import traceback
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core.parallel import UnitReport
@@ -95,6 +107,12 @@ class _Handler(socketserver.BaseRequestHandler):
                                     str(reporter))
                     claimed = None
                     send_msg(sock, ("ok",))
+                elif op == "error":
+                    _tag, index, error, elapsed, reporter = message
+                    leader.fail(index, str(error), elapsed,
+                                str(reporter))
+                    claimed = None
+                    send_msg(sock, ("ok",))
                 elif op == "ping":
                     send_msg(sock, ("pong",))
                 else:
@@ -120,16 +138,24 @@ class ClusterLeader:
                  size_hints: Optional[Sequence[float]] = None,
                  host: str = "127.0.0.1", port: int = 0,
                  store_spec: Optional[str] = None,
-                 idle_timeout: float = 3600.0) -> None:
+                 idle_timeout: float = 3600.0,
+                 max_attempts: int = 3,
+                 unit_deadline: Optional[float] = None) -> None:
         """Stage *payloads* for serving; call :meth:`start` to listen.
 
         ``port=0`` binds an ephemeral port (read it back from
         :attr:`address`).  *store_spec* is advisory metadata echoed to
         workers in the welcome (payloads carry their own store spec).
+        *max_attempts* caps how often one unit is handed out before it
+        is quarantined as failed; *unit_deadline* (seconds) is how long
+        a unit may stay outstanding on one worker before
+        :meth:`expire_deadlines` takes it back.
         """
         self.fn_path = fn_path
         self.store_spec = store_spec
         self.idle_timeout = idle_timeout
+        self.max_attempts = max(1, max_attempts)
+        self.unit_deadline = unit_deadline
         self._payloads = list(payloads)
         hints = (list(size_hints) if size_hints is not None
                  else [0.0] * len(self._payloads))
@@ -140,8 +166,11 @@ class ClusterLeader:
         self._pending = [(-self._hints[i], i)
                          for i in range(len(self._payloads))]
         heapq.heapify(self._pending)
+        #: index -> (worker, monotonic hand-out time)
         self._outstanding: dict = {}
         self._results: dict = {}
+        self._failed: dict = {}
+        self._attempts: dict = {}
         self._reports: List[UnitReport] = []
         self._lock = threading.Lock()
         self._done = threading.Event()
@@ -159,44 +188,149 @@ class ClusterLeader:
         Returns ``("unit", index, payload)``, or ``("wait", None,
         None)`` when the queue is empty but units are still
         outstanding elsewhere (one may be requeued yet), or
-        ``("done", None, None)`` when every unit has a result.
+        ``("done", None, None)`` when every unit is resolved (result
+        or recorded failure).  Every hand-out counts one attempt
+        against the unit's ``max_attempts`` budget.
         """
         with self._lock:
             if self._pending:
                 _neg, index = heapq.heappop(self._pending)
-                self._outstanding[index] = worker
+                self._attempts[index] = self._attempts.get(index, 0) + 1
+                self._outstanding[index] = (worker, time.monotonic())
                 return "unit", index, self._payloads[index]
-            if len(self._results) >= len(self._payloads):
+            if self._resolved_locked():
                 return "done", None, None
             return "wait", None, None
+
+    def _resolved_locked(self) -> bool:
+        return (len(self._results) + len(self._failed)
+                >= len(self._payloads))
+
+    def _check_done_locked(self) -> None:
+        if self._resolved_locked():
+            self._done.set()
 
     def complete(self, index: int, result, elapsed: float,
                  worker: str) -> None:
         """Record *result* for unit *index* (duplicates are ignored —
-        idempotent units make re-runs after a requeue identical)."""
+        idempotent units make re-runs after a requeue identical).  A
+        late success from a worker that outlived the unit's failure
+        verdict supersedes it: a real result always beats a failure
+        record."""
         with self._lock:
             self._outstanding.pop(index, None)
             if index in self._results:
                 return
+            if index in self._failed:
+                del self._failed[index]
+                self._reports = [r for r in self._reports
+                                 if not (r.index == index
+                                         and r.status != "ok")]
             self._results[index] = result
             self._reports.append(UnitReport(
                 index=index, size_hint=self._hints[index],
-                elapsed_s=float(elapsed), worker=worker))
-            if len(self._results) >= len(self._payloads):
-                self._done.set()
+                elapsed_s=float(elapsed), worker=worker,
+                attempts=self._attempts.get(index, 1)))
+            self._check_done_locked()
 
-    def requeue(self, index: int) -> None:
-        """Return a lost unit (worker died mid-run) to the queue."""
+    def fail(self, index: int, error: str, elapsed: float,
+             worker: str) -> None:
+        """Record one failed execution of unit *index*.
+
+        Requeues the unit while hand-outs remain under
+        ``max_attempts``; at the cap the unit is quarantined — a
+        structured ``status="error"`` report with the last traceback —
+        and the run finishes around it."""
         with self._lock:
             self._outstanding.pop(index, None)
-            if index not in self._results:
+            if index in self._results or index in self._failed:
+                return
+            if self._attempts.get(index, 0) < self.max_attempts:
                 heapq.heappush(self._pending,
                                (-self._hints[index], index))
+                return
+            self._record_failure_locked(index, error, elapsed, worker)
+
+    def _record_failure_locked(self, index: int, error: str,
+                               elapsed: float, worker: str) -> None:
+        self._failed[index] = str(error)
+        self._reports.append(UnitReport(
+            index=index, size_hint=self._hints[index],
+            elapsed_s=float(elapsed), worker=worker,
+            status="error", attempts=self._attempts.get(index, 0),
+            error=str(error)))
+        self._check_done_locked()
+
+    def requeue(self, index: int) -> None:
+        """Return a lost unit (worker died mid-run) to the queue —
+        under the same attempts cap as :meth:`fail`, so a unit that
+        kills every worker that touches it is eventually quarantined
+        instead of cycling forever."""
+        with self._lock:
+            self._outstanding.pop(index, None)
+            if index in self._results or index in self._failed:
+                return
+            if self._attempts.get(index, 0) < self.max_attempts:
+                heapq.heappush(self._pending,
+                               (-self._hints[index], index))
+                return
+            self._record_failure_locked(
+                index, f"unit lost with worker after "
+                       f"{self._attempts.get(index, 0)} attempt(s)",
+                0.0, "leader")
+
+    def expire_deadlines(self) -> int:
+        """Requeue units outstanding past ``unit_deadline`` (hung or
+        stalled worker); returns how many were taken back.  The
+        original worker's late result, if it ever lands, is absorbed
+        by :meth:`complete`'s dedup."""
+        if self.unit_deadline is None:
+            return 0
+        now = time.monotonic()
+        expired = 0
+        with self._lock:
+            for index, (worker, since) in list(self._outstanding.items()):
+                if now - since < self.unit_deadline:
+                    continue
+                self._outstanding.pop(index, None)
+                expired += 1
+                if index in self._results or index in self._failed:
+                    continue
+                if self._attempts.get(index, 0) < self.max_attempts:
+                    heapq.heappush(self._pending,
+                                   (-self._hints[index], index))
+                else:
+                    self._record_failure_locked(
+                        index, f"unit deadline of "
+                               f"{self.unit_deadline}s exceeded on "
+                               f"{worker}", self.unit_deadline, worker)
+        return expired
+
+    def abandon(self, reason: str) -> int:
+        """Fail every unresolved unit with *reason* and finish the run
+        (the overall-deadline path); returns units abandoned."""
+        with self._lock:
+            self._pending = []
+            self._outstanding.clear()
+            abandoned = 0
+            for index in range(len(self._payloads)):
+                if index in self._results or index in self._failed:
+                    continue
+                self._record_failure_locked(index, reason, 0.0,
+                                            "leader")
+                abandoned += 1
+            self._done.set()
+            return abandoned
 
     def pending_count(self) -> int:
         """Units not yet handed out (outstanding ones excluded)."""
         with self._lock:
             return len(self._pending)
+
+    def failed(self) -> dict:
+        """``{index: error}`` for every quarantined unit so far."""
+        with self._lock:
+            return dict(self._failed)
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -229,27 +363,44 @@ class ClusterLeader:
 
         Used when no workers could be forked or all of them died:
         the leader claims and executes units itself until every unit
-        is done, briefly polling while units are outstanding on still
-        -connected remote workers.  Returns the units run inline.
+        is resolved, briefly polling while units are outstanding on
+        still-connected remote workers.  Inline units are quarantined
+        exactly like remote ones (an exception consumes one attempt,
+        never propagates), and a chaos plan's unit faults still apply
+        — minus process kills, which degrade to poison.  Returns the
+        units run inline successfully.
         """
+        from ..chaos.plan import plan_from_env
+
         fn = fn or resolve_callable(self.fn_path)
+        plan = plan_from_env()
         ran = 0
         while True:
             status, index, payload = self.take("leader-inline")
             if status == "done":
                 return ran
             if status == "wait":
+                self.expire_deadlines()
                 time.sleep(poll_s)
                 continue
             start = time.perf_counter()
-            result = fn(payload)
+            try:
+                if plan is not None:
+                    plan.check_unit(index, allow_kill=False)
+                result = fn(payload)
+            except Exception:
+                self.fail(index, traceback.format_exc(limit=20),
+                          time.perf_counter() - start, "leader-inline")
+                continue
             self.complete(index, result,
                           time.perf_counter() - start, "leader-inline")
             ran += 1
 
     def results(self) -> Tuple[List, List[UnitReport]]:
         """``(results in unit order, reports in completion order)`` —
-        call after :meth:`wait` returns true."""
+        call after :meth:`wait` returns true.  Quarantined units hold
+        ``None`` in the results list; their reports carry
+        ``status="error"``."""
         with self._lock:
             ordered = [self._results.get(i)
                        for i in range(len(self._payloads))]
@@ -274,6 +425,9 @@ def run_cluster(
     store_spec: Optional[str] = None,
     echo: Optional[Callable[[str], None]] = None,
     poll_s: float = 0.1,
+    max_attempts: int = 3,
+    unit_deadline: Optional[float] = None,
+    deadline: Optional[float] = None,
 ) -> Tuple[List, List[UnitReport]]:
     """Map *payloads* through a leader/worker cluster, in unit order.
 
@@ -281,14 +435,18 @@ def run_cluster(
     named by *fn_path*, forks *workers* local worker processes
     against it, and — when *listen* gives a ``HOST:PORT`` — also
     accepts remote ``repro worker --connect`` nodes on that address.
-    Blocks until every unit has a result and returns ``(results,
+    Blocks until every unit is resolved and returns ``(results,
     unit_reports)`` exactly like
-    :func:`~repro.core.parallel.scheduled_map`.
+    :func:`~repro.core.parallel.scheduled_map` — except that a unit
+    whose function failed on ``max_attempts`` hand-outs resolves to
+    ``None`` with a ``status="error"`` report instead of propagating.
 
-    Never hangs on worker loss: units lost to a dead worker are
-    requeued, and if no workers remain (or none could be forked) the
-    leftovers run in the calling process — degradation is to serial
-    execution, not to failure.
+    Never hangs: units lost to a dead worker are requeued (same
+    attempts cap), units outstanding past *unit_deadline* seconds are
+    taken back from their worker, an overall *deadline* (seconds)
+    abandons whatever is unresolved, and if no workers remain (or
+    none could be forked) the leftovers run in the calling process —
+    degradation is to serial execution, not to failure.
     """
     say = echo or (lambda _line: None)
     if not payloads:
@@ -298,7 +456,10 @@ def run_cluster(
         host, port = parse_address(listen, default_port=DEFAULT_PORT)
     leader = ClusterLeader(fn_path, payloads, size_hints=size_hints,
                            host=host, port=port,
-                           store_spec=store_spec).start()
+                           store_spec=store_spec,
+                           max_attempts=max_attempts,
+                           unit_deadline=unit_deadline).start()
+    started = time.monotonic()
     procs: List = []
     try:
         if workers > 0:
@@ -320,6 +481,14 @@ def run_cluster(
             # Nothing will ever pull: run everything in-process.
             leader.run_pending_inline()
         while not leader.wait(timeout=poll_s):
+            leader.expire_deadlines()
+            if (deadline is not None
+                    and time.monotonic() - started >= deadline):
+                abandoned = leader.abandon(
+                    f"cluster deadline of {deadline}s exceeded")
+                say(f"cluster: overall deadline of {deadline}s "
+                    f"exceeded; abandoned {abandoned} unit(s)")
+                break
             if procs and not any(p.is_alive() for p in procs):
                 # Every local worker died (crash, OOM-kill).  Their
                 # closed sockets requeued whatever they held; finish
@@ -335,6 +504,11 @@ def run_cluster(
                 proc.terminate()
         leader.shutdown()
     results, reports = leader.results()
+    failed = leader.failed()
+    if failed:
+        say(f"cluster: {len(failed)} unit(s) failed after "
+            f"{max_attempts} attempt(s): "
+            f"{sorted(failed)}")
     return results, reports
 
 

@@ -12,21 +12,51 @@ trusted-network assumption the store server documents).
 Workers are stateless and disposable: a worker that crashes mid-unit
 costs nothing but that unit's recompute — the leader requeues it for
 the next puller.  Units are idempotent (content-addressed results), so
-the double execution a crash can cause is benign.
+the double execution a crash can cause is benign.  A unit whose
+*function* raises does not crash the worker: the traceback travels to
+the leader as an ``("error", ...)`` report and the worker keeps
+pulling — quarantining a poison unit is the leader's decision, not a
+fleet-wide cascade.
 """
 
 from __future__ import annotations
 
 import importlib
+import itertools
+import os
 import socket
 import time
+import traceback
 from typing import Callable, Optional
 
+from ..chaos.plan import plan_from_env
 from ..wire import WireError, connect, recv_msg, send_msg
 
 #: Seconds a worker sleeps when the leader says "wait" (queue empty
 #: but units still outstanding elsewhere — one may yet be requeued).
 WAIT_POLL_S = 0.05
+
+_name_counter = itertools.count()
+
+
+def default_worker_name() -> str:
+    """A worker name unique across hosts, processes *and* loops in one
+    process: ``host-pid-counter``.  (The previous ``id(object())``
+    scheme collided across forked processes — CPython reuses object
+    addresses — making ``UnitReport.worker`` telemetry ambiguous.)"""
+    return (f"{socket.gethostname()}-{os.getpid()}"
+            f"-{next(_name_counter)}")
+
+
+def _allow_kill() -> bool:
+    """True only in a forked/spawned child process — a chaos ``kill``
+    must never take down the main process (tests run ``worker_loop``
+    on threads; the CLI runs it in the foreground)."""
+    try:
+        import multiprocessing
+        return multiprocessing.parent_process() is not None
+    except (ImportError, AttributeError):
+        return False
 
 
 def resolve_callable(path: str) -> Callable:
@@ -65,7 +95,9 @@ def worker_loop(address: str, name: Optional[str] = None,
     leader requeues whatever this worker held).
     """
     say = echo or (lambda _line: None)
-    worker_name = name or f"{socket.gethostname()}-{id(object()):x}"
+    worker_name = name or default_worker_name()
+    plan = plan_from_env()
+    allow_kill = _allow_kill()
     sock = connect(address, timeout=timeout)
     done = 0
     try:
@@ -90,7 +122,24 @@ def worker_loop(address: str, name: Optional[str] = None,
                 raise WireError(f"unexpected reply {message[0]!r}")
             _tag, index, payload = message
             start = time.perf_counter()
-            result = fn(payload)
+            try:
+                if plan is not None:
+                    plan.check_unit(index, allow_kill=allow_kill)
+                result = fn(payload)
+            except Exception:
+                # The unit is poison, not the worker: ship the
+                # traceback and keep serving — quarantine (or retry)
+                # is the leader's call.
+                elapsed = time.perf_counter() - start
+                send_msg(sock, ("error", index,
+                                traceback.format_exc(limit=20),
+                                elapsed, worker_name))
+                ack = recv_msg(sock)
+                if ack is None:
+                    break
+                say(f"{worker_name}: unit {index} failed "
+                    f"in {elapsed:.2f}s")
+                continue
             elapsed = time.perf_counter() - start
             send_msg(sock, ("result", index, result, elapsed,
                             worker_name))

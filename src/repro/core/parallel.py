@@ -83,12 +83,20 @@ def resolve_workers(workers: Optional[int] = None) -> int:
 
 @dataclass
 class UnitReport:
-    """Telemetry of one scheduled unit: who ran it, for how long."""
+    """Telemetry of one scheduled unit: who ran it, for how long.
+
+    ``status`` is ``"ok"`` for a completed unit or ``"error"`` for one
+    the cluster leader quarantined after exhausting its attempts
+    (``error`` then carries the last traceback/reason and ``attempts``
+    how many times it was handed out)."""
 
     index: int
     size_hint: float
     elapsed_s: float
     worker: str
+    status: str = "ok"
+    attempts: int = 1
+    error: Optional[str] = None
 
     def as_dict(self) -> dict:
         """Flat JSON-ready record (the sweep artifact's telemetry)."""

@@ -37,6 +37,7 @@ def rows_payload(outcome: SweepOutcome) -> dict:
             "cache_entries": outcome.cache_entries,
             "cache_stats": outcome.cache_stats,
             "unit_reports": outcome.unit_reports,
+            "failed_units": outcome.failed_units,
             "warm_workers": sorted({report["worker"] for report
                                     in outcome.unit_reports}),
         },

@@ -202,6 +202,12 @@ class SweepOutcome:
     cache_entries: int = 0
     code_memo: Optional[dict] = None
     unit_reports: List[dict] = field(default_factory=list)
+    #: Warm units the cluster quarantined (``status="error"`` reports:
+    #: index, worker, attempts, last traceback).  The sweep still
+    #: completes — the evaluation phase recomputes a failed unit's
+    #: obligations inline through the shared cache, so rows stay
+    #: bit-identical; this records that the fabric had to.
+    failed_units: List[dict] = field(default_factory=list)
 
     @property
     def sweep_s(self) -> float:
@@ -358,6 +364,9 @@ def run_sweep(
     backend: Optional[str] = None,
     cluster: Optional[int] = None,
     listen: Optional[str] = None,
+    unit_attempts: int = 3,
+    unit_deadline: Optional[float] = None,
+    cluster_deadline: Optional[float] = None,
 ) -> SweepOutcome:
     """Execute the whole grid; see the module docstring for the phases.
 
@@ -394,6 +403,14 @@ def run_sweep(
             cluster path even with ``cluster=0``); point the store at
             a shared medium (``tcp://`` / ``sqlite:``) so remote
             workers reach the same artifacts.
+        unit_attempts: cluster-path hand-out budget per warm unit
+            before it is quarantined into ``failed_units`` (the sweep
+            then recomputes its obligations during evaluation).
+        unit_deadline: seconds one warm unit may stay outstanding on
+            a cluster worker before the leader requeues it.
+        cluster_deadline: overall warm-phase deadline (seconds) on the
+            cluster path; unresolved units are abandoned into
+            ``failed_units`` instead of hanging the sweep.
     """
     say = echo or (lambda _line: None)
     outcome = SweepOutcome(spec=spec)
@@ -431,16 +448,48 @@ def run_sweep(
             unit_entries, reports = run_cluster(
                 "repro.explore.runner:_warm_unit", jobs,
                 size_hints=hints, workers=(cluster or 0),
-                listen=listen, store_spec=store_spec, echo=say)
+                listen=listen, store_spec=store_spec, echo=say,
+                max_attempts=unit_attempts,
+                unit_deadline=unit_deadline,
+                deadline=cluster_deadline)
         else:
             unit_entries, reports = scheduled_map(
                 _warm_unit, jobs, workers=workers, size_hints=hints)
         for entries in unit_entries:
-            cache.merge(entries)
+            if entries is not None:
+                cache.merge(entries)
         outcome.unit_reports = [report.as_dict() for report in reports]
+        outcome.failed_units = [report.as_dict() for report in reports
+                                if report.status != "ok"]
+        if outcome.failed_units:
+            # A quarantined unit left a hole in the warm tier.  The
+            # evaluation phase only recomputes entries it actually
+            # reads, and e.g. iterative selection never re-searches a
+            # block it did not select — so deep chain entries of a
+            # failed unit would stay missing and the store would
+            # diverge from a fault-free run.  Re-run the failed jobs
+            # directly, bypassing the dispatch fabric: a unit that
+            # failed in transit (killed worker, injected poison, blown
+            # deadline) heals here, while a genuinely poisonous
+            # compute raises again and stays quarantined.
+            healed = 0
+            for report in reports:
+                if report.status == "ok":
+                    continue
+                try:
+                    entries = _warm_unit(jobs[report.index])
+                except Exception:
+                    continue
+                cache.merge(entries)
+                healed += 1
+            if healed:
+                say(f"cluster: recomputed {healed} quarantined warm "
+                    f"unit(s) inline (quarantine report stands)")
         outcome.warm_s = time.perf_counter() - start
         say(f"warmed {len(jobs)} (block, constraint) unit(s) -> "
-            f"{len(cache)} cache entries in {outcome.warm_s:.2f}s")
+            f"{len(cache)} cache entries in {outcome.warm_s:.2f}s"
+            + (f" ({len(outcome.failed_units)} unit(s) failed)"
+               if outcome.failed_units else ""))
 
     models = {name: resolve_model(name) for name in spec.models}
     baselines: Dict[Tuple[str, str], tuple] = {}

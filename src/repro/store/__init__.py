@@ -29,6 +29,7 @@ from .backend import (
     BackendError,
     DirectoryBackend,
     StoreBackend,
+    StoreUnavailable,
     open_backend,
 )
 from .keys import (
@@ -50,6 +51,7 @@ __all__ = [
     "STORE_ENV",
     "StoreBackend", "DirectoryBackend", "SQLiteBackend",
     "NetworkBackend", "StoreServer", "open_backend", "BackendError",
+    "StoreUnavailable",
     "canonical_digest", "callable_fingerprint", "dfg_digest",
     "model_digest", "limits_key", "workload_key",
     "PIPELINE_VERSION", "SEARCH_VERSION",

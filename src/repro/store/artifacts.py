@@ -22,6 +22,12 @@ digest derived from content (:mod:`repro.store.keys`).  Properties:
   a *miss*, counted in ``stats.errors`` and removed, never an exception
   crossing the store boundary; an unreachable backend degrades the same
   way.
+* **Degraded mode.**  After ``degrade_after`` consecutive backend
+  failures the store flips to pass-through (reads are fast misses,
+  writes stay hot-tier-only) instead of paying a timeout per operation
+  against a dead medium; every ``probe_every``-th skipped operation
+  re-probes, and one success recovers.  Counted in
+  ``stats.degraded_skips`` / ``stats.degraded_events``.
 * **Statistics.**  ``stats`` counts hits (split by tier), misses, puts,
   errors and hot-tier evictions — the numbers ``repro cache stats``
   and the session benchmark report.
@@ -107,6 +113,11 @@ class StoreStats:
     disk_hits: int = 0
     errors: int = 0
     evictions: int = 0
+    #: Backend operations skipped while the store was degraded
+    #: (pass-through mode after consecutive backend failures).
+    degraded_skips: int = 0
+    #: Times the store *entered* degraded mode.
+    degraded_events: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -124,7 +135,8 @@ class StoreStats:
 class ArtifactStore:
     """Backend-agnostic content-addressed artifact store (module doc)."""
 
-    def __init__(self, root=None, hot_limit: int = 4096) -> None:
+    def __init__(self, root=None, hot_limit: int = 4096,
+                 degrade_after: int = 8, probe_every: int = 64) -> None:
         """Open the store over the medium *root* names.
 
         Args:
@@ -135,6 +147,15 @@ class ArtifactStore:
                 if the environment disables it).
             hot_limit: in-memory hot-tier entry bound, enforced by
                 one-at-a-time LRU eviction (artifacts stay persistent).
+            degrade_after: consecutive backend failures before the
+                store flips to degraded pass-through mode (reads are
+                fast misses, writes stay hot-tier-only) instead of
+                paying a timeout per operation against a dead medium;
+                ``0`` disables degradation.
+            probe_every: while degraded, every Nth skipped backend
+                operation goes through as a re-probe — one success
+                recovers the store, one failure re-arms the skip
+                window.
         """
         if root is None:
             root = default_store_spec()
@@ -145,8 +166,51 @@ class ArtifactStore:
         self.backend: StoreBackend = open_backend(root)
         self.root = getattr(self.backend, "root", self.backend.spec)
         self.hot_limit = hot_limit
+        self.degrade_after = degrade_after
+        self.probe_every = max(1, probe_every)
         self.stats = StoreStats()
         self._hot: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
+        self._consecutive_errors = 0
+        self._degraded = False
+        self._skips_since_probe = 0
+
+    @property
+    def degraded(self) -> bool:
+        """True while the store is in pass-through (degraded) mode."""
+        return self._degraded
+
+    # ------------------------------------------------------------------
+    # Degraded mode: after ``degrade_after`` consecutive backend
+    # failures the persistent tier is assumed down and skipped (a dead
+    # TCP medium would otherwise cost a timeout per operation for the
+    # rest of a sweep).  Count-based re-probing keeps recovery cheap
+    # and deterministic: every ``probe_every``-th skipped operation
+    # goes through, and a single success flips the store healthy again.
+    # ------------------------------------------------------------------
+    def _backend_gate(self) -> bool:
+        """True when the next backend operation should actually run."""
+        if not self._degraded:
+            return True
+        self._skips_since_probe += 1
+        if self._skips_since_probe >= self.probe_every:
+            self._skips_since_probe = 0
+            return True            # re-probe
+        self.stats.degraded_skips += 1
+        return False
+
+    def _backend_failed(self) -> None:
+        """Record one backend failure; may enter degraded mode."""
+        self._consecutive_errors += 1
+        if (not self._degraded and self.degrade_after > 0
+                and self._consecutive_errors >= self.degrade_after):
+            self._degraded = True
+            self._skips_since_probe = 0
+            self.stats.degraded_events += 1
+
+    def _backend_succeeded(self) -> None:
+        """Record one backend success; recovers from degraded mode."""
+        self._consecutive_errors = 0
+        self._degraded = False
 
     @property
     def spec(self) -> str:
@@ -180,12 +244,17 @@ class ArtifactStore:
             self.stats.hits += 1
             self.stats.memory_hits += 1
             return value
+        if not self._backend_gate():
+            self.stats.misses += 1
+            return None
         try:
             blob = self.backend.load(kind, key)
         except BackendError:
+            self._backend_failed()
             self.stats.errors += 1
             self.stats.misses += 1
             return None
+        self._backend_succeeded()
         if blob is None:
             self.stats.misses += 1
             return None
@@ -198,7 +267,10 @@ class ArtifactStore:
             # Drop it so the slot can be rewritten cleanly.
             self.stats.errors += 1
             self.stats.misses += 1
-            self.backend.delete(kind, key)
+            try:
+                self.backend.delete(kind, key)
+            except BackendError:
+                self._backend_failed()
             return None
         self.stats.hits += 1
         self.stats.disk_hits += 1
@@ -219,18 +291,32 @@ class ArtifactStore:
         try:
             blob = pickle.dumps((_HEADER, kind, value),
                                 protocol=pickle.HIGHEST_PROTOCOL)
-            self.backend.store(kind, key, blob)
-        except (BackendError, pickle.PicklingError):
+        except pickle.PicklingError:
             self.stats.errors += 1
+            return
+        if not self._backend_gate():
+            return
+        try:
+            self.backend.store(kind, key, blob)
+        except BackendError:
+            self._backend_failed()
+            self.stats.errors += 1
+        else:
+            self._backend_succeeded()
 
     def contains(self, kind: str, key: str) -> bool:
         """Presence check (no payload decode, no hit/miss accounting)."""
         if (kind, key) in self._hot:
             return True
-        try:
-            return self.backend.contains(kind, key)
-        except BackendError:
+        if not self._backend_gate():
             return False
+        try:
+            present = self.backend.contains(kind, key)
+        except BackendError:
+            self._backend_failed()
+            return False
+        self._backend_succeeded()
+        return present
 
     def _remember(self, hot_key: Tuple[str, str], value) -> None:
         """Insert into the hot tier, evicting the least recently used

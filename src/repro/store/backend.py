@@ -51,6 +51,14 @@ class BackendError(Exception):
     misses and writes as dropped — never a crash."""
 
 
+class StoreUnavailable(BackendError):
+    """The medium itself is unreachable (connect refused, retry budget
+    exhausted) — as opposed to a medium that answered and *rejected*
+    the operation.  Callers that treat failures as best-effort (e.g.
+    corrupt-entry deletes) swallow only this subclass: an answering
+    server's protocol error still surfaces."""
+
+
 @dataclass
 class StoreInfo:
     """Snapshot of a backend's persistent tier (``repro cache stats``)."""

@@ -21,13 +21,18 @@ colder).
 
 from __future__ import annotations
 
+import os
+import random
 import socket
 import socketserver
+import sys
 import threading
+import time
+import zlib
 from typing import Iterator, Optional, Tuple
 
 from ..wire import WireError, connect, parse_address, recv_msg, send_msg
-from .backend import BackendError, StoreBackend, StoreInfo
+from .backend import BackendError, StoreBackend, StoreInfo, StoreUnavailable
 
 #: Default port of ``repro store serve`` (and of ``tcp://HOST`` specs
 #: that omit one).
@@ -36,29 +41,60 @@ DEFAULT_PORT = 9723
 #: Socket timeout for client operations, seconds.
 CLIENT_TIMEOUT = 30.0
 
+#: Environment variable overriding the default connectivity-retry
+#: budget of every :class:`NetworkBackend` (``retries=`` wins).
+RETRIES_ENV = "REPRO_STORE_RETRIES"
+
+#: Connectivity retries after the first attempt when neither the
+#: ``retries`` argument nor :data:`RETRIES_ENV` says otherwise.
+DEFAULT_RETRIES = 3
+
+
+def resolve_retries(retries: Optional[int] = None) -> int:
+    """The connectivity-retry budget: explicit argument, then
+    ``$REPRO_STORE_RETRIES``, then :data:`DEFAULT_RETRIES`.  An
+    unparsable environment value warns on stderr and falls back (the
+    same contract as ``REPRO_WORKERS``)."""
+    if retries is None:
+        env = os.environ.get(RETRIES_ENV, "").strip()
+        if not env:
+            return DEFAULT_RETRIES
+        try:
+            retries = int(env)
+        except ValueError:
+            print(f"warning: unparsable {RETRIES_ENV}={env!r} ignored; "
+                  f"using {DEFAULT_RETRIES} retries",
+                  file=sys.stderr)
+            return DEFAULT_RETRIES
+    return max(0, retries)
+
 
 class _Handler(socketserver.BaseRequestHandler):
     def handle(self):  # noqa: D102 - socketserver plumbing
         backend = self.server.backend      # type: ignore[attr-defined]
         sock = self.request
         sock.settimeout(self.server.idle_timeout)  # type: ignore
-        while True:
-            try:
-                message = recv_msg(sock)
-            except (WireError, OSError):
-                return
-            if message is None:            # clean disconnect
-                return
-            try:
-                reply = ("ok", self._dispatch(backend, message))
-            except (BackendError, WireError) as exc:
-                reply = ("err", str(exc))
-            except Exception as exc:       # never kill the server
-                reply = ("err", f"{type(exc).__name__}: {exc}")
-            try:
-                send_msg(sock, reply)
-            except (WireError, OSError):
-                return
+        self.server.track(sock)            # type: ignore[attr-defined]
+        try:
+            while True:
+                try:
+                    message = recv_msg(sock)
+                except (WireError, OSError):
+                    return
+                if message is None:        # clean disconnect
+                    return
+                try:
+                    reply = ("ok", self._dispatch(backend, message))
+                except (BackendError, WireError) as exc:
+                    reply = ("err", str(exc))
+                except Exception as exc:   # never kill the server
+                    reply = ("err", f"{type(exc).__name__}: {exc}")
+                try:
+                    send_msg(sock, reply)
+                except (WireError, OSError):
+                    return
+        finally:
+            self.server.untrack(sock)      # type: ignore[attr-defined]
 
     @staticmethod
     def _dispatch(backend: StoreBackend, message: Tuple):
@@ -90,6 +126,48 @@ class _Handler(socketserver.BaseRequestHandler):
 class _Server(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._conn_lock = threading.Lock()
+        self._conns: set = set()
+
+    def server_close(self):
+        # shutdown() before close(): a forked worker process inherits
+        # a duplicate of this listening FD, and with close() alone the
+        # kernel socket would stay listening through the dup — clients
+        # would connect into a backlog nobody accepts and eat their
+        # full timeout instead of an instant refusal.  shutdown() acts
+        # on the kernel socket itself, dups and all.
+        try:
+            self.socket.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        super().server_close()
+
+    def track(self, sock) -> None:
+        with self._conn_lock:
+            self._conns.add(sock)
+
+    def untrack(self, sock) -> None:
+        with self._conn_lock:
+            self._conns.discard(sock)
+
+    def close_connections(self) -> None:
+        """Sever every live client connection (handler threads see a
+        socket error on their next receive and exit)."""
+        with self._conn_lock:
+            conns = list(self._conns)
+            self._conns.clear()
+        for sock in conns:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
 
 
 class StoreServer:
@@ -140,9 +218,13 @@ class StoreServer:
         self._server.serve_forever(poll_interval=0.5)
 
     def shutdown(self) -> None:
-        """Stop serving and close the listening socket (idempotent)."""
+        """Stop serving: close the listening socket AND sever every
+        live client connection (idempotent).  Clients mid-request see
+        a dropped socket — exactly what a killed server process looks
+        like — and fall back on their retry budget."""
         self._server.shutdown()
         self._server.server_close()
+        self._server.close_connections()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
@@ -151,34 +233,69 @@ class StoreServer:
 class NetworkBackend(StoreBackend):
     """TCP client medium: every operation is one framed round-trip.
 
-    Holds a persistent connection (re-established once per operation
-    after a drop); concurrent use from one process is serialised by a
-    lock — worker *processes* each open their own client, which is the
-    actual concurrency path of the fabric.
+    Holds a persistent connection (re-established per attempt after a
+    drop); concurrent use from one process is serialised by a lock —
+    worker *processes* each open their own client, which is the actual
+    concurrency path of the fabric.
+
+    **Retry contract.**  Connectivity failures — connect refused, a
+    socket dropped mid-round-trip, a malformed frame — are retried up
+    to *retries* times with exponential backoff and deterministic
+    jitter (seeded from the spec, so a replayed chaos run backs off
+    identically), then raise
+    :class:`~repro.store.backend.StoreUnavailable`.  Safe because
+    every store operation is idempotent: content-addressed blobs make
+    a re-sent ``store`` a byte-identical overwrite and a re-sent read
+    side-effect-free.  A server that *answers* with ``("err", ...)``
+    is authoritative — that raises plain ``BackendError`` with no
+    retry (the server already executed or rejected the operation).
+    ``retry_count`` accumulates the retries actually spent, which is
+    how a mid-sweep server restart becomes visible in telemetry.
     """
 
-    def __init__(self, spec: str, timeout: float = CLIENT_TIMEOUT) -> None:
+    def __init__(self, spec: str, timeout: float = CLIENT_TIMEOUT,
+                 retries: Optional[int] = None,
+                 backoff_s: float = 0.05,
+                 backoff_max_s: float = 2.0) -> None:
         """Parse ``tcp://HOST:PORT`` (port defaults to
-        :data:`DEFAULT_PORT`); connects lazily on first use."""
+        :data:`DEFAULT_PORT`); connects lazily on first use.
+
+        *retries* is the connectivity-retry budget per operation
+        (default ``$REPRO_STORE_RETRIES``, else 3); *backoff_s* is the
+        first retry's base delay, doubling per retry and capped at
+        *backoff_max_s*, each scaled by jitter in [0.5, 1.0)."""
         host, port = parse_address(spec, default_port=DEFAULT_PORT)
         self.address = f"{host}:{port}"
         self.spec = f"tcp://{self.address}"
         self.root = self.spec
         self.timeout = timeout
+        self.retries = resolve_retries(retries)
+        self.backoff_s = backoff_s
+        self.backoff_max_s = backoff_max_s
+        self.retry_count = 0
+        self._rng = random.Random(zlib.crc32(self.spec.encode()))
         self._lock = threading.Lock()
         self._sock: Optional[socket.socket] = None
 
     # ------------------------------------------------------------------
+    def _backoff(self, attempt: int) -> float:
+        """Delay before retry *attempt* (1-based): exponential with
+        deterministic jitter — two clients hammering a restarting
+        server desynchronise, and a replayed run sleeps identically."""
+        base = min(self.backoff_max_s,
+                   self.backoff_s * (2.0 ** (attempt - 1)))
+        return base * (0.5 + 0.5 * self._rng.random())
+
     def _roundtrip(self, message: Tuple):
         with self._lock:
-            for attempt in (0, 1):
-                if self._sock is None:
-                    try:
-                        self._sock = connect(self.address, self.timeout)
-                    except OSError as exc:
-                        raise BackendError(
-                            f"cannot reach store {self.spec}: {exc}")
+            last_exc: Optional[Exception] = None
+            for attempt in range(self.retries + 1):
+                if attempt:
+                    self.retry_count += 1
+                    time.sleep(self._backoff(attempt))
                 try:
+                    if self._sock is None:
+                        self._sock = connect(self.address, self.timeout)
                     send_msg(self._sock, message)
                     reply = recv_msg(self._sock)
                     if reply is None:
@@ -186,11 +303,14 @@ class NetworkBackend(StoreBackend):
                     break
                 except (WireError, OSError) as exc:
                     self._close_locked()
-                    if attempt:       # second strike: give up
-                        raise BackendError(
-                            f"store {self.spec} unavailable: {exc}")
+                    last_exc = exc
+            else:
+                raise StoreUnavailable(
+                    f"store {self.spec} unavailable after "
+                    f"{self.retries + 1} attempt(s): {last_exc}")
         status, value = reply
         if status != "ok":
+            # The server answered: authoritative, never retried.
             raise BackendError(f"store {self.spec}: {value}")
         return value
 
@@ -216,10 +336,15 @@ class NetworkBackend(StoreBackend):
         return bool(self._roundtrip(("contains", kind, key)))
 
     def delete(self, kind: str, key: str) -> None:
-        """Best-effort remote removal (unreachable server: no-op)."""
+        """Best-effort remote removal (unreachable server: no-op).
+
+        Only *connectivity* failures are swallowed — a server that
+        answered and rejected the delete raises, like every other
+        operation (silently dropping a protocol error hid real
+        server-side failures)."""
         try:
             self._roundtrip(("delete", kind, key))
-        except BackendError:
+        except StoreUnavailable:
             pass
 
     def keys(self) -> Iterator[Tuple[str, str]]:

@@ -20,7 +20,7 @@ from __future__ import annotations
 import pickle
 import socket
 import struct
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 #: Frame preamble: rejects accidental connections from foreign
 #: protocols (an HTTP client, a stray health checker) with a clean
@@ -39,13 +39,37 @@ class WireError(ConnectionError):
     """A malformed frame or a peer that vanished mid-message."""
 
 
+#: Process-wide fault-injection hook for the chaos fabric
+#: (:mod:`repro.chaos`): called as ``hook(sock, op, frame)`` with
+#: ``op="send"`` (full frame bytes) before a frame ships and
+#: ``op="recv"`` (``frame=None``) before one is read.  The hook may
+#: sleep (stall), close the socket and raise (reset), or send a frame
+#: prefix and raise (truncation).  ``None`` — the default — is zero
+#: overhead beyond one attribute test.  Process-wide on purpose: it
+#: reaches server handler threads too, which is how the chaos runner
+#: breaks connections it never sees.
+_FAULT_HOOK: Optional[Callable] = None
+
+
+def set_fault_hook(hook: Optional[Callable]) -> Optional[Callable]:
+    """Install (or clear with ``None``) the wire fault hook; returns
+    the previous hook so scopes can nest/restore."""
+    global _FAULT_HOOK
+    previous = _FAULT_HOOK
+    _FAULT_HOOK = hook
+    return previous
+
+
 def send_msg(sock: socket.socket, message: Tuple) -> None:
     """Send one framed message (magic + length + pickle) on *sock*."""
     payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
     if len(payload) > MAX_FRAME:
         raise WireError(f"frame of {len(payload)} bytes exceeds "
                         f"MAX_FRAME ({MAX_FRAME})")
-    sock.sendall(MAGIC + _LEN.pack(len(payload)) + payload)
+    frame = MAGIC + _LEN.pack(len(payload)) + payload
+    if _FAULT_HOOK is not None:
+        _FAULT_HOOK(sock, "send", frame)
+    sock.sendall(frame)
 
 
 def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
@@ -66,6 +90,8 @@ def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
 
 def recv_msg(sock: socket.socket) -> Optional[Tuple]:
     """Receive one framed message, or ``None`` on a clean disconnect."""
+    if _FAULT_HOOK is not None:
+        _FAULT_HOOK(sock, "recv", None)
     head = _recv_exact(sock, len(MAGIC) + _LEN.size)
     if head is None:
         return None

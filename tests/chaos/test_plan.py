@@ -1,0 +1,157 @@
+"""Tests for the seeded fault plan: determinism, windows, transport."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.chaos import (
+    CHAOS_PLAN_ENV,
+    ChaosInjectedError,
+    FaultPlan,
+    FaultSpec,
+    env_plan,
+    plan_from_env,
+)
+
+
+def _draw_trace(plan, site, ops):
+    return [[spec.kind for spec in plan.draw(site, op)] for op in ops]
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        specs = (FaultSpec(site="store", kind="error", probability=0.3),)
+        ops = ["load"] * 50
+        first = _draw_trace(FaultPlan(seed=7, specs=specs), "store", ops)
+        second = _draw_trace(FaultPlan(seed=7, specs=specs), "store", ops)
+        assert first == second
+        assert any(hit for hit in first)       # 0.3 over 50 ops fires
+        assert not all(hit for hit in first)   # ...but not always
+
+    def test_different_seeds_diverge(self):
+        specs = (FaultSpec(site="store", kind="error", probability=0.3),)
+        ops = ["load"] * 50
+        a = _draw_trace(FaultPlan(seed=0, specs=specs), "store", ops)
+        b = _draw_trace(FaultPlan(seed=1, specs=specs), "store", ops)
+        assert a != b
+
+    def test_sites_have_independent_streams(self):
+        specs = (FaultSpec(site="store", kind="error", probability=0.5),
+                 FaultSpec(site="wire", kind="reset", probability=0.5))
+        plan = FaultPlan(seed=3, specs=specs)
+        fresh = FaultPlan(seed=3, specs=specs)
+        # Interleaving draws across sites does not perturb either
+        # site's own deterministic sequence.
+        interleaved = []
+        for _ in range(20):
+            interleaved.append(plan.draw("store", "load"))
+            plan.draw("wire", "send")
+        alone = [fresh.draw("store", "load") for _ in range(20)]
+        assert interleaved == alone
+
+
+class TestWindows:
+    def test_after_until_window_is_exact(self):
+        plan = FaultPlan(seed=0, specs=(
+            FaultSpec(site="store", kind="error", after=2, until=4),))
+        kinds = _draw_trace(plan, "store", ["load"] * 6)
+        assert kinds == [[], [], ["error"], ["error"], [], []]
+
+    def test_limit_caps_total_injections(self):
+        plan = FaultPlan(seed=0, specs=(
+            FaultSpec(site="wire", kind="reset", limit=2),))
+        kinds = _draw_trace(plan, "wire", ["send"] * 5)
+        assert kinds == [["reset"], ["reset"], [], [], []]
+
+    def test_ops_filter(self):
+        plan = FaultPlan(seed=0, specs=(
+            FaultSpec(site="store", kind="error", ops=("load",)),))
+        assert plan.draw("store", "store") == []
+        assert [s.kind for s in plan.draw("store", "load")] == ["error"]
+
+    def test_injected_counts_per_site(self):
+        plan = FaultPlan(seed=0, specs=(
+            FaultSpec(site="store", kind="error", limit=1),
+            FaultSpec(site="wire", kind="reset", limit=1)))
+        plan.draw("store", "load")
+        plan.draw("wire", "send")
+        assert plan.injected("store") == 1
+        assert plan.injected("wire") == 1
+        assert plan.injected() == 2
+
+
+class TestCheckUnit:
+    def test_poison_raises_for_its_unit_only(self):
+        plan = FaultPlan(seed=0, specs=(
+            FaultSpec(site="unit", kind="poison", ops=("3",)),))
+        plan.check_unit(0)
+        plan.check_unit(2)
+        with pytest.raises(ChaosInjectedError):
+            plan.check_unit(3)
+
+    def test_kill_is_skipped_without_allow_kill(self):
+        # A kill schedule must never take down a thread or the
+        # leader's inline fallback — only a forked worker process.
+        plan = FaultPlan(seed=0, specs=(
+            FaultSpec(site="unit", kind="kill", ops=("1",)),))
+        plan.check_unit(1, allow_kill=False)   # survives
+
+    def test_stall_sleeps(self):
+        plan = FaultPlan(seed=0, specs=(
+            FaultSpec(site="unit", kind="stall", ops=("0",),
+                      delay_s=0.05),))
+        start = time.perf_counter()
+        plan.check_unit(0)
+        assert time.perf_counter() - start >= 0.04
+
+
+class TestTransport:
+    def test_json_round_trip(self):
+        plan = FaultPlan(seed=11, specs=(
+            FaultSpec(site="store", kind="error", probability=0.25,
+                      ops=("load", "contains"), after=1, until=9,
+                      limit=3, delay_s=0.5),))
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.seed == plan.seed
+        assert clone.specs == plan.specs
+        # Fresh draw state: the clone replays the same sequence.
+        ops = ["load"] * 20
+        assert _draw_trace(clone, "store", ops) \
+            == _draw_trace(FaultPlan(11, plan.specs), "store", ops)
+
+    def test_env_round_trip(self):
+        plan = FaultPlan(seed=5, specs=(
+            FaultSpec(site="unit", kind="poison", ops=("2",)),))
+        with env_plan(plan):
+            carried = plan_from_env()
+            assert carried is not None
+            assert carried.seed == 5
+            assert carried.specs == plan.specs
+        assert plan_from_env() is None
+
+    def test_env_plan_restores_previous_value(self):
+        os.environ[CHAOS_PLAN_ENV] = "junk-not-json"
+        try:
+            with env_plan(FaultPlan(seed=1)):
+                assert os.environ[CHAOS_PLAN_ENV] != "junk-not-json"
+            assert os.environ[CHAOS_PLAN_ENV] == "junk-not-json"
+        finally:
+            del os.environ[CHAOS_PLAN_ENV]
+
+    def test_unparsable_env_is_ignored_not_fatal(self):
+        os.environ[CHAOS_PLAN_ENV] = "{broken json"
+        try:
+            assert plan_from_env() is None
+        finally:
+            del os.environ[CHAOS_PLAN_ENV]
+
+    def test_env_plan_none_clears(self):
+        os.environ[CHAOS_PLAN_ENV] = FaultPlan(seed=1).to_json()
+        try:
+            with env_plan(None):
+                assert plan_from_env() is None
+        finally:
+            os.environ.pop(CHAOS_PLAN_ENV, None)

@@ -1,0 +1,104 @@
+"""Tests for wire-level fault injection and the client retry budget."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import FaultPlan, FaultSpec, wire_faults
+from repro.store import (
+    NetworkBackend,
+    SQLiteBackend,
+    StoreServer,
+    StoreUnavailable,
+)
+from repro import wire
+
+
+@pytest.fixture
+def served(tmp_path):
+    inner = SQLiteBackend(tmp_path / "served.sqlite")
+    server = StoreServer(inner, host="127.0.0.1", port=0).start()
+    yield server
+    server.shutdown()
+    inner.close()
+
+
+KEY = "ef" * 32
+
+
+class TestHookScoping:
+    def test_no_wire_specs_means_no_hook(self):
+        plan = FaultPlan(seed=0, specs=(
+            FaultSpec(site="store", kind="error"),))
+        with wire_faults(plan):
+            assert wire._FAULT_HOOK is None
+
+    def test_hook_installed_and_restored(self):
+        plan = FaultPlan(seed=0, specs=(
+            FaultSpec(site="wire", kind="reset", limit=1),))
+        assert wire._FAULT_HOOK is None
+        with wire_faults(plan):
+            assert wire._FAULT_HOOK is not None
+        assert wire._FAULT_HOOK is None
+
+    def test_none_plan_is_a_no_op(self):
+        with wire_faults(None):
+            assert wire._FAULT_HOOK is None
+
+
+class TestClientRecovery:
+    def test_retry_absorbs_a_connection_reset(self, served):
+        # One injected reset on the client's first send; the retry
+        # budget reconnects and the operation still succeeds.
+        client = NetworkBackend(served.spec, retries=3,
+                                backoff_s=0.01)
+        plan = FaultPlan(seed=0, specs=(
+            FaultSpec(site="wire", kind="reset", ops=("send",),
+                      limit=1),))
+        try:
+            with wire_faults(plan):
+                client.store("app", KEY, b"survives")
+            assert client.retry_count >= 1
+            assert client.load("app", KEY) == b"survives"
+        finally:
+            client.close()
+
+    def test_retry_absorbs_a_truncated_frame(self, served):
+        # Truncation ships half a frame then drops the socket: the
+        # server must reject the partial frame and the client must
+        # retry its way to success.
+        client = NetworkBackend(served.spec, retries=3,
+                                backoff_s=0.01)
+        plan = FaultPlan(seed=0, specs=(
+            FaultSpec(site="wire", kind="truncate", ops=("send",),
+                      limit=1),))
+        try:
+            with wire_faults(plan):
+                client.store("app", KEY, b"whole-payload")
+            assert client.load("app", KEY) == b"whole-payload"
+        finally:
+            client.close()
+
+    def test_exhausted_budget_raises_store_unavailable(self, served):
+        client = NetworkBackend(served.spec, retries=1,
+                                backoff_s=0.01)
+        plan = FaultPlan(seed=0, specs=(
+            FaultSpec(site="wire", kind="reset", ops=("send",)),))
+        try:
+            with wire_faults(plan):
+                with pytest.raises(StoreUnavailable):
+                    client.store("app", KEY, b"never-lands")
+        finally:
+            client.close()
+
+    def test_stall_delays_but_succeeds(self, served):
+        client = NetworkBackend(served.spec, retries=0)
+        plan = FaultPlan(seed=0, specs=(
+            FaultSpec(site="wire", kind="stall", delay_s=0.01,
+                      limit=2),))
+        try:
+            with wire_faults(plan):
+                client.store("app", KEY, b"slow-but-sure")
+                assert client.load("app", KEY) == b"slow-but-sure"
+        finally:
+            client.close()

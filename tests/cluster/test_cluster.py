@@ -177,7 +177,9 @@ class TestClusterSweep:
         assert len(outcome.unit_reports) == outcome.warm_units
         for record in outcome.unit_reports:
             assert set(record) == {"index", "size_hint", "elapsed_s",
-                                   "worker"}
+                                   "worker", "status", "attempts",
+                                   "error"}
+            assert record["status"] == "ok"
             assert record["size_hint"] > 0
             assert record["elapsed_s"] >= 0
         indexes = sorted(r["index"] for r in outcome.unit_reports)

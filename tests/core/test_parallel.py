@@ -136,7 +136,8 @@ class TestScheduledMap:
         record = UnitReport(index=2, size_hint=4.0, elapsed_s=0.5,
                             worker="pid9").as_dict()
         assert record == {"index": 2, "size_hint": 4.0,
-                          "elapsed_s": 0.5, "worker": "pid9"}
+                          "elapsed_s": 0.5, "worker": "pid9",
+                          "status": "ok", "attempts": 1, "error": None}
 
 
 def _reciprocal(x):

@@ -38,6 +38,11 @@ MODULES = [
     "repro.cluster.worker",
     "repro.wire",
     "repro.core.parallel",
+    "repro.chaos",
+    "repro.chaos.plan",
+    "repro.chaos.backend",
+    "repro.chaos.wirefault",
+    "repro.chaos.runner",
 ]
 
 #: Anything shorter than this is a label, not documentation.
